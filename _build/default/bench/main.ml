@@ -1,0 +1,232 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (text output), and exposes Bechamel
+   micro-benchmarks of each experiment's computational kernel.
+
+   Usage:
+     main.exe                 run all tables and figures (full budgets)
+     main.exe --quick         trimmed budgets (smoke run)
+     main.exe table3 fig5     run a subset
+     main.exe --micro         run the Bechamel kernel benchmarks
+*)
+
+let say fmt = Fmt.pr fmt
+
+let banner title paper_claim =
+  say "@.============================================================@.";
+  say "%s@." title;
+  say "paper: %s@." paper_claim;
+  say "============================================================@."
+
+let run_table1 cfg =
+  banner "Table I: soft vs hard symmetry constraints in GP"
+    "hard symmetry increases both area and wirelength";
+  Experiments.Table_fmt.render Fmt.stdout (Experiments.Run.table1 cfg)
+
+let run_fig2 cfg =
+  banner "Fig. 2: area term ablation"
+    "dropping the area term costs >20% area and wirelength";
+  Experiments.Table_fmt.render Fmt.stdout (Experiments.Run.fig2 cfg)
+
+let run_table3 cfg =
+  banner "Table III: conventional comparison (SA / prev [11] / ePlace-A)"
+    "avg ratios vs ePlace-A: SA 1.11x area, 1.14x HPWL, 55x runtime; \
+     [11] 1.25x area, 1.24x HPWL";
+  let t, _ = Experiments.Run.table3 cfg in
+  Experiments.Table_fmt.render Fmt.stdout t
+
+let run_table4 cfg =
+  banner "Table IV: detailed placement only, same GP input"
+    "ILP DP beats the two-stage LP DP on wirelength (flipping)";
+  Experiments.Table_fmt.render Fmt.stdout (Experiments.Run.table4 cfg)
+
+let run_table5 cfg =
+  banner "Table V: FOM, conventional vs performance-driven"
+    "avg FOM 0.81 conventional; 0.87 SA-perf, 0.88 perf*, 0.90 ePlace-AP";
+  let t, _ = Experiments.Run.table5 cfg in
+  Experiments.Table_fmt.render Fmt.stdout t
+
+let run_table6 cfg =
+  banner "Table VI: CC-OTA detailed metrics"
+    "ePlace-AP recovers UGF/BW at a small phase-margin cost";
+  Experiments.Table_fmt.render Fmt.stdout (Experiments.Run.table6 cfg)
+
+let run_table7 cfg =
+  banner "Table VII: performance-driven area/HPWL/runtime"
+    "avg ratios vs ePlace-AP: SA-perf 1.09x area, 3.09x runtime; \
+     perf* 1.14x area, 1.13x HPWL";
+  let t, _ = Experiments.Run.table7 cfg in
+  Experiments.Table_fmt.render Fmt.stdout t
+
+let run_fig5 cfg =
+  banner "Fig. 5: HPWL-area tradeoff points on CM-OTA1"
+    "ePlace-A's points dominate toward the lower-left corner";
+  let t, pts = Experiments.Run.fig5 cfg in
+  Experiments.Table_fmt.render Fmt.stdout t;
+  (* quick dominance summary *)
+  let by m = List.filter (fun p -> p.Experiments.Run.p_method = m) pts in
+  let pareto_wins name =
+    let mine = by name in
+    let others =
+      List.filter (fun p -> p.Experiments.Run.p_method <> name) pts
+    in
+    List.length
+      (List.filter
+         (fun (o : Experiments.Run.point) ->
+           List.exists
+             (fun (p : Experiments.Run.point) ->
+               p.Experiments.Run.p_x <= o.Experiments.Run.p_x
+               && p.Experiments.Run.p_y <= o.Experiments.Run.p_y)
+             mine)
+         others)
+  in
+  say "points from other methods dominated by an ePlace-A point: %d / %d@."
+    (pareto_wins "ePlace-A")
+    (List.length pts - List.length (by "ePlace-A"))
+
+let run_fig6 cfg =
+  banner "Fig. 6: FOM-area tradeoff points on CM-OTA1"
+    "best FOM-area tradeoffs come from ePlace-AP";
+  let t, _ = Experiments.Run.fig6 cfg in
+  Experiments.Table_fmt.render Fmt.stdout t
+
+let run_ablations cfg =
+  banner "Ablations: ePlace-A design choices (beyond the paper)"
+    "WA vs LSE, flipping strategy, restarts, bins, DP passes";
+  Experiments.Table_fmt.render Fmt.stdout (Experiments.Run.ablations cfg)
+
+let run_scaling cfg =
+  banner "Scaling: SA vs ePlace-A on growing ring VCOs (beyond the paper)"
+    "the analytical paradigm's advantage should widen with device count";
+  Experiments.Table_fmt.render Fmt.stdout (Experiments.Run.scaling cfg)
+
+let all_experiments =
+  [ ("table1", run_table1); ("fig2", run_fig2); ("table3", run_table3);
+    ("table4", run_table4); ("table5", run_table5); ("table6", run_table6);
+    ("table7", run_table7); ("fig5", run_fig5); ("fig6", run_fig6);
+    ("ablations", run_ablations); ("scaling", run_scaling) ]
+
+(* ---- Bechamel kernels: one Test.make per table/figure ---- *)
+
+let micro () =
+  let open Bechamel in
+  let cc_ota = Circuits.Testcases.get "CC-OTA" in
+  let cm_ota1 = Circuits.Testcases.get "CM-OTA1" in
+  let gp_layout =
+    lazy (Eplace.Global_place.run cc_ota).Eplace.Global_place.layout
+  in
+  let enc = lazy (Gnn.Graph_enc.of_circuit cc_ota) in
+  let model = lazy (Gnn.Model.create (Numerics.Rng.create 1)) in
+  let tests =
+    [
+      (* Table I kernel: one GP run with soft symmetry *)
+      Test.make ~name:"table1:gp_soft"
+        (Staged.stage (fun () -> ignore (Eplace.Global_place.run cc_ota)));
+      (* Fig 2 kernel: GP without the area term *)
+      Test.make ~name:"fig2:gp_no_area"
+        (Staged.stage (fun () ->
+             let params =
+               { Eplace.Gp_params.default with Eplace.Gp_params.eta = 0.0 }
+             in
+             ignore (Eplace.Global_place.run ~params cc_ota)));
+      (* Table III kernel: one full ePlace-A pipeline, single restart *)
+      Test.make ~name:"table3:eplace_a_1restart"
+        (Staged.stage (fun () ->
+             let params =
+               { Eplace.Eplace_a.default_params with
+                 Eplace.Eplace_a.restarts = 1; dp_passes = 1 }
+             in
+             ignore (Eplace.Eplace_a.place ~params cc_ota)));
+      (* Table IV kernel: one ILP detailed placement *)
+      Test.make ~name:"table4:ilp_dp"
+        (Staged.stage (fun () ->
+             ignore (Eplace.Dp_ilp.run cc_ota ~gp:(Lazy.force gp_layout))));
+      (* Table V kernel: GNN inference *)
+      Test.make ~name:"table5:gnn_inference"
+        (Staged.stage (fun () ->
+             let l = Lazy.force gp_layout in
+             ignore
+               (Gnn.Model.predict (Lazy.force model) (Lazy.force enc)
+                  ~xs:l.Netlist.Layout.xs ~ys:l.Netlist.Layout.ys)));
+      (* Table VI kernel: full FOM evaluation (route+extract+model) *)
+      Test.make ~name:"table6:fom_eval"
+        (Staged.stage (fun () ->
+             ignore (Perfsim.Fom.evaluate (Lazy.force gp_layout))));
+      (* Table VII kernel: GNN gradient (the expensive perf-driven step) *)
+      Test.make ~name:"table7:gnn_gradient"
+        (Staged.stage (fun () ->
+             let l = Lazy.force gp_layout in
+             let n = Netlist.Layout.n_devices l in
+             let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+             ignore
+               (Gnn.Model.phi_grad (Lazy.force model) (Lazy.force enc)
+                  ~alpha:1.0 ~xs:l.Netlist.Layout.xs ~ys:l.Netlist.Layout.ys
+                  ~gx ~gy)));
+      (* Fig 5 kernel: SA move batch on CM-OTA1 *)
+      Test.make ~name:"fig5:sa_10k_moves"
+        (Staged.stage (fun () ->
+             let params =
+               { Annealing.Sa_placer.default_params with
+                 Annealing.Sa_placer.moves = 10_000 }
+             in
+             ignore (Annealing.Sa_placer.place ~params cm_ota1)));
+      (* Fig 6 kernel: spectral Poisson solve (per-GP-iteration cost) *)
+      Test.make ~name:"fig6:poisson_32x32"
+        (Staged.stage (fun () ->
+             let sp = Numerics.Spectral.create ~nx:32 ~ny:32 in
+             let rho =
+               Numerics.Matrix.init 32 32 (fun i j ->
+                   float_of_int ((i * 7) + j) /. 100.0)
+             in
+             ignore (Numerics.Spectral.solve_poisson sp rho)));
+    ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:20 ~quota:(Time.second 1.0) ~kde:(Some 100) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      let stats = analyze results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> say "%-28s %12.0f ns/run@." name t
+          | Some _ | None -> say "%-28s (no estimate)@." name)
+        stats)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let micro_mode = List.mem "--micro" args in
+  let wanted =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  if micro_mode then micro ()
+  else begin
+    let cfg =
+      if quick then Experiments.Run.quick_cfg else Experiments.Run.default_cfg
+    in
+    let to_run =
+      if wanted = [] then all_experiments
+      else List.filter (fun (name, _) -> List.mem name wanted) all_experiments
+    in
+    if to_run = [] then begin
+      say "unknown experiment; available:@.";
+      List.iter (fun (n, _) -> say "  %s@." n) all_experiments;
+      exit 1
+    end;
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, f) -> f cfg) to_run;
+    say "@.total wall time: %.1f s@." (Unix.gettimeofday () -. t0)
+  end

@@ -1,0 +1,122 @@
+(* Command-line placer: run any of the compared methods on any of the
+   benchmark circuits and report area / HPWL / FOM / legality.
+
+     analog-place --circuit CC-OTA --placer eplace
+     analog-place -c VCO1 -p sa --moves 200000 --draw
+     analog-place -c CM-OTA1 -p eplace --perf
+*)
+
+let draw_layout ppf l =
+  let b = Netlist.Layout.die_bbox l in
+  let cols = 72 and rows = 28 in
+  let sx = float_of_int (cols - 1) /. Geometry.Rect.width b in
+  let sy = float_of_int (rows - 1) /. Geometry.Rect.height b in
+  let grid = Array.make_matrix rows cols ' ' in
+  for i = 0 to Netlist.Layout.n_devices l - 1 do
+    let r = Netlist.Layout.device_rect l i in
+    let ch = Char.chr (Char.code 'A' + (i mod 26)) in
+    let x0 = int_of_float ((r.Geometry.Rect.x0 -. b.Geometry.Rect.x0) *. sx) in
+    let x1 =
+      int_of_float ((r.Geometry.Rect.x1 -. b.Geometry.Rect.x0) *. sx) - 1
+    in
+    let y0 = int_of_float ((r.Geometry.Rect.y0 -. b.Geometry.Rect.y0) *. sy) in
+    let y1 =
+      int_of_float ((r.Geometry.Rect.y1 -. b.Geometry.Rect.y0) *. sy) - 1
+    in
+    for y = max 0 y0 to min (rows - 1) (max y0 y1) do
+      for x = max 0 x0 to min (cols - 1) (max x0 x1) do
+        grid.(y).(x) <- ch
+      done
+    done
+  done;
+  for y = rows - 1 downto 0 do
+    Fmt.pf ppf "%s@." (String.init cols (fun x -> grid.(y).(x)))
+  done
+
+let report circuit layout runtime =
+  Fmt.pr "circuit   : %a@." Netlist.Circuit.pp circuit;
+  Fmt.pr "area      : %.1f um^2@." (Netlist.Layout.area layout);
+  Fmt.pr "hpwl      : %.1f um@." (Netlist.Layout.hpwl layout);
+  Fmt.pr "runtime   : %.2f s@." runtime;
+  let viol = Netlist.Checks.all layout in
+  Fmt.pr "legality  : %s@."
+    (if viol = [] then "clean"
+     else Fmt.str "%d violations" (List.length viol));
+  List.iteri
+    (fun i v -> if i < 5 then Fmt.pr "  %a@." Netlist.Checks.pp_violation v)
+    viol;
+  let e = Perfsim.Fom.evaluate layout in
+  Fmt.pr "FOM       : %.3f@." e.Perfsim.Fom.fom;
+  List.iter
+    (fun m -> Fmt.pr "  %a@." Perfsim.Spec.pp_metric m)
+    e.Perfsim.Fom.metrics
+
+let run_cmd circuit_name placer perf moves seed draw quick =
+  let circuit =
+    try Circuits.Testcases.get circuit_name
+    with Invalid_argument msg ->
+      Fmt.epr "%s@.known circuits: %s@." msg
+        (String.concat ", " Circuits.Testcases.all_names);
+      exit 1
+  in
+  let m =
+    match (placer, perf) with
+    | "sa", false -> Experiments.Methods.sa ~moves ~seed ()
+    | "sa", true -> Experiments.Methods.sa_perf ~moves ~seed ~quick ()
+    | "prev", false -> Experiments.Methods.prev ()
+    | "prev", true -> Experiments.Methods.prev_perf ~quick ()
+    | "eplace", false -> Experiments.Methods.eplace_a ()
+    | "eplace", true -> Experiments.Methods.eplace_ap ~quick ()
+    | p, _ ->
+        Fmt.epr "unknown placer %s (sa | prev | eplace)@." p;
+        exit 1
+  in
+  Fmt.pr "placing %s with %s%s...@." circuit_name m.Experiments.Methods.method_name
+    (if perf then " (performance-driven)" else "");
+  match m.Experiments.Methods.run circuit with
+  | Some o ->
+      report circuit o.Experiments.Methods.layout o.Experiments.Methods.runtime_s;
+      if draw then draw_layout Fmt.stdout o.Experiments.Methods.layout;
+      0
+  | None ->
+      Fmt.epr "placement failed (infeasible constraints)@.";
+      1
+
+open Cmdliner
+
+let circuit_arg =
+  Arg.(value & opt string "CC-OTA"
+       & info [ "c"; "circuit" ] ~docv:"NAME" ~doc:"Benchmark circuit name.")
+
+let placer_arg =
+  Arg.(value & opt string "eplace"
+       & info [ "p"; "placer" ] ~docv:"METHOD"
+           ~doc:"Placement method: sa, prev, or eplace.")
+
+let perf_arg =
+  Arg.(value & flag
+       & info [ "perf" ] ~doc:"Performance-driven variant (trains a GNN).")
+
+let moves_arg =
+  Arg.(value & opt int 200_000
+       & info [ "moves" ] ~docv:"N" ~doc:"SA move budget.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+
+let draw_arg =
+  Arg.(value & flag & info [ "draw" ] ~doc:"Print an ASCII floorplan.")
+
+let quick_arg =
+  Arg.(value & flag
+       & info [ "quick" ] ~doc:"Use the reduced GNN training budget.")
+
+let cmd =
+  let doc = "analog IC placement (reproduction of DATE'22 study)" in
+  Cmd.v
+    (Cmd.info "analog-place" ~doc)
+    Term.(
+      const run_cmd $ circuit_arg $ placer_arg $ perf_arg $ moves_arg
+      $ seed_arg $ draw_arg $ quick_arg)
+
+let () = exit (Cmd.eval' cmd)

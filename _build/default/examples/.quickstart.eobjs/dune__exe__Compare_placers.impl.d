@@ -1,0 +1,1 @@
+examples/compare_placers.ml: Array Circuits Experiments Fmt List Netlist Perfsim Sys

@@ -1,0 +1,1 @@
+examples/custom_circuit.ml: Annealing Circuits Eplace Fmt List Netlist Option Prevwork

@@ -1,0 +1,1 @@
+examples/perf_driven.ml: Circuits Experiments Fmt Gnn List Netlist Perfsim

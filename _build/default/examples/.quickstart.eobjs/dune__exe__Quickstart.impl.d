@@ -1,0 +1,1 @@
+examples/quickstart.ml: Circuits Eplace Fmt List Netlist Perfsim

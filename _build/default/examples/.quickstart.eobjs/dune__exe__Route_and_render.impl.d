@@ -1,0 +1,1 @@
+examples/route_and_render.ml: Array Circuits Eplace Fmt Netlist Router String Sys

@@ -1,0 +1,1 @@
+examples/route_and_render.mli:

@@ -1,0 +1,1 @@
+examples/save_and_load.ml: Circuits Eplace Filename Fmt Netlist Perfsim Sys

@@ -1,0 +1,1 @@
+examples/save_and_load.mli:

@@ -1,0 +1,38 @@
+(* Compare the three placement paradigms of the paper on one circuit:
+   simulated annealing, the prior analytical work [11], and ePlace-A.
+
+     dune exec examples/compare_placers.exe            # default VGA
+     dune exec examples/compare_placers.exe -- Comp2
+*)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "VGA" in
+  let circuit = Circuits.Testcases.get name in
+  Fmt.pr "comparing placers on %a@.@." Netlist.Circuit.pp circuit;
+  let methods =
+    [ Experiments.Methods.sa ~moves:150_000 ();
+      Experiments.Methods.prev ();
+      Experiments.Methods.eplace_a () ]
+  in
+  let rows =
+    List.filter_map
+      (fun (m : Experiments.Methods.t) ->
+        match m.Experiments.Methods.run circuit with
+        | Some o ->
+            let l = o.Experiments.Methods.layout in
+            Some
+              [ m.Experiments.Methods.method_name;
+                Fmt.str "%.1f" (Netlist.Layout.area l);
+                Fmt.str "%.1f" (Netlist.Layout.hpwl l);
+                Fmt.str "%.3f" (Perfsim.Fom.fom l);
+                Fmt.str "%.2f" o.Experiments.Methods.runtime_s;
+                (if Netlist.Checks.is_legal l then "yes" else "NO") ]
+        | None -> None)
+      methods
+  in
+  Experiments.Table_fmt.render Fmt.stdout
+    {
+      Experiments.Table_fmt.header =
+        [ "method"; "area(um2)"; "hpwl(um)"; "FOM"; "runtime(s)"; "legal" ];
+      rows;
+    }

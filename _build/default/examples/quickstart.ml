@@ -1,0 +1,40 @@
+(* Quickstart: place one of the benchmark OTAs with ePlace-A and print
+   the resulting layout and quality metrics.
+
+     dune exec examples/quickstart.exe
+*)
+
+let () =
+  (* 1. pick a circuit (CC-OTA: the paper's Table VI testcase) *)
+  let circuit = Circuits.Testcases.get "CC-OTA" in
+  Fmt.pr "circuit: %a@.@." Netlist.Circuit.pp circuit;
+
+  (* 2. place it with ePlace-A (global placement + ILP detailed
+        placement); default parameters reproduce the paper's setup *)
+  match Eplace.Eplace_a.place circuit with
+  | None -> Fmt.epr "placement infeasible@."
+  | Some result ->
+      let layout = result.Eplace.Eplace_a.layout in
+
+      (* 3. inspect the outcome *)
+      Fmt.pr "placed in %.2f s (%d GP iterations, final overflow %.3f)@."
+        result.Eplace.Eplace_a.runtime_s
+        result.Eplace.Eplace_a.gp_result.Eplace.Global_place.iterations
+        result.Eplace.Eplace_a.gp_result.Eplace.Global_place.final_overflow;
+      Fmt.pr "area %.1f um^2, HPWL %.1f um@." (Netlist.Layout.area layout)
+        (Netlist.Layout.hpwl layout);
+
+      (* 4. check legality: non-overlap, symmetry, alignment, ordering *)
+      let violations = Netlist.Checks.all layout in
+      Fmt.pr "legality: %s@."
+        (if violations = [] then "clean"
+         else Fmt.str "%d violations" (List.length violations));
+
+      (* 5. evaluate circuit performance through the SPICE-lite flow *)
+      let e = Perfsim.Fom.evaluate layout in
+      Fmt.pr "@.performance (routed + extracted + modelled):@.";
+      Fmt.pr "%a" Perfsim.Fom.pp e;
+
+      (* 6. device coordinates *)
+      Fmt.pr "@.placement:@.";
+      Fmt.pr "%a" Netlist.Layout.pp_devices layout

@@ -1,0 +1,48 @@
+(* Route a placed circuit with the congestion-aware maze router,
+   compare against the Steiner estimate, and render both the placement
+   and the routing to SVG files.
+
+     dune exec examples/route_and_render.exe            # default Comp1
+     dune exec examples/route_and_render.exe -- VCO1
+*)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "Comp1" in
+  let circuit = Circuits.Testcases.get name in
+  Fmt.pr "placing %a with ePlace-A...@." Netlist.Circuit.pp circuit;
+  match Eplace.Eplace_a.place circuit with
+  | None -> Fmt.epr "placement failed@."
+  | Some r ->
+      let layout = r.Eplace.Eplace_a.layout in
+      Fmt.pr "area %.1f um^2, HPWL %.1f um@.@." (Netlist.Layout.area layout)
+        (Netlist.Layout.hpwl layout);
+
+      (* route with both estimators *)
+      let maze = Router.Maze.route ~step:0.2 layout in
+      let steiner_total =
+        Array.fold_left
+          (fun acc e -> acc +. Router.Steiner.net_length layout e)
+          0.0 circuit.Netlist.Circuit.nets
+      in
+      Fmt.pr "net lengths:@.";
+      Fmt.pr "  steiner estimate : %.1f um@." steiner_total;
+      Fmt.pr "  maze (congestion): %.1f um (%.0f%% overhead, %d overflow cells)@."
+        maze.Router.Maze.total_length_um
+        (100.0
+        *. ((maze.Router.Maze.total_length_um /. steiner_total) -. 1.0))
+        maze.Router.Maze.overflow_cells;
+      Fmt.pr "@.per-net detail:@.";
+      Array.iter
+        (fun (e : Netlist.Net.t) ->
+          if Netlist.Net.degree e >= 2 then
+            Fmt.pr "  %-10s %d pins  steiner %.2f  maze %.2f%s@."
+              e.Netlist.Net.name (Netlist.Net.degree e)
+              (Router.Steiner.net_length layout e)
+              maze.Router.Maze.nets.(e.Netlist.Net.id).Router.Maze.length_um
+              (if e.Netlist.Net.critical then "  [critical]" else ""))
+        circuit.Netlist.Circuit.nets;
+
+      (* SVG output *)
+      let path = Fmt.str "%s_layout.svg" (String.lowercase_ascii name) in
+      Netlist.Svg.save path layout;
+      Fmt.pr "@.wrote %s@." path

@@ -1,0 +1,48 @@
+(* Persist a circuit and its placement through the text interchange
+   format, reload both, and verify the metrics survive the round trip.
+
+     dune exec examples/save_and_load.exe
+*)
+
+let () =
+  let circuit = Circuits.Testcases.get "Comp1" in
+  match Eplace.Eplace_a.place circuit with
+  | None -> Fmt.epr "placement failed@."
+  | Some r ->
+      let layout = r.Eplace.Eplace_a.layout in
+      let cpath = Filename.temp_file "comp1" ".ckt" in
+      let ppath = Filename.temp_file "comp1" ".place" in
+      (* save *)
+      let save path text =
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+      in
+      save cpath (Netlist.Io.circuit_to_string circuit);
+      save ppath (Netlist.Io.placement_to_string layout);
+      Fmt.pr "saved %s and %s@." cpath ppath;
+      (* reload *)
+      let read path =
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      let circuit2 = Netlist.Io.parse_circuit (read cpath) in
+      let layout2 = Netlist.Io.parse_placement circuit2 (read ppath) in
+      Fmt.pr "reloaded: %a@." Netlist.Circuit.pp circuit2;
+      Fmt.pr "original  area %.2f  hpwl %.2f  fom %.3f@."
+        (Netlist.Layout.area layout) (Netlist.Layout.hpwl layout)
+        (Perfsim.Fom.fom layout);
+      Fmt.pr "reloaded  area %.2f  hpwl %.2f  fom %.3f@."
+        (Netlist.Layout.area layout2)
+        (Netlist.Layout.hpwl layout2)
+        (Perfsim.Fom.fom layout2);
+      Sys.remove cpath;
+      Sys.remove ppath;
+      let same =
+        abs_float (Netlist.Layout.hpwl layout -. Netlist.Layout.hpwl layout2)
+        < 1e-6
+      in
+      Fmt.pr "round trip %s@." (if same then "exact" else "DIFFERS")

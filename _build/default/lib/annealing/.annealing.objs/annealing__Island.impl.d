@@ -1,0 +1,1 @@
+lib/annealing/island.ml: Array Float Fun Geometry Hashtbl List Netlist Option

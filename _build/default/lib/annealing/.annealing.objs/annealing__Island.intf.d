@@ -1,0 +1,1 @@
+lib/annealing/island.mli: Geometry Netlist

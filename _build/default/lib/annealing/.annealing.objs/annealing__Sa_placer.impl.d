@@ -1,0 +1,1 @@
+lib/annealing/sa_placer.ml: Array Float Geometry Island List Netlist Numerics Seqpair Unix

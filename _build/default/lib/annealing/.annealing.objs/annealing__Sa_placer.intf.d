@@ -1,0 +1,1 @@
+lib/annealing/sa_placer.mli: Netlist

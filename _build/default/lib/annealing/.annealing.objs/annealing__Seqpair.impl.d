@@ -1,0 +1,1 @@
+lib/annealing/seqpair.ml: Array Fun Numerics

@@ -1,0 +1,1 @@
+lib/annealing/seqpair.mli: Numerics

@@ -1,0 +1,210 @@
+(* Symmetry islands (Lin et al., TCAD'09): each symmetry group — and
+   each alignment cluster of otherwise-free devices — is packed into a
+   rigid macro whose internal placement satisfies its constraints by
+   construction. Simulated annealing then floorplans the macros with a
+   sequence pair, so every intermediate solution is constraint-clean. *)
+
+module CS = Netlist.Constraint_set
+
+type placed_dev = {
+  dev : int;
+  dx : float;  (* centre offset from island lower-left corner *)
+  dy : float;
+  orient : Geometry.Orient.t;
+}
+
+type t = {
+  devices : placed_dev list;
+  w : float;
+  h : float;
+  (* for vertical-axis groups, x offset of the internal symmetry axis;
+     used to re-derive the axis after placement *)
+  axis_dx : float option;
+}
+
+let dev_wh c i =
+  let d = Netlist.Circuit.device c i in
+  (d.Netlist.Device.w, d.Netlist.Device.h)
+
+(* Pack a vertical-axis symmetry group as three columns around the
+   axis: mirrored pair devices in the outer columns (right-hand device
+   x-flipped so the pair is a true reflection) and self-symmetric
+   devices stacked in a central column on the axis. Placing selfs
+   between the pair columns — rather than above — keeps mirror rows
+   (out / diode / out) bottom-aligned and order-consistent. *)
+let of_sym_group_vertical c (g : CS.sym_group) =
+  let wc =
+    List.fold_left
+      (fun m r -> Float.max m (fst (dev_wh c r)))
+      0.0 g.CS.selfs
+  in
+  let wp =
+    List.fold_left
+      (fun m (a, b) ->
+        Float.max m (Float.max (fst (dev_wh c a)) (fst (dev_wh c b))))
+      0.0 g.CS.pairs
+  in
+  let total_w = wc +. (2.0 *. wp) in
+  let axis = 0.5 *. total_w in
+  let yp = ref 0.0 in
+  let pair_devs =
+    List.concat_map
+      (fun (a, b) ->
+        let wa, ha = dev_wh c a and wb, hb = dev_wh c b in
+        let row_h = Float.max ha hb in
+        let placed =
+          [
+            { dev = a; dx = axis -. (0.5 *. wc) -. (0.5 *. wa);
+              dy = !yp +. (0.5 *. ha); orient = Geometry.Orient.identity };
+            { dev = b; dx = axis +. (0.5 *. wc) +. (0.5 *. wb);
+              dy = !yp +. (0.5 *. hb);
+              orient = Geometry.Orient.make ~fx:true ~fy:false };
+          ]
+        in
+        yp := !yp +. row_h;
+        placed)
+      g.CS.pairs
+  in
+  let ys = ref 0.0 in
+  let self_devs =
+    List.map
+      (fun r ->
+        let _, hr = dev_wh c r in
+        let p =
+          { dev = r; dx = axis; dy = !ys +. (0.5 *. hr);
+            orient = Geometry.Orient.identity }
+        in
+        ys := !ys +. hr;
+        p)
+      g.CS.selfs
+  in
+  {
+    devices = pair_devs @ self_devs;
+    w = total_w;
+    h = Float.max !yp !ys;
+    axis_dx = Some axis;
+  }
+
+(* Horizontal-axis groups: the same construction transposed. *)
+let of_sym_group_horizontal c (g : CS.sym_group) =
+  let v =
+    of_sym_group_vertical c
+      { g with CS.sym_axis = CS.Vertical }
+  in
+  {
+    devices =
+      List.map
+        (fun p ->
+          {
+            p with
+            dx = p.dy;
+            dy = p.dx;
+            orient =
+              (if p.orient.Geometry.Orient.fx then
+                 Geometry.Orient.make ~fx:false ~fy:true
+               else Geometry.Orient.identity);
+          })
+        v.devices;
+    w = v.h;
+    h = v.w;
+    axis_dx = None;
+  }
+
+let of_sym_group c (g : CS.sym_group) =
+  match g.CS.sym_axis with
+  | CS.Vertical -> of_sym_group_vertical c g
+  | CS.Horizontal -> of_sym_group_horizontal c g
+
+(* Alignment cluster of free devices: a bottom-aligned row in chain
+   order (the only cross-device alignment kind the generators emit for
+   free devices; other kinds fall back to bottom rows too, which keeps
+   the macro rigid and the checks conservative). *)
+let of_align_row c devs =
+  let x = ref 0.0 in
+  let h = ref 0.0 in
+  let devices =
+    List.map
+      (fun d ->
+        let w, hd = dev_wh c d in
+        let p =
+          { dev = d; dx = !x +. (0.5 *. w); dy = 0.5 *. hd;
+            orient = Geometry.Orient.identity }
+        in
+        x := !x +. w;
+        h := Float.max !h hd;
+        p)
+      devs
+  in
+  { devices; w = !x; h = !h; axis_dx = None }
+
+let of_free_device c d =
+  let w, h = dev_wh c d in
+  {
+    devices =
+      [ { dev = d; dx = 0.5 *. w; dy = 0.5 *. h;
+          orient = Geometry.Orient.identity } ];
+    w;
+    h;
+    axis_dx = None;
+  }
+
+(* Mirror an island about its vertical centreline (a legal SA move:
+   symmetry is preserved, pin positions change). *)
+let mirror_x t =
+  {
+    t with
+    devices =
+      List.map
+        (fun p ->
+          {
+            p with
+            dx = t.w -. p.dx;
+            orient = Geometry.Orient.flip_x p.orient;
+          })
+        t.devices;
+  }
+
+(* Decompose a circuit into islands: one per symmetry group, one per
+   alignment cluster of remaining devices, one per remaining free
+   device. Returns the island list. *)
+let decompose (c : Netlist.Circuit.t) =
+  let n = Netlist.Circuit.n_devices c in
+  let cs = c.Netlist.Circuit.constraints in
+  let in_sym = Array.make n false in
+  let sym_islands =
+    List.map
+      (fun g ->
+        List.iter (fun d -> in_sym.(d) <- true) (CS.sym_devices g);
+        of_sym_group c g)
+      cs.CS.sym_groups
+  in
+  (* union-find over align pairs of non-symmetry devices *)
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  List.iter
+    (fun (p : CS.align_pair) ->
+      if (not in_sym.(p.CS.a)) && not in_sym.(p.CS.b) then union p.CS.a p.CS.b)
+    cs.CS.aligns;
+  let clusters = Hashtbl.create 8 in
+  for d = 0 to n - 1 do
+    if not in_sym.(d) then begin
+      let r = find d in
+      let existing =
+        Option.value (Hashtbl.find_opt clusters r) ~default:[]
+      in
+      Hashtbl.replace clusters r (d :: existing)
+    end
+  done;
+  let free_islands =
+    Hashtbl.fold
+      (fun _ devs acc ->
+        match devs with
+        | [ d ] -> of_free_device c d :: acc
+        | ds -> of_align_row c (List.sort compare ds) :: acc)
+      clusters []
+  in
+  sym_islands @ free_islands

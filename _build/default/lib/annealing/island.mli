@@ -1,0 +1,30 @@
+(** Symmetry islands: rigid macros whose internal placement satisfies
+    the analog constraints by construction, so the annealer's sequence
+    pair only floorplans macros. *)
+
+type placed_dev = {
+  dev : int;
+  dx : float;  (** centre offset from the island's lower-left corner *)
+  dy : float;
+  orient : Geometry.Orient.t;
+}
+
+type t = {
+  devices : placed_dev list;
+  w : float;
+  h : float;
+  axis_dx : float option;
+      (** internal x offset of the symmetry axis, for vertical groups *)
+}
+
+val of_sym_group : Netlist.Circuit.t -> Netlist.Constraint_set.sym_group -> t
+val of_align_row : Netlist.Circuit.t -> int list -> t
+val of_free_device : Netlist.Circuit.t -> int -> t
+
+val mirror_x : t -> t
+(** Mirror about the island's vertical centreline (legal SA move). *)
+
+val decompose : Netlist.Circuit.t -> t list
+(** One island per symmetry group, per alignment cluster of remaining
+    devices, and per remaining free device. Every device appears in
+    exactly one island. *)

@@ -1,0 +1,30 @@
+(** Simulated-annealing analog placer (symmetry islands + sequence
+    pair): the classical baseline of the paper's comparison, in both
+    its conventional and performance-driven [19] forms. *)
+
+type params = {
+  seed : int;
+  area_weight : float;
+  wl_weight : float;
+  moves : int;  (** total proposed moves (runtime knob) *)
+  cooling : float;
+  accept0 : float;  (** target initial acceptance probability *)
+  order_penalty : float;
+  perf : (Netlist.Layout.t -> float) option;
+      (** GNN surrogate Phi for the performance-driven variant *)
+  perf_alpha : float;
+}
+
+val default_params : params
+
+type stats = {
+  evals : int;
+  accepted : int;
+  runtime_s : float;
+  best_cost : float;
+}
+
+val place : ?params:params -> Netlist.Circuit.t -> Netlist.Layout.t * stats
+(** Returns the best layout found (normalised to the origin). Symmetry
+    and alignment hold by construction; ordering chains are enforced by
+    penalty. *)

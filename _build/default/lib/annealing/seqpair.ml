@@ -1,0 +1,105 @@
+(* Sequence-pair floorplan representation (Murata et al.). Blocks are
+   placed by longest-path evaluation of the horizontal and vertical
+   constraint graphs implied by the pair of permutations. Problem sizes
+   here are tens of blocks, so the O(n^2) evaluation is immaterial. *)
+
+type t = {
+  pos : int array;  (* gamma_plus: block id at each position *)
+  neg : int array;  (* gamma_minus *)
+}
+
+let identity n = { pos = Array.init n Fun.id; neg = Array.init n Fun.id }
+
+let random rng n =
+  let p = Array.init n Fun.id and q = Array.init n Fun.id in
+  Numerics.Rng.shuffle rng p;
+  Numerics.Rng.shuffle rng q;
+  { pos = p; neg = q }
+
+let copy t = { pos = Array.copy t.pos; neg = Array.copy t.neg }
+
+let n_blocks t = Array.length t.pos
+
+(* index of each block within a permutation *)
+let inverse perm =
+  let inv = Array.make (Array.length perm) 0 in
+  Array.iteri (fun i b -> inv.(b) <- i) perm;
+  inv
+
+(* Evaluate to lower-left coordinates given block sizes. a precedes b
+   horizontally iff a is before b in both sequences; vertically iff a
+   is after b in pos and before b in neg. *)
+let pack t ~widths ~heights =
+  let n = n_blocks t in
+  if Array.length widths <> n || Array.length heights <> n then
+    invalid_arg "Seqpair.pack: size mismatch";
+  let ip = inverse t.pos and iq = inverse t.neg in
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  (* longest-path via processing in gamma_minus order for x
+     (predecessors are earlier in both sequences) *)
+  let order_by_neg = Array.copy t.neg in
+  Array.iter
+    (fun b ->
+      let xb = ref 0.0 in
+      for a = 0 to n - 1 do
+        if a <> b && ip.(a) < ip.(b) && iq.(a) < iq.(b) then
+          if xs.(a) +. widths.(a) > !xb then xb := xs.(a) +. widths.(a)
+      done;
+      xs.(b) <- !xb)
+    order_by_neg;
+  Array.iter
+    (fun b ->
+      let yb = ref 0.0 in
+      for a = 0 to n - 1 do
+        if a <> b && ip.(a) > ip.(b) && iq.(a) < iq.(b) then
+          if ys.(a) +. heights.(a) > !yb then yb := ys.(a) +. heights.(a)
+      done;
+      ys.(b) <- !yb)
+    order_by_neg;
+  (xs, ys)
+
+(* SA moves *)
+
+let swap_in perm rng =
+  let n = Array.length perm in
+  if n >= 2 then begin
+    let i = Numerics.Rng.int rng n in
+    let j = Numerics.Rng.int rng n in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  end
+
+let move_swap_pos t rng = swap_in t.pos rng
+let move_swap_neg t rng = swap_in t.neg rng
+
+let move_swap_both t rng =
+  let n = n_blocks t in
+  if n >= 2 then begin
+    let a = Numerics.Rng.int rng n and b = Numerics.Rng.int rng n in
+    let swap_block perm =
+      let ia = ref 0 and ib = ref 0 in
+      Array.iteri (fun i v -> if v = a then ia := i else if v = b then ib := i) perm;
+      perm.(!ia) <- b;
+      perm.(!ib) <- a
+    in
+    if a <> b then begin
+      swap_block t.pos;
+      swap_block t.neg
+    end
+  end
+
+(* Relocate a block to a random position in gamma_plus (rotation-free
+   insertion move). *)
+let move_insert t rng =
+  let n = n_blocks t in
+  if n >= 2 then begin
+    let i = Numerics.Rng.int rng n in
+    let j = Numerics.Rng.int rng n in
+    if i <> j then begin
+      let b = t.pos.(i) in
+      if i < j then Array.blit t.pos (i + 1) t.pos i (j - i)
+      else Array.blit t.pos j t.pos (j + 1) (i - j);
+      t.pos.(j) <- b
+    end
+  end

@@ -1,0 +1,19 @@
+(** Sequence-pair floorplan representation with longest-path packing
+    and the perturbation moves used by the annealer. *)
+
+type t = { pos : int array; neg : int array }
+
+val identity : int -> t
+val random : Numerics.Rng.t -> int -> t
+val copy : t -> t
+val n_blocks : t -> int
+
+val pack : t -> widths:float array -> heights:float array ->
+  float array * float array
+(** Lower-left block coordinates of the packed floorplan.
+    @raise Invalid_argument on size mismatch. *)
+
+val move_swap_pos : t -> Numerics.Rng.t -> unit
+val move_swap_neg : t -> Numerics.Rng.t -> unit
+val move_swap_both : t -> Numerics.Rng.t -> unit
+val move_insert : t -> Numerics.Rng.t -> unit

@@ -1,0 +1,1 @@
+lib/circuits/blocks.ml: Builder Fmt List Netlist

@@ -1,0 +1,1 @@
+lib/circuits/blocks.mli: Builder Netlist

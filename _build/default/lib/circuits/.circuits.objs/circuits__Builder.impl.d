@@ -1,0 +1,1 @@
+lib/circuits/builder.ml: Array Fmt Hashtbl List Netlist

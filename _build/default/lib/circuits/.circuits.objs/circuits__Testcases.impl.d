@@ -1,0 +1,1 @@
+lib/circuits/testcases.ml: Blocks Builder Fmt List Netlist

@@ -1,0 +1,1 @@
+lib/circuits/testcases.mli: Netlist

@@ -1,0 +1,122 @@
+(* Reusable analog sub-circuits for the testcase generators. Every
+   block wires devices through the builder and registers the matching
+   constraints (symmetry for differential structures, alignment for
+   mirror rows). Sizes are in micrometres, loosely calibrated so the
+   testcases land in the area range the paper reports per circuit. *)
+
+module D = Netlist.Device
+module CS = Netlist.Constraint_set
+
+(* A differential pair with symmetric constraint; returns (m_p, m_n). *)
+let diff_pair ?(w = 1.4) ?(h = 1.0) b ~prefix ~inp ~inn ~outp ~outn ~tail =
+  let mp = Builder.device b ~name:(prefix ^ "_p") ~kind:D.Nmos ~w ~h in
+  let mn = Builder.device b ~name:(prefix ^ "_n") ~kind:D.Nmos ~w ~h in
+  Builder.connect b ~net:inp [ (mp, "g") ];
+  Builder.connect b ~net:inn [ (mn, "g") ];
+  Builder.connect b ~net:outp [ (mp, "d") ];
+  Builder.connect b ~net:outn [ (mn, "d") ];
+  Builder.connect b ~net:tail [ (mp, "s"); (mn, "s") ];
+  Builder.sym_group b [ (mp, mn) ];
+  Builder.align b mp mn;
+  (mp, mn)
+
+(* PMOS load pair (mirror or cross-coupled), symmetric. *)
+let load_pair ?(w = 1.6) ?(h = 1.0) ?(cross = false) b ~prefix ~outp ~outn
+    ~bias =
+  let lp = Builder.device b ~name:(prefix ^ "_lp") ~kind:D.Pmos ~w ~h in
+  let ln = Builder.device b ~name:(prefix ^ "_ln") ~kind:D.Pmos ~w ~h in
+  if cross then begin
+    (* cross-coupled: gate of each tied to the other's drain *)
+    Builder.connect b ~net:outp [ (lp, "d"); (ln, "g") ];
+    Builder.connect b ~net:outn [ (ln, "d"); (lp, "g") ]
+  end
+  else begin
+    Builder.connect b ~net:outp [ (lp, "d") ];
+    Builder.connect b ~net:outn [ (ln, "d") ];
+    Builder.connect b ~net:bias [ (lp, "g"); (ln, "g") ]
+  end;
+  Builder.sym_group b [ (lp, ln) ];
+  Builder.align b lp ln;
+  (lp, ln)
+
+(* Tail / bias transistor, self-symmetric in the same group as the pair
+   it feeds when [group_with] is given. *)
+let tail ?(w = 2.0) ?(h = 1.0) b ~prefix ~drain ~bias =
+  let m = Builder.device b ~name:(prefix ^ "_tail") ~kind:D.Nmos ~w ~h in
+  Builder.connect b ~net:drain [ (m, "d") ];
+  Builder.connect b ~net:bias [ (m, "g") ];
+  m
+
+(* A 1:n current mirror row: diode device plus n outputs, all aligned;
+   consecutive outputs are ordered left-to-right for a monotone bias
+   distribution. Returns (diode, outputs). *)
+let mirror_row ?(w = 1.2) ?(h = 0.9) ?(kind = D.Nmos) b ~prefix ~bias_in
+    ~outs =
+  let diode = Builder.device b ~name:(prefix ^ "_dio") ~kind ~w ~h in
+  Builder.connect b ~net:bias_in [ (diode, "g"); (diode, "d") ];
+  let outputs =
+    List.mapi
+      (fun i out_net ->
+        let m =
+          Builder.device b
+            ~name:(Fmt.str "%s_o%d" prefix i)
+            ~kind ~w ~h
+        in
+        Builder.connect b ~net:bias_in [ (m, "g") ];
+        Builder.connect b ~net:out_net [ (m, "d") ];
+        Builder.align b diode m;
+        m)
+      outs
+  in
+  (* The order chain must be consistent with the symmetry group: with
+     the diode self-symmetric it sits between the mirrored outputs. *)
+  (match outputs with
+  | [ o ] ->
+      Builder.sym_group b [ (diode, o) ];
+      Builder.order b [ diode; o ]
+  | o1 :: o2 :: rest ->
+      Builder.sym_group b ~selfs:[ diode ] [ (o1, o2) ];
+      Builder.order b (o1 :: diode :: o2 :: rest)
+  | [] -> ());
+  (diode, outputs)
+
+(* Matched capacitor pair (common-centroid style symmetric pair). *)
+let cap_pair ?(w = 2.2) ?(h = 2.2) b ~prefix ~p1 ~p2 ~common =
+  let c1 = Builder.device b ~name:(prefix ^ "_c1") ~kind:D.Cap ~w ~h in
+  let c2 = Builder.device b ~name:(prefix ^ "_c2") ~kind:D.Cap ~w ~h in
+  Builder.connect b ~net:p1 [ (c1, "a") ];
+  Builder.connect b ~net:p2 [ (c2, "a") ];
+  Builder.connect b ~net:common [ (c1, "b"); (c2, "b") ];
+  Builder.sym_group b [ (c1, c2) ];
+  (c1, c2)
+
+(* A single capacitor. *)
+let cap ?(w = 2.0) ?(h = 2.0) b ~name ~a ~bnet =
+  let c = Builder.device b ~name ~kind:D.Cap ~w ~h in
+  Builder.connect b ~net:a [ (c, "a") ];
+  Builder.connect b ~net:bnet [ (c, "b") ];
+  c
+
+(* A resistor. *)
+let res ?(w = 0.8) ?(h = 1.8) b ~name ~a ~bnet =
+  let r = Builder.device b ~name ~kind:D.Res ~w ~h in
+  Builder.connect b ~net:a [ (r, "a") ];
+  Builder.connect b ~net:bnet [ (r, "b") ];
+  r
+
+(* CMOS inverter; returns (pmos, nmos). *)
+let inverter ?(wp = 1.2) ?(wn = 1.0) ?(h = 0.9) b ~prefix ~input ~output =
+  let p = Builder.device b ~name:(prefix ^ "_p") ~kind:D.Pmos ~w:wp ~h in
+  let n = Builder.device b ~name:(prefix ^ "_n") ~kind:D.Nmos ~w:wn ~h in
+  Builder.connect b ~net:input [ (p, "g"); (n, "g") ];
+  Builder.connect b ~net:output [ (p, "d"); (n, "d") ];
+  Builder.align b p n;
+  (p, n)
+
+(* Transmission-gate style analog switch. *)
+let switch ?(w = 1.0) ?(h = 0.8) b ~prefix ~a ~bnet ~clk =
+  let m = Builder.device b ~name:(prefix ^ "_sw") ~kind:D.Nmos ~w ~h in
+  Builder.connect b ~net:a [ (m, "d") ];
+  Builder.connect b ~net:bnet [ (m, "s") ];
+  Builder.connect b ~net:clk [ (m, "g") ];
+  m

@@ -1,0 +1,48 @@
+(** Reusable analog sub-circuits for the testcase generators and the
+    examples. Every block wires its devices through the {!Builder} and
+    registers the matching constraints (symmetry for differential
+    structures, alignment for mirror rows, consistent ordering). *)
+
+val diff_pair :
+  ?w:float -> ?h:float -> Builder.t -> prefix:string -> inp:string ->
+  inn:string -> outp:string -> outn:string -> tail:string -> int * int
+(** NMOS differential pair; returns [(m_p, m_n)], registered as a
+    symmetric, bottom-aligned pair. *)
+
+val load_pair :
+  ?w:float -> ?h:float -> ?cross:bool -> Builder.t -> prefix:string ->
+  outp:string -> outn:string -> bias:string -> int * int
+(** PMOS load pair; [cross] makes it cross-coupled (gates swapped onto
+    the opposite drains) instead of a biased mirror pair. *)
+
+val tail :
+  ?w:float -> ?h:float -> Builder.t -> prefix:string -> drain:string ->
+  bias:string -> int
+(** Tail/bias current source transistor. *)
+
+val mirror_row :
+  ?w:float -> ?h:float -> ?kind:Netlist.Device.kind -> Builder.t ->
+  prefix:string -> bias_in:string -> outs:string list -> int * int list
+(** 1:n current mirror: the diode plus one output per net in [outs],
+    aligned in a row with a symmetry-consistent ordering chain.
+    Returns [(diode, outputs)]. *)
+
+val cap_pair :
+  ?w:float -> ?h:float -> Builder.t -> prefix:string -> p1:string ->
+  p2:string -> common:string -> int * int
+(** Matched capacitor pair (symmetric). *)
+
+val cap : ?w:float -> ?h:float -> Builder.t -> name:string -> a:string ->
+  bnet:string -> int
+
+val res : ?w:float -> ?h:float -> Builder.t -> name:string -> a:string ->
+  bnet:string -> int
+
+val inverter :
+  ?wp:float -> ?wn:float -> ?h:float -> Builder.t -> prefix:string ->
+  input:string -> output:string -> int * int
+(** CMOS inverter; returns [(pmos, nmos)], bottom-aligned. *)
+
+val switch :
+  ?w:float -> ?h:float -> Builder.t -> prefix:string -> a:string ->
+  bnet:string -> clk:string -> int

@@ -1,0 +1,124 @@
+(* Imperative circuit builder: devices are added one by one, nets are
+   accumulated by name, constraints refer to device ids returned by
+   [device]. [build] assembles and validates the final circuit. *)
+
+module D = Netlist.Device
+module N = Netlist.Net
+module CS = Netlist.Constraint_set
+
+type t = {
+  name : string;
+  perf_class : string;
+  mutable devices : D.t list;  (* reversed *)
+  mutable n_devices : int;
+  nets : (string, (int * int) list ref) Hashtbl.t;  (* name -> terminals, reversed *)
+  mutable net_order : string list;  (* reversed insertion order *)
+  mutable net_attrs : (string * (float * bool)) list;  (* name -> weight, critical *)
+  mutable sym_groups : CS.sym_group list;
+  mutable aligns : CS.align_pair list;
+  mutable orders : CS.order_chain list;
+  mutable meta : (string * float) list;
+}
+
+let create ~name ~perf_class =
+  {
+    name;
+    perf_class;
+    devices = [];
+    n_devices = 0;
+    nets = Hashtbl.create 32;
+    net_order = [];
+    net_attrs = [];
+    sym_groups = [];
+    aligns = [];
+    orders = [];
+    meta = [];
+  }
+
+(* Default pin sets by kind; offsets are fractions of (w, h). *)
+let default_pins kind ~w ~h =
+  let p name fx fy = { D.pin_name = name; ox = fx *. w; oy = fy *. h } in
+  match kind with
+  | D.Nmos | D.Pmos ->
+      [| p "g" 0.15 0.5; p "d" 0.85 0.85; p "s" 0.85 0.15 |]
+  | D.Cap | D.Res | D.Ind -> [| p "a" 0.5 0.9; p "b" 0.5 0.1 |]
+  | D.Io | D.Other _ -> [| p "p" 0.5 0.5 |]
+
+let device ?pins b ~name ~kind ~w ~h =
+  let id = b.n_devices in
+  let pins =
+    match pins with
+    | Some ps ->
+        Array.of_list
+          (List.map
+             (fun (pin_name, fx, fy) ->
+               { D.pin_name; ox = fx *. w; oy = fy *. h })
+             ps)
+    | None -> default_pins kind ~w ~h
+  in
+  b.devices <- D.make ~id ~name ~kind ~w ~h ~pins :: b.devices;
+  b.n_devices <- id + 1;
+  id
+
+let pin_index b dev pin_name =
+  let d = List.nth b.devices (b.n_devices - 1 - dev) in
+  let rec find i =
+    if i >= Array.length d.D.pins then
+      invalid_arg
+        (Fmt.str "Builder %s: device %s has no pin %s" b.name d.D.name pin_name)
+    else if d.D.pins.(i).D.pin_name = pin_name then i
+    else find (i + 1)
+  in
+  find 0
+
+let connect ?(weight = 1.0) ?(critical = false) b ~net terms =
+  let lst =
+    match Hashtbl.find_opt b.nets net with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add b.nets net l;
+        b.net_order <- net :: b.net_order;
+        l
+  in
+  List.iter
+    (fun (dev, pin_name) -> lst := (dev, pin_index b dev pin_name) :: !lst)
+    terms;
+  if weight <> 1.0 || critical then
+    if not (List.mem_assoc net b.net_attrs) then
+      b.net_attrs <- (net, (weight, critical)) :: b.net_attrs
+
+let sym_group ?(axis = CS.Vertical) ?(selfs = []) b pairs =
+  b.sym_groups <- CS.sym_group ~selfs ~axis pairs :: b.sym_groups
+
+let align ?(kind = CS.Bottom) b a b' =
+  b.aligns <- { CS.align_kind = kind; a; b = b' } :: b.aligns
+
+let order ?(dir = CS.Left_to_right) b chain =
+  b.orders <- { CS.order_dir = dir; chain } :: b.orders
+
+let set_meta b kvs = b.meta <- kvs @ b.meta
+
+let build b =
+  let devices = Array.of_list (List.rev b.devices) in
+  let net_names = List.rev b.net_order in
+  let nets =
+    List.mapi
+      (fun id name ->
+        let terms = List.rev !(Hashtbl.find b.nets name) in
+        let weight, critical =
+          match List.assoc_opt name b.net_attrs with
+          | Some wc -> wc
+          | None -> (1.0, false)
+        in
+        N.make ~id ~name ~weight ~critical
+          (Array.of_list
+             (List.map (fun (dev, pin) -> { N.dev; pin }) terms)))
+      net_names
+  in
+  let constraints =
+    CS.make ~sym_groups:(List.rev b.sym_groups) ~aligns:(List.rev b.aligns)
+      ~orders:(List.rev b.orders) ()
+  in
+  Netlist.Circuit.make ~constraints ~perf_class:b.perf_class ~meta:b.meta
+    ~name:b.name ~devices ~nets:(Array.of_list nets) ()

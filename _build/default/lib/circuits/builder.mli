@@ -1,0 +1,31 @@
+(** Imperative circuit builder used by the testcase generators and the
+    examples: add devices, wire named nets, attach constraints, then
+    [build] a validated {!Netlist.Circuit.t}. *)
+
+type t
+
+val create : name:string -> perf_class:string -> t
+
+val device :
+  ?pins:(string * float * float) list ->
+  t -> name:string -> kind:Netlist.Device.kind -> w:float -> h:float -> int
+(** Add a device, returning its id. [pins] are (name, fx, fy) with
+    offsets given as fractions of the device size; omitted pins default
+    to a kind-specific set (g/d/s for MOS, a/b for passives). *)
+
+val connect :
+  ?weight:float -> ?critical:bool ->
+  t -> net:string -> (int * string) list -> unit
+(** Append (device id, pin name) terminals to the named net, creating
+    it on first use. Weight/critical stick at first setting. *)
+
+val sym_group :
+  ?axis:Netlist.Constraint_set.axis -> ?selfs:int list ->
+  t -> (int * int) list -> unit
+
+val align : ?kind:Netlist.Constraint_set.align_kind -> t -> int -> int -> unit
+val order : ?dir:Netlist.Constraint_set.order_dir -> t -> int list -> unit
+val set_meta : t -> (string * float) list -> unit
+
+val build : t -> Netlist.Circuit.t
+(** @raise Invalid_argument if the assembled circuit fails validation. *)

@@ -1,0 +1,29 @@
+(** The ten benchmark circuits of the paper's evaluation, as synthetic
+    structural equivalents of the proprietary GF12nm testcases (see
+    DESIGN.md's substitution table): three OTAs, two comparators, two
+    VCOs, an analog adder, a VGA and a switched-capacitor filter. Each
+    generator is deterministic. *)
+
+val adder : unit -> Netlist.Circuit.t
+val cc_ota : unit -> Netlist.Circuit.t
+val comp1 : unit -> Netlist.Circuit.t
+val comp2 : unit -> Netlist.Circuit.t
+val cm_ota1 : unit -> Netlist.Circuit.t
+val cm_ota2 : unit -> Netlist.Circuit.t
+val scf : unit -> Netlist.Circuit.t
+val vga : unit -> Netlist.Circuit.t
+val vco1 : unit -> Netlist.Circuit.t
+val vco2 : unit -> Netlist.Circuit.t
+
+val all_names : string list
+(** The paper's naming: Adder, CC-OTA, Comp1, Comp2, CM-OTA1, CM-OTA2,
+    SCF, VGA, VCO1, VCO2. *)
+
+val get : string -> Netlist.Circuit.t
+(** @raise Invalid_argument for unknown names. *)
+
+val all : unit -> Netlist.Circuit.t list
+
+val scaling_vco : stages:int -> Netlist.Circuit.t
+(** Parametric differential ring VCO (about 5 devices per stage) for
+    the scaling study; not part of the paper's testcase set. *)

@@ -1,0 +1,1 @@
+lib/core/dp_ilp.ml: Array Fmt Geometry List Netlist Numerics Place_common Sys Unix

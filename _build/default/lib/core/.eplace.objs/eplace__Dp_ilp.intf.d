@@ -1,0 +1,1 @@
+lib/core/dp_ilp.mli: Netlist

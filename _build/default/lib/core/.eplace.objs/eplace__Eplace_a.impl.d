@@ -1,0 +1,1 @@
+lib/core/eplace_a.ml: Dp_ilp Global_place Gp_params Netlist Unix

@@ -1,0 +1,1 @@
+lib/core/eplace_a.mli: Dp_ilp Global_place Gp_params Netlist

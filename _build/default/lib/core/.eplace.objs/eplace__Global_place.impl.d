@@ -1,0 +1,1 @@
+lib/core/global_place.ml: Array Density Float Geometry Gp_params Netlist Numerics Place_common Unix Wirelength

@@ -1,0 +1,1 @@
+lib/core/global_place.mli: Gp_params Netlist

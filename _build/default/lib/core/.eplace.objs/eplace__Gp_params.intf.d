@@ -1,0 +1,1 @@
+lib/core/gp_params.mli:

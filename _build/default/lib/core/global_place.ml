@@ -1,0 +1,225 @@
+(* ePlace-A global placement (paper Sec. IV-A): Nesterov descent on
+
+     W(v) + lambda N(v) + tau Sym(v) + eta Area(v)   (Eq. 3)
+
+   with WA-smoothed wirelength, electrostatic density, soft geometric
+   penalties and the smoothed area term. lambda is initialised from the
+   force-balance ratio and grown geometrically; the WA gamma is
+   annealed with the density overflow; iteration stops once the
+   overflow drops below the threshold.
+
+   The performance-driven variant (ePlace-AP, Eq. 5) plugs an extra
+   gradient source in through [perf_grad]. *)
+
+type perf_term = {
+  phi_grad :
+    xs:float array -> ys:float array -> gx:float array -> gy:float array ->
+    float;
+      (* evaluates alpha * Phi and accumulates alpha * dPhi/dv *)
+}
+
+type result = {
+  layout : Netlist.Layout.t;
+  iterations : int;
+  final_overflow : float;
+  runtime_s : float;
+  hpwl_trace : float list;  (* sampled every 10 iterations, reversed *)
+}
+
+type term_state = {
+  nv : Wirelength.Netview.t;
+  es : Density.Electrostatic.t;
+  cp : Place_common.Constraint_penalty.t;
+  at : Place_common.Area_term.t;
+  wpe : Place_common.Wpe_term.t;
+  widths : float array;
+  heights : float array;
+  total_area : float;
+  region : Geometry.Rect.t;
+}
+
+let make_terms (p : Gp_params.t) c =
+  let total_area = Netlist.Circuit.total_device_area c in
+  let side = sqrt (total_area /. p.Gp_params.utilization) in
+  let region = Geometry.Rect.make ~x0:0.0 ~y0:0.0 ~x1:side ~y1:side in
+  let n = Netlist.Circuit.n_devices c in
+  {
+    nv = Wirelength.Netview.of_circuit c;
+    es = Density.Electrostatic.create ~region ~nx:p.Gp_params.bins
+        ~ny:p.Gp_params.bins;
+    cp = Place_common.Constraint_penalty.create c;
+    at = Place_common.Area_term.create c;
+    wpe = Place_common.Wpe_term.create c;
+    widths =
+      Array.init n (fun i -> (Netlist.Circuit.device c i).Netlist.Device.w);
+    heights =
+      Array.init n (fun i -> (Netlist.Circuit.device c i).Netlist.Device.h);
+    total_area;
+    region;
+  }
+
+let rects_of ts ~xs ~ys =
+  Array.init (Array.length xs) (fun i ->
+      Geometry.Rect.of_center ~cx:xs.(i) ~cy:ys.(i) ~w:ts.widths.(i)
+        ~h:ts.heights.(i))
+
+let clamp_into ts ~xs ~ys =
+  let r = ts.region in
+  for i = 0 to Array.length xs - 1 do
+    let hw = 0.5 *. ts.widths.(i) and hh = 0.5 *. ts.heights.(i) in
+    if xs.(i) < r.Geometry.Rect.x0 +. hw then xs.(i) <- r.Geometry.Rect.x0 +. hw;
+    if xs.(i) > r.Geometry.Rect.x1 -. hw then xs.(i) <- r.Geometry.Rect.x1 -. hw;
+    if ys.(i) < r.Geometry.Rect.y0 +. hh then ys.(i) <- r.Geometry.Rect.y0 +. hh;
+    if ys.(i) > r.Geometry.Rect.y1 -. hh then ys.(i) <- r.Geometry.Rect.y1 -. hh
+  done
+
+let run ?(params = Gp_params.default) ?perf (c : Netlist.Circuit.t) =
+  let t_start = Unix.gettimeofday () in
+  let p = params in
+  let n = Netlist.Circuit.n_devices c in
+  let ts = make_terms p c in
+  let rng = Numerics.Rng.create p.Gp_params.seed in
+  (* initial placement: clustered at the region centre with jitter *)
+  let cx = 0.5 *. Geometry.Rect.width ts.region in
+  let spread = 0.08 *. Geometry.Rect.width ts.region in
+  let v0 = Array.make (2 * n) 0.0 in
+  for i = 0 to n - 1 do
+    v0.(i) <- cx +. (spread *. Numerics.Rng.gaussian rng);
+    v0.(n + i) <- cx +. (spread *. Numerics.Rng.gaussian rng)
+  done;
+  let bin = Geometry.Rect.width ts.region /. float_of_int p.Gp_params.bins in
+  let lambda = ref 0.0 in
+  let gamma = ref (10.0 *. bin *. p.Gp_params.gamma_factor) in
+  let overflow = ref 1.0 in
+  let tau_eff =
+    match p.Gp_params.sym_mode with
+    | Gp_params.Soft -> p.Gp_params.tau
+    | Gp_params.Hard -> p.Gp_params.tau *. 200.0
+  in
+  (* scratch buffers reused across evaluations *)
+  let gxw = Array.make n 0.0 and gyw = Array.make n 0.0 in
+  let gxd = Array.make n 0.0 and gyd = Array.make n 0.0 in
+  let split v = (Array.sub v 0 n, Array.sub v n n) in
+  (* gradient of everything except density, into (gx, gy) *)
+  let base_grad ~xs ~ys ~gx ~gy =
+    Array.fill gx 0 n 0.0;
+    Array.fill gy 0 n 0.0;
+    (match p.Gp_params.smoothing with
+    | Gp_params.Wa ->
+        ignore (Wirelength.Wa.value_grad ts.nv ~gamma:!gamma ~xs ~ys ~gx ~gy)
+    | Gp_params.Lse ->
+        ignore (Wirelength.Lse.value_grad ts.nv ~gamma:!gamma ~xs ~ys ~gx ~gy));
+    if tau_eff > 0.0 then begin
+      Array.fill gxw 0 n 0.0;
+      Array.fill gyw 0 n 0.0;
+      ignore
+        (Place_common.Constraint_penalty.value_grad ts.cp ~xs ~ys ~gx:gxw
+           ~gy:gyw);
+      for i = 0 to n - 1 do
+        gx.(i) <- gx.(i) +. (tau_eff *. gxw.(i));
+        gy.(i) <- gy.(i) +. (tau_eff *. gyw.(i))
+      done
+    end;
+    if p.Gp_params.eta > 0.0 then begin
+      Array.fill gxw 0 n 0.0;
+      Array.fill gyw 0 n 0.0;
+      ignore
+        (Place_common.Area_term.value_grad ts.at ~gamma:!gamma ~xs ~ys ~gx:gxw
+           ~gy:gyw);
+      for i = 0 to n - 1 do
+        gx.(i) <- gx.(i) +. (p.Gp_params.eta *. gxw.(i));
+        gy.(i) <- gy.(i) +. (p.Gp_params.eta *. gyw.(i))
+      done
+    end;
+    if p.Gp_params.rho_wpe > 0.0 then begin
+      Array.fill gxw 0 n 0.0;
+      Array.fill gyw 0 n 0.0;
+      ignore (Place_common.Wpe_term.value_grad ts.wpe ~xs ~ys ~gx:gxw ~gy:gyw);
+      for i = 0 to n - 1 do
+        gx.(i) <- gx.(i) +. (p.Gp_params.rho_wpe *. gxw.(i));
+        gy.(i) <- gy.(i) +. (p.Gp_params.rho_wpe *. gyw.(i))
+      done
+    end;
+    match perf with
+    | None -> ()
+    | Some pt ->
+        ignore (pt.phi_grad ~xs ~ys ~gx ~gy)
+  in
+  let density_grad ~xs ~ys ~gx ~gy =
+    let rects = rects_of ts ~xs ~ys in
+    Density.Electrostatic.compute ts.es rects;
+    overflow :=
+      Density.Electrostatic.overflow ts.es ~target:p.Gp_params.target_density
+        ~total_area:ts.total_area;
+    for i = 0 to n - 1 do
+      let dgx, dgy = Density.Electrostatic.grad ts.es rects.(i) in
+      gx.(i) <- dgx;
+      gy.(i) <- dgy
+    done
+  in
+  (* lambda0 from force balance at the initial point *)
+  let () =
+    let xs, ys = split v0 in
+    clamp_into ts ~xs ~ys;
+    let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+    base_grad ~xs ~ys ~gx ~gy;
+    density_grad ~xs ~ys ~gx:gxd ~gy:gyd;
+    let l1 g = Array.fold_left (fun a v -> a +. abs_float v) 0.0 g in
+    let base_norm = l1 gx +. l1 gy and den_norm = l1 gxd +. l1 gyd in
+    lambda :=
+      if den_norm > 1e-12 then
+        p.Gp_params.lambda0_ratio *. base_norm /. den_norm
+      else 1.0
+  in
+  let grad v g =
+    let xs = Array.sub v 0 n and ys = Array.sub v n n in
+    clamp_into ts ~xs ~ys;
+    let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+    base_grad ~xs ~ys ~gx ~gy;
+    density_grad ~xs ~ys ~gx:gxd ~gy:gyd;
+    for i = 0 to n - 1 do
+      g.(i) <- gx.(i) +. (!lambda *. gxd.(i));
+      g.(n + i) <- gy.(i) +. (!lambda *. gyd.(i))
+    done
+  in
+  let opt = Numerics.Nesterov.create ~x0:v0 ~grad () in
+  let iters = ref 0 in
+  let hpwl_trace = ref [] in
+  let continue_ = ref true in
+  while !continue_ && !iters < p.Gp_params.max_iters do
+    Numerics.Nesterov.step opt;
+    incr iters;
+    (* clamp the optimizer state into the region *)
+    let v = Numerics.Nesterov.x opt in
+    let xs = Array.sub v 0 n and ys = Array.sub v n n in
+    clamp_into ts ~xs ~ys;
+    Array.blit xs 0 v 0 n;
+    Array.blit ys 0 v n n;
+    lambda := !lambda *. p.Gp_params.lambda_growth;
+    (* anneal gamma with overflow: tight approximation near convergence *)
+    gamma :=
+      bin *. p.Gp_params.gamma_factor *. (0.5 +. (9.5 *. Float.min 1.0 !overflow));
+    if !iters mod 10 = 0 then
+      hpwl_trace :=
+        Wirelength.Netview.hpwl ts.nv ~xs ~ys :: !hpwl_trace;
+    if !iters >= p.Gp_params.min_iters && !overflow < p.Gp_params.overflow_stop
+    then continue_ := false
+  done;
+  let v = Numerics.Nesterov.x opt in
+  let xs = Array.sub v 0 n and ys = Array.sub v n n in
+  clamp_into ts ~xs ~ys;
+  (* hard mode: exact projection at the end of GP *)
+  (match p.Gp_params.sym_mode with
+  | Gp_params.Hard -> Place_common.Constraint_penalty.project_hard ts.cp ~xs ~ys
+  | Gp_params.Soft -> ());
+  let layout = Netlist.Layout.create c in
+  for i = 0 to n - 1 do
+    Netlist.Layout.set layout i ~x:xs.(i) ~y:ys.(i)
+  done;
+  {
+    layout;
+    iterations = !iters;
+    final_overflow = !overflow;
+    runtime_s = Unix.gettimeofday () -. t_start;
+    hpwl_trace = !hpwl_trace;
+  }

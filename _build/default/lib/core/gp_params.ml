@@ -1,0 +1,42 @@
+(* Global-placement parameters for ePlace-A (paper Eq. 3). *)
+
+type sym_mode = Soft | Hard
+
+type smoothing = Wa | Lse
+
+type t = {
+  seed : int;
+  bins : int;  (* density grid is bins x bins *)
+  utilization : float;  (* region sizing: W = H = sqrt(area/util) *)
+  target_density : float;
+  gamma_factor : float;  (* WA gamma as a multiple of the bin size *)
+  tau : float;  (* symmetry-penalty weight *)
+  eta : float;  (* area-term weight *)
+  lambda0_ratio : float;  (* initial density weight vs other forces *)
+  lambda_growth : float;  (* per-iteration density-weight multiplier *)
+  overflow_stop : float;
+  min_iters : int;
+  max_iters : int;
+  sym_mode : sym_mode;
+  smoothing : smoothing;  (* ePlace-A uses WA; [11] uses LSE *)
+  rho_wpe : float;  (* optional well-proximity term weight ([9]-style) *)
+}
+
+let default =
+  {
+    seed = 1;
+    bins = 32;
+    utilization = 0.6;
+    target_density = 1.0;
+    gamma_factor = 1.0;
+    tau = 2.0;
+    eta = 0.15;
+    lambda0_ratio = 0.03;
+    lambda_growth = 1.05;
+    overflow_stop = 0.03;
+    min_iters = 40;
+    max_iters = 900;
+    sym_mode = Soft;
+    smoothing = Wa;
+    rho_wpe = 0.0;
+  }

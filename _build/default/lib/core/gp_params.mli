@@ -1,0 +1,30 @@
+(** Global-placement parameters for ePlace-A (paper Eq. 3). *)
+
+type sym_mode =
+  | Soft  (** symmetry as a weighted penalty (the paper's choice) *)
+  | Hard  (** near-hard: 200x penalty + exact projection (Table I) *)
+
+type smoothing =
+  | Wa  (** Weighted-Average smoothing — ePlace-A's choice *)
+  | Lse  (** Log-Sum-Exp — the prior work's choice; for ablations *)
+
+type t = {
+  seed : int;
+  bins : int;  (** density grid is [bins] x [bins] *)
+  utilization : float;  (** region side = sqrt(total area / utilization) *)
+  target_density : float;  (** occupancy above this counts as overflow *)
+  gamma_factor : float;  (** WA/LSE gamma as a multiple of the bin size *)
+  tau : float;  (** symmetry/alignment/ordering penalty weight *)
+  eta : float;  (** area-term weight (Fig. 2 ablates this) *)
+  lambda0_ratio : float;  (** initial density weight vs other forces *)
+  lambda_growth : float;  (** per-iteration density-weight multiplier *)
+  overflow_stop : float;  (** stop when overflow drops below this *)
+  min_iters : int;
+  max_iters : int;
+  sym_mode : sym_mode;
+  smoothing : smoothing;
+  rho_wpe : float;
+      (** weight of the optional well-proximity (LDE) term; 0 = off *)
+}
+
+val default : t

@@ -1,0 +1,1 @@
+lib/density/bell.ml: Array Bin_grid Float Numerics

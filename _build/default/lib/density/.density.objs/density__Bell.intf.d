@@ -1,0 +1,1 @@
+lib/density/bell.mli: Bin_grid Geometry

@@ -1,0 +1,1 @@
+lib/density/bin_grid.mli: Geometry

@@ -1,0 +1,1 @@
+lib/density/electrostatic.ml: Array Bin_grid Geometry Numerics

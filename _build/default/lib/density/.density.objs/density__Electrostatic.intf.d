@@ -1,0 +1,1 @@
+lib/density/electrostatic.mli: Bin_grid Geometry

@@ -1,0 +1,158 @@
+(* NTUplace3's bell-shaped density smoothing, used by the prior
+   analytical work's global placement. Each device spreads its area
+   into nearby bins through a C1 bell function of the centre distance;
+   the penalty is sum_b (D_b - target_b)^2.
+
+   Along one axis, for device extent w and bin size wb, with
+   d = |centre - bin centre|:
+
+     p(d) = 1 - a d^2                      for d <= w/2 + wb
+          = b (d - w/2 - 2 wb)^2           for w/2 + wb < d <= w/2 + 2 wb
+          = 0                              otherwise
+     a = 4 / ((w + 2 wb)(w + 4 wb)),  b = 2 / (wb (w + 4 wb))
+
+   Each device's contributions are normalised to its exact area. *)
+
+type t = {
+  grid : Bin_grid.t;
+  target : float;  (* target occupancy fraction per bin *)
+  dmap : Numerics.Matrix.t;
+}
+
+let create ~region ~nx ~ny ~target =
+  { grid = Bin_grid.create ~region ~nx ~ny; target; dmap = Numerics.Matrix.create nx ny }
+
+let bell ~w ~wb d =
+  let d = abs_float d in
+  let r1 = (0.5 *. w) +. wb in
+  let r2 = (0.5 *. w) +. (2.0 *. wb) in
+  if d <= r1 then begin
+    let a = 4.0 /. ((w +. (2.0 *. wb)) *. (w +. (4.0 *. wb))) in
+    1.0 -. (a *. d *. d)
+  end
+  else if d <= r2 then begin
+    let b = 2.0 /. (wb *. (w +. (4.0 *. wb))) in
+    b *. (d -. r2) *. (d -. r2)
+  end
+  else 0.0
+
+let bell_deriv ~w ~wb d =
+  let s = if d < 0.0 then -1.0 else 1.0 in
+  let ad = abs_float d in
+  let r1 = (0.5 *. w) +. wb in
+  let r2 = (0.5 *. w) +. (2.0 *. wb) in
+  if ad <= r1 then begin
+    let a = 4.0 /. ((w +. (2.0 *. wb)) *. (w +. (4.0 *. wb))) in
+    -2.0 *. a *. ad *. s
+  end
+  else if ad <= r2 then begin
+    let b = 2.0 /. (wb *. (w +. (4.0 *. wb))) in
+    2.0 *. b *. (ad -. r2) *. s
+  end
+  else 0.0
+
+(* Bins whose centre may receive weight from a device centred at c. *)
+let bin_range1d ~c ~w ~wb ~x0 ~n =
+  let r = (0.5 *. w) +. (2.0 *. wb) in
+  let lo = int_of_float (Float.floor ((c -. r -. x0) /. wb -. 0.5)) in
+  let hi = int_of_float (Float.ceil ((c +. r -. x0) /. wb -. 0.5)) in
+  (max 0 lo, min (n - 1) hi)
+
+(* Evaluate the quadratic density penalty and accumulate its gradient.
+   widths/heights are device extents; xs/ys device centres. *)
+let value_grad t ~widths ~heights ~xs ~ys ~gx ~gy =
+  let g = t.grid in
+  let nx = g.Bin_grid.nx and ny = g.Bin_grid.ny in
+  let wb = g.Bin_grid.bw and hb = g.Bin_grid.bh in
+  let ba = Bin_grid.bin_area g in
+  let n = Array.length xs in
+  (* per-device normalisation and density accumulation *)
+  let norms = Array.make n 0.0 in
+  for i = 0 to nx - 1 do
+    for j = 0 to ny - 1 do
+      Numerics.Matrix.set t.dmap i j 0.0
+    done
+  done;
+  let add_device d =
+    let w = widths.(d) and h = heights.(d) in
+    let i0, i1 = bin_range1d ~c:xs.(d) ~w ~wb ~x0:g.Bin_grid.x0 ~n:nx in
+    let j0, j1 = bin_range1d ~c:ys.(d) ~w:h ~wb:hb ~x0:g.Bin_grid.y0 ~n:ny in
+    let s = ref 0.0 in
+    for i = i0 to i1 do
+      let px = bell ~w ~wb (xs.(d) -. Bin_grid.bin_center_x g i) in
+      if px > 0.0 then
+        for j = j0 to j1 do
+          let py = bell ~w:h ~wb:hb (ys.(d) -. Bin_grid.bin_center_y g j) in
+          s := !s +. (px *. py)
+        done
+    done;
+    norms.(d) <- (if !s > 1e-12 then w *. h /. !s else 0.0);
+    if norms.(d) > 0.0 then
+      for i = i0 to i1 do
+        let px = bell ~w ~wb (xs.(d) -. Bin_grid.bin_center_x g i) in
+        if px > 0.0 then
+          for j = j0 to j1 do
+            let py = bell ~w:h ~wb:hb (ys.(d) -. Bin_grid.bin_center_y g j) in
+            if py > 0.0 then
+              Numerics.Matrix.set t.dmap i j
+                (Numerics.Matrix.get t.dmap i j +. (norms.(d) *. px *. py))
+          done
+      done
+  in
+  for d = 0 to n - 1 do
+    add_device d
+  done;
+  (* penalty value: sum_b max(0, D_b - target_b)^2 (one-sided: bins
+     below target are not penalised, they are simply empty space) *)
+  let tgt = t.target *. ba in
+  let value = ref 0.0 in
+  for i = 0 to nx - 1 do
+    for j = 0 to ny - 1 do
+      let e = Numerics.Matrix.get t.dmap i j -. tgt in
+      if e > 0.0 then value := !value +. (e *. e)
+    done
+  done;
+  (* gradient, including the derivative of the per-device
+     normalisation c_d = area_d / S_d with S_d = sum_b px py:
+
+       dP/dx_d = c_d * sum_b 2 e_b px' py
+                 - (c_d / S_d) * (sum_b px' py) * (sum_b 2 e_b px py)  *)
+  for d = 0 to n - 1 do
+    if norms.(d) > 0.0 then begin
+      let w = widths.(d) and h = heights.(d) in
+      let i0, i1 = bin_range1d ~c:xs.(d) ~w ~wb ~x0:g.Bin_grid.x0 ~n:nx in
+      let j0, j1 = bin_range1d ~c:ys.(d) ~w:h ~wb:hb ~x0:g.Bin_grid.y0 ~n:ny in
+      let a1 = ref 0.0 (* sum 2e px' py *) in
+      let a2 = ref 0.0 (* sum 2e px py' *) in
+      let b = ref 0.0 (* sum 2e px py *) in
+      let s = ref 0.0 (* sum px py *) in
+      let sx' = ref 0.0 and sy' = ref 0.0 in
+      for i = i0 to i1 do
+        let dx = xs.(d) -. Bin_grid.bin_center_x g i in
+        let px = bell ~w ~wb dx in
+        let px' = bell_deriv ~w ~wb dx in
+        for j = j0 to j1 do
+          let dy = ys.(d) -. Bin_grid.bin_center_y g j in
+          let py = bell ~w:h ~wb:hb dy in
+          let py' = bell_deriv ~w:h ~wb:hb dy in
+          s := !s +. (px *. py);
+          sx' := !sx' +. (px' *. py);
+          sy' := !sy' +. (px *. py');
+          let e = Numerics.Matrix.get t.dmap i j -. tgt in
+          if e > 0.0 then begin
+            a1 := !a1 +. (2.0 *. e *. px' *. py);
+            a2 := !a2 +. (2.0 *. e *. px *. py');
+            b := !b +. (2.0 *. e *. px *. py)
+          end
+        done
+      done;
+      let c = norms.(d) in
+      if !s > 1e-12 then begin
+        gx.(d) <- gx.(d) +. ((c *. !a1) -. (c /. !s *. !sx' *. !b));
+        gy.(d) <- gy.(d) +. ((c *. !a2) -. (c /. !s *. !sy' *. !b))
+      end
+    end
+  done;
+  !value
+
+let grid t = t.grid

@@ -1,0 +1,25 @@
+(** NTUplace3's bell-shaped density smoothing — the overlap model used
+    by the reimplementation of the prior analytical work [11]. *)
+
+type t
+
+val create :
+  region:Geometry.Rect.t -> nx:int -> ny:int -> target:float -> t
+(** [target] is the desired occupancy fraction per bin. *)
+
+val bell : w:float -> wb:float -> float -> float
+(** The 1D bell kernel for a device of extent [w] on bins of size [wb],
+    evaluated at a centre distance. C1, compactly supported. *)
+
+val bell_deriv : w:float -> wb:float -> float -> float
+
+val value_grad :
+  t ->
+  widths:float array -> heights:float array ->
+  xs:float array -> ys:float array ->
+  gx:float array -> gy:float array ->
+  float
+(** Quadratic over-target density penalty; accumulates its gradient
+    w.r.t. device centres into [gx], [gy]. *)
+
+val grid : t -> Bin_grid.t

@@ -1,0 +1,56 @@
+type t = {
+  nx : int;
+  ny : int;
+  x0 : float;
+  y0 : float;
+  bw : float;  (* bin width *)
+  bh : float;
+}
+
+let create ~(region : Geometry.Rect.t) ~nx ~ny =
+  if nx <= 0 || ny <= 0 then invalid_arg "Bin_grid.create: bins";
+  let w = Geometry.Rect.width region and h = Geometry.Rect.height region in
+  if w <= 0.0 || h <= 0.0 then invalid_arg "Bin_grid.create: empty region";
+  {
+    nx;
+    ny;
+    x0 = region.Geometry.Rect.x0;
+    y0 = region.Geometry.Rect.y0;
+    bw = w /. float_of_int nx;
+    bh = h /. float_of_int ny;
+  }
+
+let bin_area g = g.bw *. g.bh
+let bin_center_x g i = g.x0 +. ((float_of_int i +. 0.5) *. g.bw)
+let bin_center_y g j = g.y0 +. ((float_of_int j +. 0.5) *. g.bh)
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+(* Call [f ix iy area] for each bin overlapping [r], with the exact
+   overlap area. The rectangle is clipped to the grid region. *)
+let splat g (r : Geometry.Rect.t) ~f =
+  let xr0 = g.x0 and yr0 = g.y0 in
+  let xr1 = g.x0 +. (float_of_int g.nx *. g.bw) in
+  let yr1 = g.y0 +. (float_of_int g.ny *. g.bh) in
+  let rx0 = clamp xr0 xr1 r.Geometry.Rect.x0 in
+  let rx1 = clamp xr0 xr1 r.Geometry.Rect.x1 in
+  let ry0 = clamp yr0 yr1 r.Geometry.Rect.y0 in
+  let ry1 = clamp yr0 yr1 r.Geometry.Rect.y1 in
+  if rx1 > rx0 && ry1 > ry0 then begin
+    let i0 = int_of_float (Float.floor ((rx0 -. g.x0) /. g.bw)) in
+    let i1 = int_of_float (Float.ceil ((rx1 -. g.x0) /. g.bw)) - 1 in
+    let j0 = int_of_float (Float.floor ((ry0 -. g.y0) /. g.bh)) in
+    let j1 = int_of_float (Float.ceil ((ry1 -. g.y0) /. g.bh)) - 1 in
+    let i0 = max 0 i0 and i1 = min (g.nx - 1) i1 in
+    let j0 = max 0 j0 and j1 = min (g.ny - 1) j1 in
+    for i = i0 to i1 do
+      let bx0 = g.x0 +. (float_of_int i *. g.bw) in
+      let dx = Float.min rx1 (bx0 +. g.bw) -. Float.max rx0 bx0 in
+      if dx > 0.0 then
+        for j = j0 to j1 do
+          let by0 = g.y0 +. (float_of_int j *. g.bh) in
+          let dy = Float.min ry1 (by0 +. g.bh) -. Float.max ry0 by0 in
+          if dy > 0.0 then f i j (dx *. dy)
+        done
+    done
+  end

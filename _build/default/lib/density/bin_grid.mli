@@ -1,0 +1,22 @@
+(** Uniform bin grid over a placement region, shared by both density
+    models. *)
+
+type t = {
+  nx : int;
+  ny : int;
+  x0 : float;
+  y0 : float;
+  bw : float;
+  bh : float;
+}
+
+val create : region:Geometry.Rect.t -> nx:int -> ny:int -> t
+(** @raise Invalid_argument on empty region or non-positive bin counts. *)
+
+val bin_area : t -> float
+val bin_center_x : t -> int -> float
+val bin_center_y : t -> int -> float
+
+val splat : t -> Geometry.Rect.t -> f:(int -> int -> float -> unit) -> unit
+(** [splat g r ~f] calls [f ix iy area] for every bin overlapping [r]
+    (clipped to the region) with the exact overlap area. *)

@@ -1,0 +1,1 @@
+lib/experiments/gnn_setup.ml: Annealing Array Eplace Float Gnn Hashtbl List Netlist Numerics Perfsim

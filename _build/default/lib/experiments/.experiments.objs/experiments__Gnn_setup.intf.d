@@ -1,0 +1,1 @@
+lib/experiments/gnn_setup.mli: Gnn Netlist

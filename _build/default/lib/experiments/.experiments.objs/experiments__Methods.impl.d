@@ -1,0 +1,1 @@
+lib/experiments/methods.ml: Annealing Eplace Float Fun Gnn_setup List Netlist Option Perfsim Prevwork Unix

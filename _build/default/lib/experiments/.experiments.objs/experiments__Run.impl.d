@@ -1,0 +1,1 @@
+lib/experiments/run.ml: Circuits Eplace Float Fmt List Methods Netlist Perfsim Prevwork Table_fmt

@@ -1,0 +1,162 @@
+(* Per-circuit GNN setup for the performance-driven experiments:
+   generate a labelled placement dataset (the paper uses >1000 samples
+   per design), pick the FOM threshold, train the surrogate, and
+   expose the hooks each placer family needs. Models are cached per
+   circuit name within a process. *)
+
+type trained = {
+  enc : Gnn.Graph_enc.t;
+  model : Gnn.Model.t;
+  threshold : float;  (* FOM below this is labelled unsatisfactory *)
+  train_stats : Gnn.Train.stats;
+  n_samples : int;
+}
+
+(* Random legal-by-construction placements from the symmetry-island
+   sequence-pair representation — cheap and diverse. *)
+let random_packing rng (c : Netlist.Circuit.t) islands =
+  let n = Array.length islands in
+  let sp = Annealing.Seqpair.random rng n in
+  let widths = Array.map (fun (i : Annealing.Island.t) -> i.Annealing.Island.w) islands in
+  let heights = Array.map (fun (i : Annealing.Island.t) -> i.Annealing.Island.h) islands in
+  let xs, ys = Annealing.Seqpair.pack sp ~widths ~heights in
+  let l = Netlist.Layout.create c in
+  Array.iteri
+    (fun b (isl : Annealing.Island.t) ->
+      List.iter
+        (fun (p : Annealing.Island.placed_dev) ->
+          Netlist.Layout.set l p.Annealing.Island.dev
+            ~x:(xs.(b) +. p.Annealing.Island.dx)
+            ~y:(ys.(b) +. p.Annealing.Island.dy);
+          Netlist.Layout.set_orient l p.Annealing.Island.dev
+            p.Annealing.Island.orient)
+        isl.Annealing.Island.devices)
+    islands;
+  l
+
+let spread_layout rng l factor =
+  let l = Netlist.Layout.copy l in
+  for i = 0 to Netlist.Layout.n_devices l - 1 do
+    Netlist.Layout.set l i
+      ~x:(l.Netlist.Layout.xs.(i) *. factor)
+      ~y:(l.Netlist.Layout.ys.(i) *. factor)
+  done;
+  ignore rng;
+  l
+
+type dataset_sizes = {
+  n_random : int;
+  n_spread : int;
+  n_sa : int;
+  n_analytic : int;
+}
+
+let default_sizes =
+  { n_random = 550; n_spread = 150; n_sa = 220; n_analytic = 80 }
+
+let quick_sizes = { n_random = 140; n_spread = 40; n_sa = 56; n_analytic = 20 }
+
+let generate_layouts ?(sizes = default_sizes) ~seed (c : Netlist.Circuit.t) =
+  let rng = Numerics.Rng.create seed in
+  let islands = Array.of_list (Annealing.Island.decompose c) in
+  let layouts = ref [] in
+  for _ = 1 to sizes.n_random do
+    layouts := random_packing rng c islands :: !layouts
+  done;
+  for _ = 1 to sizes.n_spread do
+    let l = random_packing rng c islands in
+    let f = Numerics.Rng.uniform rng ~lo:1.15 ~hi:2.2 in
+    layouts := spread_layout rng l f :: !layouts
+  done;
+  for k = 1 to sizes.n_sa do
+    let params =
+      { Annealing.Sa_placer.default_params with
+        Annealing.Sa_placer.seed = seed + (7 * k);
+        moves = 3000;
+        wl_weight = Numerics.Rng.uniform rng ~lo:0.4 ~hi:2.2;
+        area_weight = Numerics.Rng.uniform rng ~lo:0.4 ~hi:2.2;
+      }
+    in
+    let l, _ = Annealing.Sa_placer.place ~params c in
+    layouts := l :: !layouts
+  done;
+  for k = 1 to sizes.n_analytic do
+    let gp =
+      { Eplace.Gp_params.default with
+        Eplace.Gp_params.seed = seed + (13 * k);
+        eta = Numerics.Rng.uniform rng ~lo:0.02 ~hi:0.5;
+        tau = Numerics.Rng.uniform rng ~lo:0.5 ~hi:4.0;
+      }
+    in
+    let params =
+      { Eplace.Eplace_a.default_params with
+        Eplace.Eplace_a.gp; restarts = 1; dp_passes = 1 }
+    in
+    match Eplace.Eplace_a.place ~params c with
+    | Some r -> layouts := r.Eplace.Eplace_a.layout :: !layouts
+    | None -> ()
+  done;
+  !layouts
+
+let percentile xs p =
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  a.(min (n - 1) (int_of_float (p *. float_of_int (n - 1))))
+
+let train_for ?(sizes = default_sizes) ?(epochs = 150) ?(seed = 424242)
+    (c : Netlist.Circuit.t) =
+  let layouts = generate_layouts ~sizes ~seed c in
+  let foms = List.map Perfsim.Fom.fom layouts in
+  (* The reported threshold marks the top 15% as "satisfactory" (the
+     paper's binary framing), but training uses soft targets scaled
+     over the whole FOM range: binary labels saturate in the
+     good-placement region, which destroys exactly the ranking signal
+     the placers need. BCE with soft targets is a proper scoring rule,
+     so the output stays a calibrated "probability unsatisfactory". *)
+  let threshold = percentile foms 0.85 in
+  let fmin = percentile foms 0.02 and fmax = percentile foms 0.98 in
+  let span = Float.max 1e-6 (fmax -. fmin) in
+  let enc = Gnn.Graph_enc.of_circuit c in
+  let samples =
+    List.map2
+      (fun l f ->
+        let goodness = Float.max 0.0 (Float.min 1.0 ((f -. fmin) /. span)) in
+        {
+          Gnn.Train.enc;
+          xs = Array.copy l.Netlist.Layout.xs;
+          ys = Array.copy l.Netlist.Layout.ys;
+          label = 1.0 -. goodness;
+        })
+      layouts foms
+  in
+  let rng = Numerics.Rng.create (seed + 1) in
+  let model = Gnn.Model.create rng in
+  let train_stats = Gnn.Train.train ~epochs ~rng model samples in
+  { enc; model; threshold; train_stats; n_samples = List.length samples }
+
+(* process-wide cache, keyed by circuit name and a quick/full flag *)
+let cache : (string, trained) Hashtbl.t = Hashtbl.create 16
+
+let get ?(quick = false) (c : Netlist.Circuit.t) =
+  let key = c.Netlist.Circuit.name ^ if quick then "/q" else "/f" in
+  match Hashtbl.find_opt cache key with
+  | Some t -> t
+  | None ->
+      let sizes = if quick then quick_sizes else default_sizes in
+      let epochs = if quick then 80 else 150 in
+      let t = train_for ~sizes ~epochs c in
+      Hashtbl.add cache key t;
+      t
+
+(* ---- placer-facing hooks ---- *)
+
+(* GNN inference on a realised layout, for simulated annealing [19]. *)
+let phi_of_layout t (l : Netlist.Layout.t) =
+  Gnn.Model.predict t.model t.enc ~xs:l.Netlist.Layout.xs
+    ~ys:l.Netlist.Layout.ys
+
+(* Weighted Phi gradient hook for the analytical placers (Eq. 5). *)
+let phi_grad_hook t ~alpha =
+  fun ~xs ~ys ~gx ~gy ->
+    Gnn.Model.phi_grad t.model t.enc ~alpha ~xs ~ys ~gx ~gy

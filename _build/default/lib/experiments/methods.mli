@@ -1,0 +1,27 @@
+(** The compared placement methods behind one interface. *)
+
+type outcome = { layout : Netlist.Layout.t; runtime_s : float }
+
+type t = {
+  method_name : string;
+  run : Netlist.Circuit.t -> outcome option;
+}
+
+val sa_default_moves : int
+
+val sa :
+  ?moves:int -> ?seed:int -> ?wl_weight:float -> ?area_weight:float -> unit ->
+  t
+(** Conventional simulated annealing at a converged move budget. *)
+
+val sa_perf : ?moves:int -> ?seed:int -> ?alpha:float -> ?quick:bool -> unit -> t
+(** Performance-driven SA [19]: GNN inference inside the cost. *)
+
+val prev : ?params:Prevwork.Prev_analytical.params -> unit -> t
+val prev_perf :
+  ?params:Prevwork.Prev_analytical.params -> ?alpha:float -> ?quick:bool ->
+  unit -> t
+
+val eplace_a : ?params:Eplace.Eplace_a.params -> unit -> t
+val eplace_ap :
+  ?params:Eplace.Eplace_a.params -> ?alpha:float -> ?quick:bool -> unit -> t

@@ -1,0 +1,580 @@
+(* One function per table and figure of the paper's evaluation. Each
+   returns a renderable table (plus the raw numbers where the benches
+   need them). The [quick] configuration trims budgets for smoke runs;
+   the defaults reproduce the full experiments. *)
+
+module TF = Table_fmt
+
+type cfg = {
+  quick : bool;
+  sa_moves : int;
+  sa_perf_moves : int;
+  restarts : int;
+  alpha : float;  (* Eq. 5 weight for the analytical perf term *)
+  sa_alpha : float;
+}
+
+let default_cfg =
+  { quick = false; sa_moves = Methods.sa_default_moves;
+    sa_perf_moves = 120_000; restarts = 5; alpha = 60.0; sa_alpha = 2.0 }
+
+let quick_cfg =
+  { quick = true; sa_moves = 40_000; sa_perf_moves = 15_000; restarts = 2;
+    alpha = 60.0; sa_alpha = 2.0 }
+
+let all_circuits = Circuits.Testcases.all_names
+
+let area_hpwl l = (Netlist.Layout.area l, Netlist.Layout.hpwl l)
+
+let eplace_params cfg =
+  { Eplace.Eplace_a.default_params with Eplace.Eplace_a.restarts = cfg.restarts }
+
+let prev_params cfg =
+  { Prevwork.Prev_analytical.default_params with
+    Prevwork.Prev_analytical.restarts = cfg.restarts }
+
+(* ---------- Table I: soft vs hard symmetry in GP ---------- *)
+
+let table1 cfg =
+  let circuits = [ "CC-OTA"; "Comp2"; "VCO2" ] in
+  let run_mode name mode =
+    let c = Circuits.Testcases.get name in
+    let params = eplace_params cfg in
+    let params =
+      { params with
+        Eplace.Eplace_a.gp =
+          { params.Eplace.Eplace_a.gp with Eplace.Gp_params.sym_mode = mode } }
+    in
+    match Eplace.Eplace_a.place ~params c with
+    | Some r ->
+        let a, w = area_hpwl r.Eplace.Eplace_a.layout in
+        (a, w, r.Eplace.Eplace_a.runtime_s)
+    | None -> (nan, nan, nan)
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let sa, sw, st = run_mode name Eplace.Gp_params.Soft in
+        let ha, hw, ht = run_mode name Eplace.Gp_params.Hard in
+        [ name; TF.f1 sa; TF.f1 ha; TF.f1 sw; TF.f1 hw; TF.f2 st; TF.f2 ht ])
+      circuits
+  in
+  {
+    TF.header =
+      [ "Design"; "Area soft"; "Area hard"; "HPWL soft"; "HPWL hard";
+        "t soft"; "t hard" ];
+    rows;
+  }
+
+(* ---------- Fig. 2: area-term ablation ---------- *)
+
+let fig2 cfg =
+  ignore cfg;
+  let circuits = [ "CC-OTA"; "Comp2"; "CM-OTA1"; "VCO2" ] in
+  (* single-seed ablation, averaged over seeds: restart selection would
+     mask the objective change by shopping for lucky seeds *)
+  let seeds = [ 1; 2; 3 ] in
+  let run_eta name eta seed =
+    let c = Circuits.Testcases.get name in
+    let params =
+      { Eplace.Eplace_a.default_params with
+        Eplace.Eplace_a.restarts = 1;
+        gp = { Eplace.Gp_params.default with Eplace.Gp_params.eta; seed } }
+    in
+    match Eplace.Eplace_a.place ~params c with
+    | Some r -> area_hpwl r.Eplace.Eplace_a.layout
+    | None -> (nan, nan)
+  in
+  let avg_eta name eta =
+    let pts = List.map (run_eta name eta) seeds in
+    let n = float_of_int (List.length pts) in
+    ( List.fold_left (fun acc (a, _) -> acc +. a) 0.0 pts /. n,
+      List.fold_left (fun acc (_, w) -> acc +. w) 0.0 pts /. n )
+  in
+  let data =
+    List.map
+      (fun name ->
+        let wa, ww = avg_eta name Eplace.Gp_params.default.Eplace.Gp_params.eta in
+        let na, nw = avg_eta name 0.0 in
+        (name, wa, ww, na, nw))
+      circuits
+  in
+  let rows =
+    List.map
+      (fun (name, wa, ww, na, nw) ->
+        [ name; TF.f1 wa; TF.f1 na;
+          Fmt.str "%+.0f%%" (100.0 *. ((na /. wa) -. 1.0));
+          TF.f1 ww; TF.f1 nw;
+          Fmt.str "%+.0f%%" (100.0 *. ((nw /. ww) -. 1.0)) ])
+      data
+  in
+  let avg f =
+    let ratios = List.map f data in
+    100.0 *. (TF.geo_mean_ratio ratios -. 1.0)
+  in
+  let rows =
+    rows
+    @ [ [ "Avg."; ""; ""; Fmt.str "%+.0f%%" (avg (fun (_, wa, _, na, _) -> (na, wa)));
+          ""; ""; Fmt.str "%+.0f%%" (avg (fun (_, _, ww, _, nw) -> (nw, ww))) ] ]
+  in
+  {
+    TF.header =
+      [ "Design"; "Area with"; "Area w/o"; "dArea"; "HPWL with"; "HPWL w/o";
+        "dHPWL" ];
+    rows;
+  }
+
+(* ---------- Table III: main conventional comparison ---------- *)
+
+type method_row = {
+  design : string;
+  area : float;
+  hpwl : float;
+  runtime : float;
+}
+
+let run_method (m : Methods.t) names =
+  List.map
+    (fun design ->
+      let c = Circuits.Testcases.get design in
+      match m.Methods.run c with
+      | Some o ->
+          let area, hpwl = area_hpwl o.Methods.layout in
+          { design; area; hpwl; runtime = o.Methods.runtime_s }
+      | None -> { design; area = nan; hpwl = nan; runtime = nan })
+    names
+
+let table3 cfg =
+  let methods =
+    [ Methods.sa ~moves:cfg.sa_moves ();
+      Methods.prev ~params:(prev_params cfg) ();
+      Methods.eplace_a ~params:(eplace_params cfg) () ]
+  in
+  let results = List.map (fun m -> run_method m all_circuits) methods in
+  let rows =
+    List.mapi
+      (fun i design ->
+        design
+        :: List.concat_map
+             (fun rows ->
+               let r = List.nth rows i in
+               [ TF.f1 r.area; TF.f1 r.hpwl; TF.f2 r.runtime ])
+             results)
+      all_circuits
+  in
+  let ref_rows = List.nth results 2 in
+  let avg =
+    "Avg.(X)"
+    :: List.concat_map
+         (fun rows ->
+           [ TF.f2 (TF.geo_mean_ratio
+                      (List.map2 (fun r r0 -> (r.area, r0.area)) rows ref_rows));
+             TF.f2 (TF.geo_mean_ratio
+                      (List.map2 (fun r r0 -> (r.hpwl, r0.hpwl)) rows ref_rows));
+             TF.f2 (TF.geo_mean_ratio
+                      (List.map2
+                         (fun r r0 -> (r.runtime, r0.runtime))
+                         rows ref_rows)) ])
+         results
+  in
+  ( {
+      TF.header =
+        [ "Design"; "SA a"; "SA w"; "SA t"; "P11 a"; "P11 w"; "P11 t";
+          "eP a"; "eP w"; "eP t" ];
+      rows = rows @ [ avg ];
+    },
+    results )
+
+(* ---------- Table IV: detailed placement only, same GP ---------- *)
+
+let table4 cfg =
+  ignore cfg;
+  let circuits = [ "VCO1"; "Comp1"; "SCF" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let c = Circuits.Testcases.get name in
+        let gp = (Eplace.Global_place.run c).Eplace.Global_place.layout in
+        let prev_res = Prevwork.Lp_stages.run c ~gp in
+        let ilp_res = Eplace.Dp_ilp.run c ~gp in
+        match (prev_res, ilp_res) with
+        | Some p, Some i ->
+            let pa, pw = area_hpwl p.Prevwork.Lp_stages.layout in
+            let ia, iw = area_hpwl i.Eplace.Dp_ilp.layout in
+            [ name; TF.f1 pa; TF.f1 pw; TF.f2 p.Prevwork.Lp_stages.runtime_s;
+              TF.f1 ia; TF.f1 iw; TF.f2 i.Eplace.Dp_ilp.runtime_s ]
+        | _ -> [ name; "fail" ])
+      circuits
+  in
+  {
+    TF.header =
+      [ "Design"; "P11 area"; "P11 hpwl"; "P11 t"; "ILP area"; "ILP hpwl";
+        "ILP t" ];
+    rows;
+  }
+
+(* ---------- Table V: FOM, conventional vs performance-driven ---------- *)
+
+let fom_of (o : Methods.outcome option) =
+  match o with
+  | Some o -> Perfsim.Fom.fom o.Methods.layout
+  | None -> nan
+
+let table5 cfg =
+  let methods =
+    [ Methods.sa ~moves:cfg.sa_moves ();
+      Methods.sa_perf ~moves:cfg.sa_perf_moves ~alpha:cfg.sa_alpha
+        ~quick:cfg.quick ();
+      Methods.prev ~params:(prev_params cfg) ();
+      Methods.prev_perf ~params:(prev_params cfg) ~alpha:cfg.alpha
+        ~quick:cfg.quick ();
+      Methods.eplace_a ~params:(eplace_params cfg) ();
+      Methods.eplace_ap ~params:(eplace_params cfg) ~alpha:cfg.alpha
+        ~quick:cfg.quick () ]
+  in
+  let foms =
+    List.map
+      (fun design ->
+        let c = Circuits.Testcases.get design in
+        (design, List.map (fun (m : Methods.t) -> fom_of (m.Methods.run c)) methods))
+      all_circuits
+  in
+  let rows =
+    List.map
+      (fun (design, fs) -> design :: List.map TF.f2 fs)
+      foms
+  in
+  let avg =
+    "Avg."
+    :: List.mapi
+         (fun j _ ->
+           let vals = List.map (fun (_, fs) -> List.nth fs j) foms in
+           TF.f2 (List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals)))
+         methods
+  in
+  ( {
+      TF.header =
+        [ "Design"; "SA conv"; "SA perf"; "P11 conv"; "P11 perf*";
+          "eP-A conv"; "eP-AP" ];
+      rows = rows @ [ avg ];
+    },
+    foms )
+
+(* ---------- Table VI: CC-OTA detailed metrics ---------- *)
+
+let table6 cfg =
+  let c = Circuits.Testcases.get "CC-OTA" in
+  let conv = (Methods.eplace_a ~params:(eplace_params cfg) ()).Methods.run c in
+  let perf =
+    (Methods.eplace_ap ~params:(eplace_params cfg) ~alpha:cfg.alpha
+       ~quick:cfg.quick ()).Methods.run c
+  in
+  let eval o =
+    match o with
+    | Some (o : Methods.outcome) -> Some (Perfsim.Fom.evaluate o.Methods.layout)
+    | None -> None
+  in
+  match (eval conv, eval perf) with
+  | Some e1, Some e2 ->
+      let metric_row (m1 : Perfsim.Spec.metric) (m2 : Perfsim.Spec.metric) =
+        [ m1.Perfsim.Spec.metric_name;
+          Fmt.str "%.4g" m1.Perfsim.Spec.spec;
+          Fmt.str "%.4g (%.0f%%)" m1.Perfsim.Spec.value
+            (100.0 *. Perfsim.Spec.normalized m1);
+          Fmt.str "%.4g (%.0f%%)" m2.Perfsim.Spec.value
+            (100.0 *. Perfsim.Spec.normalized m2) ]
+      in
+      {
+        TF.header = [ "Metric"; "Spec"; "ePlace-A"; "ePlace-AP" ];
+        rows =
+          List.map2 metric_row e1.Perfsim.Fom.metrics e2.Perfsim.Fom.metrics
+          @ [ [ "FOM"; ""; TF.f2 e1.Perfsim.Fom.fom; TF.f2 e2.Perfsim.Fom.fom ] ];
+      }
+  | _ -> { TF.header = [ "Metric" ]; rows = [ [ "placement failed" ] ] }
+
+(* ---------- Table VII: perf-driven area/HPWL/runtime ---------- *)
+
+let table7 cfg =
+  let methods =
+    [ Methods.sa_perf ~moves:cfg.sa_perf_moves ~alpha:cfg.sa_alpha
+        ~quick:cfg.quick ();
+      Methods.prev_perf ~params:(prev_params cfg) ~alpha:cfg.alpha
+        ~quick:cfg.quick ();
+      Methods.eplace_ap ~params:(eplace_params cfg) ~alpha:cfg.alpha
+        ~quick:cfg.quick () ]
+  in
+  let results = List.map (fun m -> run_method m all_circuits) methods in
+  let rows =
+    List.mapi
+      (fun i design ->
+        design
+        :: List.concat_map
+             (fun rows ->
+               let r = List.nth rows i in
+               [ TF.f1 r.area; TF.f1 r.hpwl; TF.f2 r.runtime ])
+             results)
+      all_circuits
+  in
+  let ref_rows = List.nth results 2 in
+  let avg =
+    "Avg.(X)"
+    :: List.concat_map
+         (fun rows ->
+           [ TF.f2 (TF.geo_mean_ratio
+                      (List.map2 (fun r r0 -> (r.area, r0.area)) rows ref_rows));
+             TF.f2 (TF.geo_mean_ratio
+                      (List.map2 (fun r r0 -> (r.hpwl, r0.hpwl)) rows ref_rows));
+             TF.f2 (TF.geo_mean_ratio
+                      (List.map2
+                         (fun r r0 -> (r.runtime, r0.runtime))
+                         rows ref_rows)) ])
+         results
+  in
+  ( {
+      TF.header =
+        [ "Design"; "SAp a"; "SAp w"; "SAp t"; "P11p a"; "P11p w"; "P11p t";
+          "ePAP a"; "ePAP w"; "ePAP t" ];
+      rows = rows @ [ avg ];
+    },
+    results )
+
+(* ---------- Fig. 5: HPWL-area tradeoff on CM-OTA1 ---------- *)
+
+type point = { p_method : string; p_x : float; p_y : float }
+
+let fig5 cfg =
+  let name = "CM-OTA1" in
+  let c = Circuits.Testcases.get name in
+  let points = ref [] in
+  let push m x y = points := { p_method = m; p_x = x; p_y = y } :: !points in
+  (* ePlace-A: sweep the area weight eta and the DP area weight mu *)
+  let etas = if cfg.quick then [ 0.05; 0.3 ] else [ 0.03; 0.08; 0.15; 0.3; 0.6 ] in
+  let mus = if cfg.quick then [ 0.35 ] else [ 0.15; 1.0 ] in
+  List.iter
+    (fun eta ->
+      List.iter
+        (fun mu ->
+          let params = eplace_params cfg in
+          let params =
+            { params with
+              Eplace.Eplace_a.gp =
+                { params.Eplace.Eplace_a.gp with Eplace.Gp_params.eta };
+              dp = { params.Eplace.Eplace_a.dp with Eplace.Dp_ilp.mu } }
+          in
+          match Eplace.Eplace_a.place ~params c with
+          | Some r ->
+              let a, w = area_hpwl r.Eplace.Eplace_a.layout in
+              push "ePlace-A" a w
+          | None -> ())
+        mus)
+    etas;
+  (* SA: sweep the cost weights *)
+  let sa_weights =
+    if cfg.quick then [ (1.0, 1.0); (0.4, 1.6) ]
+    else [ (0.3, 1.7); (0.6, 1.4); (1.0, 1.0); (1.4, 0.6); (1.7, 0.3);
+           (1.0, 2.0); (2.0, 1.0) ]
+  in
+  List.iter
+    (fun (aw, ww) ->
+      let m = Methods.sa ~moves:cfg.sa_moves ~area_weight:aw ~wl_weight:ww () in
+      match m.Methods.run c with
+      | Some o ->
+          let a, w = area_hpwl o.Methods.layout in
+          push "SA" a w
+      | None -> ())
+    sa_weights;
+  (* prev [11]: sweep GP utilization and LSE gamma *)
+  let utils = if cfg.quick then [ 0.6 ] else [ 0.45; 0.6; 0.75 ] in
+  let gammas = if cfg.quick then [ 2.0; 4.0 ] else [ 1.0; 2.0; 4.0 ] in
+  List.iter
+    (fun utilization ->
+      List.iter
+        (fun gamma_factor ->
+          let params = prev_params cfg in
+          let params =
+            { params with
+              Prevwork.Prev_analytical.gp =
+                { params.Prevwork.Prev_analytical.gp with
+                  Prevwork.Ntu_gp.utilization; gamma_factor } }
+          in
+          match Prevwork.Prev_analytical.place ~params c with
+          | Some r ->
+              let a, w = area_hpwl r.Prevwork.Prev_analytical.layout in
+              push "Prev[11]" a w
+          | None -> ())
+        gammas)
+    utils;
+  let pts = List.rev !points in
+  ( {
+      TF.header = [ "Method"; "Area(um2)"; "HPWL(um)" ];
+      rows =
+        List.map (fun p -> [ p.p_method; TF.f1 p.p_x; TF.f1 p.p_y ]) pts;
+    },
+    pts )
+
+(* ---------- Fig. 6: FOM-area tradeoff on CM-OTA1 ---------- *)
+
+let fig6 cfg =
+  let name = "CM-OTA1" in
+  let c = Circuits.Testcases.get name in
+  let points = ref [] in
+  let push m a f = points := { p_method = m; p_x = a; p_y = f } :: !points in
+  let alphas = if cfg.quick then [ 0.0; 60.0 ] else [ 0.0; 15.0; 60.0; 150.0; 400.0 ] in
+  List.iter
+    (fun alpha ->
+      let m =
+        if alpha = 0.0 then Methods.eplace_a ~params:(eplace_params cfg) ()
+        else
+          Methods.eplace_ap ~params:(eplace_params cfg) ~alpha ~quick:cfg.quick ()
+      in
+      match m.Methods.run c with
+      | Some o ->
+          push "ePlace-AP"
+            (Netlist.Layout.area o.Methods.layout)
+            (Perfsim.Fom.fom o.Methods.layout)
+      | None -> ())
+    alphas;
+  List.iter
+    (fun alpha ->
+      let m =
+        if alpha = 0.0 then Methods.prev ~params:(prev_params cfg) ()
+        else
+          Methods.prev_perf ~params:(prev_params cfg) ~alpha ~quick:cfg.quick ()
+      in
+      match m.Methods.run c with
+      | Some o ->
+          push "Prev-perf*"
+            (Netlist.Layout.area o.Methods.layout)
+            (Perfsim.Fom.fom o.Methods.layout)
+      | None -> ())
+    alphas;
+  let sa_alphas = if cfg.quick then [ 0.0; 2.0 ] else [ 0.0; 0.5; 2.0; 5.0; 10.0 ] in
+  List.iter
+    (fun alpha ->
+      let m =
+        if alpha = 0.0 then Methods.sa ~moves:cfg.sa_moves ()
+        else
+          Methods.sa_perf ~moves:cfg.sa_perf_moves ~alpha ~quick:cfg.quick ()
+      in
+      match m.Methods.run c with
+      | Some o ->
+          push "SA-perf"
+            (Netlist.Layout.area o.Methods.layout)
+            (Perfsim.Fom.fom o.Methods.layout)
+      | None -> ())
+    sa_alphas;
+  let pts = List.rev !points in
+  ( {
+      TF.header = [ "Method"; "Area(um2)"; "FOM" ];
+      rows = List.map (fun p -> [ p.p_method; TF.f1 p.p_x; TF.f3 p.p_y ]) pts;
+    },
+    pts )
+
+(* ---------- Ablations: the design choices DESIGN.md calls out ---------- *)
+
+let ablations cfg =
+  let circuits =
+    if cfg.quick then [ "CC-OTA" ] else [ "CC-OTA"; "Comp2"; "VCO2" ]
+  in
+  let base = eplace_params cfg in
+  let run name (params : Eplace.Eplace_a.params) =
+    let c = Circuits.Testcases.get name in
+    match Eplace.Eplace_a.place ~params c with
+    | Some r ->
+        let a, w = area_hpwl r.Eplace.Eplace_a.layout in
+        (a, w, r.Eplace.Eplace_a.runtime_s)
+    | None -> (nan, nan, nan)
+  in
+  let variants =
+    [
+      ("baseline (WA,round,5x)", base);
+      ( "LSE smoothing",
+        { base with
+          Eplace.Eplace_a.gp =
+            { base.Eplace.Eplace_a.gp with
+              Eplace.Gp_params.smoothing = Eplace.Gp_params.Lse } } );
+      ( "no flipping",
+        { base with
+          Eplace.Eplace_a.dp =
+            { base.Eplace.Eplace_a.dp with
+              Eplace.Dp_ilp.flip = Eplace.Dp_ilp.Flip_off } } );
+      ( "exact flip B&B",
+        { base with
+          Eplace.Eplace_a.dp =
+            { base.Eplace.Eplace_a.dp with
+              Eplace.Dp_ilp.flip = Eplace.Dp_ilp.Flip_exact } } );
+      ("1 restart", { base with Eplace.Eplace_a.restarts = 1 });
+      ( "16 bins",
+        { base with
+          Eplace.Eplace_a.gp =
+            { base.Eplace.Eplace_a.gp with Eplace.Gp_params.bins = 16 } } );
+      ( "64 bins",
+        { base with
+          Eplace.Eplace_a.gp =
+            { base.Eplace.Eplace_a.gp with Eplace.Gp_params.bins = 64 } } );
+      ("1 DP pass", { base with Eplace.Eplace_a.dp_passes = 1 });
+      ( "WPE term on",
+        { base with
+          Eplace.Eplace_a.gp =
+            { base.Eplace.Eplace_a.gp with Eplace.Gp_params.rho_wpe = 0.5 } } );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun name ->
+        List.map
+          (fun (label, params) ->
+            let a, w, t = run name params in
+            [ name; label; TF.f1 a; TF.f1 w; TF.f2 t ])
+          variants)
+      circuits
+  in
+  {
+    TF.header = [ "Design"; "Variant"; "Area(um2)"; "HPWL(um)"; "t(s)" ];
+    rows;
+  }
+
+(* ---------- Scaling study: runtime and quality vs problem size ----------
+   The paper's core question is whether the analytical paradigm's
+   digital-scale advantage matters at analog sizes; this sweep extends
+   the evidence beyond "dozens of devices" with a parametric ring VCO. *)
+
+let scaling cfg =
+  let sizes = if cfg.quick then [ 4; 8 ] else [ 4; 6; 8; 12 ] in
+  let rows =
+    List.map
+      (fun stages ->
+        let c = Circuits.Testcases.scaling_vco ~stages in
+        let n = Netlist.Circuit.n_devices c in
+        (* both methods at reduced budgets: one restart / one DP pass
+           for the analytical flow, size-scaled moves for SA — the
+           study compares *scaling*, not tuned quality *)
+        let sa = Methods.sa ~moves:(min cfg.sa_moves (40_000 * n)) () in
+        let ep =
+          Methods.eplace_a
+            ~params:
+              { (eplace_params cfg) with
+                Eplace.Eplace_a.restarts = 1; dp_passes = 1 }
+            ()
+        in
+        let run (m : Methods.t) =
+          match m.Methods.run c with
+          | Some o ->
+              let a, w = area_hpwl o.Methods.layout in
+              (a, w, o.Methods.runtime_s)
+          | None -> (nan, nan, nan)
+        in
+        let sa_a, sa_w, sa_t = run sa in
+        let ep_a, ep_w, ep_t = run ep in
+        [ string_of_int stages; string_of_int n;
+          TF.f1 sa_a; TF.f1 sa_w; TF.f2 sa_t;
+          TF.f1 ep_a; TF.f1 ep_w; TF.f2 ep_t;
+          TF.f1 (sa_t /. Float.max 1e-9 ep_t) ])
+      sizes
+  in
+  {
+    TF.header =
+      [ "Stages"; "Devices"; "SA a"; "SA w"; "SA t"; "eP a"; "eP w"; "eP t";
+        "speedup" ];
+    rows;
+  }

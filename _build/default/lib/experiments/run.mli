@@ -1,0 +1,64 @@
+(** One function per table and figure of the paper's evaluation
+    (Sec. IV-C and V-C). DESIGN.md maps each to its bench target;
+    EXPERIMENTS.md records paper-vs-measured. *)
+
+type cfg = {
+  quick : bool;
+  sa_moves : int;
+  sa_perf_moves : int;
+  restarts : int;
+  alpha : float;  (** Eq. 5 weight for the analytical performance term *)
+  sa_alpha : float;
+}
+
+val default_cfg : cfg
+val quick_cfg : cfg
+
+val all_circuits : string list
+
+type method_row = {
+  design : string;
+  area : float;
+  hpwl : float;
+  runtime : float;
+}
+
+val run_method : Methods.t -> string list -> method_row list
+
+val table1 : cfg -> Table_fmt.t
+(** Soft vs hard symmetry constraints in global placement. *)
+
+val fig2 : cfg -> Table_fmt.t
+(** Area-term ablation (with vs without eta Area(v)). *)
+
+val table3 : cfg -> Table_fmt.t * method_row list list
+(** Main conventional comparison: SA vs prior work [11] vs ePlace-A. *)
+
+val table4 : cfg -> Table_fmt.t
+(** Detailed placement only, from the same GP solutions. *)
+
+val table5 : cfg -> Table_fmt.t * (string * float list) list
+(** FOM for the three methods, conventional and performance-driven. *)
+
+val table6 : cfg -> Table_fmt.t
+(** CC-OTA detailed metrics, ePlace-A vs ePlace-AP. *)
+
+val table7 : cfg -> Table_fmt.t * method_row list list
+(** Area/HPWL/runtime for the performance-driven methods. *)
+
+type point = { p_method : string; p_x : float; p_y : float }
+
+val fig5 : cfg -> Table_fmt.t * point list
+(** HPWL-area tradeoff scatter on CM-OTA1 (parameter sweeps). *)
+
+val fig6 : cfg -> Table_fmt.t * point list
+(** FOM-area tradeoff scatter on CM-OTA1. *)
+
+val ablations : cfg -> Table_fmt.t
+(** Beyond-the-paper ablations of ePlace-A's design choices: WA vs LSE
+    smoothing, flipping strategy, restarts, density-grid resolution and
+    DP refinement passes. *)
+
+val scaling : cfg -> Table_fmt.t
+(** Beyond-the-paper scaling study: SA vs ePlace-A on parametric ring
+    VCOs of growing device count. *)

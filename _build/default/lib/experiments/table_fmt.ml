@@ -1,0 +1,44 @@
+(* Minimal fixed-width table rendering for the experiment reports. *)
+
+type t = { header : string list; rows : string list list }
+
+let render ppf { header; rows } =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width j =
+    List.fold_left
+      (fun m r -> match List.nth_opt r j with
+        | Some s -> max m (String.length s)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let line r =
+    String.concat "  "
+      (List.mapi
+         (fun j s ->
+           let w = List.nth widths j in
+           s ^ String.make (max 0 (w - String.length s)) ' ')
+         (r @ List.init (max 0 (ncols - List.length r)) (fun _ -> "")))
+  in
+  Fmt.pf ppf "%s@." (line header);
+  Fmt.pf ppf "%s@." (String.make (String.length (line header)) '-');
+  List.iter (fun r -> Fmt.pf ppf "%s@." (line r)) rows
+
+let f1 v = Fmt.str "%.1f" v
+let f2 v = Fmt.str "%.2f" v
+let f3 v = Fmt.str "%.3f" v
+
+(* Geometric-mean ratios of each method's column against a reference
+   column, matching the paper's "Avg. (X)" rows. *)
+let geo_mean_ratio pairs =
+  match pairs with
+  | [] -> 1.0
+  | _ ->
+      let s =
+        List.fold_left
+          (fun acc (v, ref_v) ->
+            if ref_v > 0.0 && v > 0.0 then acc +. log (v /. ref_v) else acc)
+          0.0 pairs
+      in
+      exp (s /. float_of_int (List.length pairs))

@@ -1,0 +1,1 @@
+lib/geometry/orient.ml: Fmt

@@ -1,0 +1,30 @@
+(* 2D point in micrometres. *)
+
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+let origin = { x = 0.0; y = 0.0 }
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let scale k a = { x = k *. a.x; y = k *. a.y }
+let neg a = { x = -.a.x; y = -.a.y }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+let norm2 a = dot a a
+let norm a = sqrt (norm2 a)
+
+let dist a b = norm (sub a b)
+
+(* Manhattan (L1) distance: the routing metric used throughout. *)
+let dist_l1 a b = abs_float (a.x -. b.x) +. abs_float (a.y -. b.y)
+
+let midpoint a b = { x = 0.5 *. (a.x +. b.x); y = 0.5 *. (a.y +. b.y) }
+
+let equal ?(eps = 1e-9) a b =
+  abs_float (a.x -. b.x) <= eps && abs_float (a.y -. b.y) <= eps
+
+let compare a b =
+  let c = Float.compare a.x b.x in
+  if c <> 0 then c else Float.compare a.y b.y
+
+let pp ppf p = Fmt.pf ppf "(%.4g, %.4g)" p.x p.y
+let to_string p = Fmt.str "%a" pp p

@@ -1,0 +1,32 @@
+(** Planar points, in micrometres. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val origin : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+val dot : t -> t -> float
+
+val norm2 : t -> float
+(** Squared Euclidean norm. *)
+
+val norm : t -> float
+val dist : t -> t -> float
+
+val dist_l1 : t -> t -> float
+(** Manhattan distance — the wirelength metric used by the placers. *)
+
+val midpoint : t -> t -> t
+
+val equal : ?eps:float -> t -> t -> bool
+(** Componentwise comparison with absolute tolerance [eps] (default 1e-9). *)
+
+val compare : t -> t -> int
+(** Lexicographic order on (x, y); suitable for [Set]/[Map]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/gnn/graph_enc.ml: Array List Netlist Numerics

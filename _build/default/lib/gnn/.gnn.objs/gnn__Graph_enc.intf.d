@@ -1,0 +1,1 @@
+lib/gnn/graph_enc.mli: Netlist Numerics

@@ -1,0 +1,1 @@
+lib/gnn/model.ml: Array Graph_enc Numerics

@@ -1,0 +1,1 @@
+lib/gnn/model.mli: Graph_enc Numerics

@@ -1,0 +1,1 @@
+lib/gnn/train.ml: Array Float Fun Graph_enc List Model Numerics

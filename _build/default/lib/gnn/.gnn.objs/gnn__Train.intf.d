@@ -1,0 +1,1 @@
+lib/gnn/train.mli: Graph_enc Model Numerics

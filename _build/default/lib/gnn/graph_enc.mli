@@ -1,0 +1,29 @@
+(** Circuit-graph encoding for the GNN performance model: clique-expanded
+    weighted adjacency (row-normalised, self loops) and "customized"
+    node features — device kind/size, critical-net incidence, centred
+    position, adjacency-weighted local span, matched-pair separation. *)
+
+type t = {
+  circuit : Netlist.Circuit.t;
+  ahat : Numerics.Matrix.t;
+  static : Numerics.Matrix.t;
+  partner : int array;  (** symmetric-pair partner or -1 *)
+  s_ref : float;
+}
+
+val n_static : int
+val n_features : int
+
+val of_circuit : Netlist.Circuit.t -> t
+
+val features :
+  t -> xs:float array -> ys:float array ->
+  Numerics.Matrix.t * (float array * float array)
+(** Feature matrix plus the centred-coordinate context needed by
+    {!backprop_positions}. *)
+
+val backprop_positions :
+  t -> dx:Numerics.Matrix.t -> ctx:float array * float array ->
+  gx:float array -> gy:float array -> scale:float -> unit
+(** Apply the (a.e. exact) position Jacobian of the features to a
+    feature-space gradient, accumulating [scale *] it. *)

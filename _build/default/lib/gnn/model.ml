@@ -1,0 +1,238 @@
+(* The GNN surrogate Phi(G): two graph-convolution layers, mean-pool
+   readout, two-layer MLP head, sigmoid output = probability that the
+   placement misses its FOM target. Forward and backward passes are
+   hand-written (the paper leans on TensorFlow autograd; DESIGN.md
+   documents the substitution). Backward produces both parameter
+   gradients (training) and input-feature gradients (the
+   -dPhi/dv term that drives ePlace-AP). *)
+
+module M = Numerics.Matrix
+
+let h1_dim = 16
+let h2_dim = 16
+let h3_dim = 8
+
+type t = {
+  w1 : M.t;  (* n_features x h1 *)
+  b1 : float array;
+  w2 : M.t;  (* h1 x h2 *)
+  b2 : float array;
+  w3 : M.t;  (* h2 x h3 *)
+  b3 : float array;
+  w4 : float array;  (* h3 *)
+  mutable b4 : float;
+}
+
+let create rng =
+  let init rows cols =
+    let s = sqrt (2.0 /. float_of_int rows) in
+    M.init rows cols (fun _ _ -> s *. Numerics.Rng.gaussian rng)
+  in
+  {
+    w1 = init Graph_enc.n_features h1_dim;
+    b1 = Array.make h1_dim 0.0;
+    w2 = init h1_dim h2_dim;
+    b2 = Array.make h2_dim 0.0;
+    w3 = init h2_dim h3_dim;
+    b3 = Array.make h3_dim 0.0;
+    w4 = Array.init h3_dim (fun _ -> 0.5 *. Numerics.Rng.gaussian rng);
+    b4 = 0.0;
+  }
+
+(* ---- parameter flattening (for Adam) ---- *)
+
+let n_params =
+  (Graph_enc.n_features * h1_dim) + h1_dim + (h1_dim * h2_dim) + h2_dim
+  + (h2_dim * h3_dim) + h3_dim + h3_dim + 1
+
+let pack t out =
+  let k = ref 0 in
+  let put v =
+    out.(!k) <- v;
+    incr k
+  in
+  let put_mat m =
+    for i = 0 to M.rows m - 1 do
+      for j = 0 to M.cols m - 1 do
+        put (M.get m i j)
+      done
+    done
+  in
+  put_mat t.w1;
+  Array.iter put t.b1;
+  put_mat t.w2;
+  Array.iter put t.b2;
+  put_mat t.w3;
+  Array.iter put t.b3;
+  Array.iter put t.w4;
+  put t.b4;
+  assert (!k = n_params)
+
+let unpack t src =
+  let k = ref 0 in
+  let take () =
+    let v = src.(!k) in
+    incr k;
+    v
+  in
+  let take_mat m =
+    for i = 0 to M.rows m - 1 do
+      for j = 0 to M.cols m - 1 do
+        M.set m i j (take ())
+      done
+    done
+  in
+  take_mat t.w1;
+  Array.iteri (fun i _ -> t.b1.(i) <- take ()) t.b1;
+  take_mat t.w2;
+  Array.iteri (fun i _ -> t.b2.(i) <- take ()) t.b2;
+  take_mat t.w3;
+  Array.iteri (fun i _ -> t.b3.(i) <- take ()) t.b3;
+  Array.iteri (fun i _ -> t.w4.(i) <- take ()) t.w4;
+  t.b4 <- take ();
+  assert (!k = n_params)
+
+(* ---- forward ---- *)
+
+type cache = {
+  enc : Graph_enc.t;
+  x : M.t;
+  ctx : float array * float array;
+  ax : M.t;  (* A_hat X *)
+  h1 : M.t;  (* relu(A_hat X W1 + b1) *)
+  ah1 : M.t;
+  h2 : M.t;
+  pool : float array;  (* mean over nodes, h2_dim *)
+  z3 : float array;  (* relu(pool W3 + b3) *)
+  phi : float;  (* sigmoid output *)
+}
+
+let relu v = if v > 0.0 then v else 0.0
+
+let affine_graph a x w b =
+  (* relu(A x W + b) and the pre-activation sign retained via the
+     output itself (relu' = 1 iff out > 0) *)
+  let ax = M.matmul a x in
+  let h = M.matmul ax w in
+  let out = M.init (M.rows h) (M.cols h) (fun i j -> relu (M.get h i j +. b.(j))) in
+  (ax, out)
+
+let forward t (enc : Graph_enc.t) ~xs ~ys =
+  let x, ctx = Graph_enc.features enc ~xs ~ys in
+  let ax, h1 = affine_graph enc.Graph_enc.ahat x t.w1 t.b1 in
+  let ah1, h2 = affine_graph enc.Graph_enc.ahat h1 t.w2 t.b2 in
+  let n = M.rows h2 in
+  let pool = Array.make h2_dim 0.0 in
+  for j = 0 to h2_dim - 1 do
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      s := !s +. M.get h2 i j
+    done;
+    pool.(j) <- !s /. float_of_int n
+  done;
+  let z3 =
+    Array.init h3_dim (fun j ->
+        let s = ref t.b3.(j) in
+        for i = 0 to h2_dim - 1 do
+          s := !s +. (pool.(i) *. M.get t.w3 i j)
+        done;
+        relu !s)
+  in
+  let z = ref t.b4 in
+  for i = 0 to h3_dim - 1 do
+    z := !z +. (z3.(i) *. t.w4.(i))
+  done;
+  let phi = 1.0 /. (1.0 +. exp (-. !z)) in
+  { enc; x; ctx; ax; h1; ah1; h2; pool; z3; phi }
+
+let predict t enc ~xs ~ys = (forward t enc ~xs ~ys).phi
+
+let phi (c : cache) = c.phi
+
+(* ---- backward ---- *)
+
+type grads = {
+  g_params : float array;  (* length n_params *)
+  g_x : M.t;  (* gradient w.r.t. the feature matrix *)
+}
+
+(* dz = dL/d(pre-sigmoid logit). For BCE with label y, dz = phi - y.
+   For using phi itself as an objective term, dz = phi (1 - phi). *)
+let backward t (cc : cache) ~dz =
+  let n = M.rows cc.h2 in
+  (* head *)
+  let g_w4 = Array.map (fun z -> z *. dz) cc.z3 in
+  let g_b4 = dz in
+  let d_z3 =
+    Array.init h3_dim (fun i ->
+        if cc.z3.(i) > 0.0 then dz *. t.w4.(i) else 0.0)
+  in
+  let g_w3 = M.create h2_dim h3_dim in
+  let g_b3 = Array.copy d_z3 in
+  for i = 0 to h2_dim - 1 do
+    for j = 0 to h3_dim - 1 do
+      M.set g_w3 i j (cc.pool.(i) *. d_z3.(j))
+    done
+  done;
+  let d_pool =
+    Array.init h2_dim (fun i ->
+        let s = ref 0.0 in
+        for j = 0 to h3_dim - 1 do
+          s := !s +. (M.get t.w3 i j *. d_z3.(j))
+        done;
+        !s)
+  in
+  (* mean pool -> per node, through relu of h2 *)
+  let inv_n = 1.0 /. float_of_int n in
+  let d_h2 =
+    M.init n h2_dim (fun i j ->
+        if M.get cc.h2 i j > 0.0 then d_pool.(j) *. inv_n else 0.0)
+  in
+  (* layer 2: h2 = relu(ah1 w2 + b2) *)
+  let g_w2 = M.matmul (M.transpose cc.ah1) d_h2 in
+  let g_b2 =
+    Array.init h2_dim (fun j ->
+        let s = ref 0.0 in
+        for i = 0 to n - 1 do
+          s := !s +. M.get d_h2 i j
+        done;
+        !s)
+  in
+  (* d(ah1) = d_h2 w2^T ; d_h1 = A^T d(ah1), gated by relu of h1 *)
+  let d_ah1 = M.matmul d_h2 (M.transpose t.w2) in
+  let d_h1_pre = M.matmul (M.transpose cc.enc.Graph_enc.ahat) d_ah1 in
+  let d_h1 =
+    M.init n h1_dim (fun i j ->
+        if M.get cc.h1 i j > 0.0 then M.get d_h1_pre i j else 0.0)
+  in
+  (* layer 1: h1 = relu(ax w1 + b1) *)
+  let g_w1 = M.matmul (M.transpose cc.ax) d_h1 in
+  let g_b1 =
+    Array.init h1_dim (fun j ->
+        let s = ref 0.0 in
+        for i = 0 to n - 1 do
+          s := !s +. M.get d_h1 i j
+        done;
+        !s)
+  in
+  let d_ax = M.matmul d_h1 (M.transpose t.w1) in
+  let g_x = M.matmul (M.transpose cc.enc.Graph_enc.ahat) d_ax in
+  let g_params = Array.make n_params 0.0 in
+  let tmp =
+    {
+      w1 = g_w1; b1 = g_b1; w2 = g_w2; b2 = g_b2; w3 = g_w3; b3 = g_b3;
+      w4 = g_w4; b4 = g_b4;
+    }
+  in
+  pack tmp g_params;
+  { g_params; g_x }
+
+(* ---- placement-facing API ---- *)
+
+(* Phi value with gradient accumulation into gx, gy, scaled by alpha. *)
+let phi_grad t enc ~alpha ~xs ~ys ~gx ~gy =
+  let cc = forward t enc ~xs ~ys in
+  let dz = cc.phi *. (1.0 -. cc.phi) in
+  let g = backward t cc ~dz in
+  Graph_enc.backprop_positions enc ~dx:g.g_x ~ctx:cc.ctx ~gx ~gy ~scale:alpha;
+  alpha *. cc.phi

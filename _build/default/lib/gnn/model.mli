@@ -1,0 +1,35 @@
+(** The GNN performance surrogate Phi(G): two graph-convolution layers,
+    mean-pool readout, MLP head, sigmoid output = probability the
+    placement misses its FOM target. Hand-written forward/backward with
+    both parameter gradients (training) and input-position gradients
+    (the -dPhi/dv term of ePlace-AP, paper Sec. V-A). *)
+
+type t
+
+val create : Numerics.Rng.t -> t
+(** He-initialised parameters. *)
+
+val n_params : int
+
+val pack : t -> float array -> unit
+(** Serialise parameters into a flat array (length [n_params]). *)
+
+val unpack : t -> float array -> unit
+
+type cache
+
+val forward : t -> Graph_enc.t -> xs:float array -> ys:float array -> cache
+val predict : t -> Graph_enc.t -> xs:float array -> ys:float array -> float
+
+type grads = { g_params : float array; g_x : Numerics.Matrix.t }
+
+val backward : t -> cache -> dz:float -> grads
+(** [dz] is dLoss/d(logit): [phi - y] for binary cross-entropy,
+    [phi (1 - phi)] when Phi itself is the objective term. *)
+
+val phi : cache -> float
+val phi_grad :
+  t -> Graph_enc.t -> alpha:float -> xs:float array -> ys:float array ->
+  gx:float array -> gy:float array -> float
+(** Evaluate [alpha * Phi] and accumulate its coordinate gradient —
+    the plug-in for {!Eplace.Global_place.perf_term}. *)

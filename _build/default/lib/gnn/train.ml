@@ -1,0 +1,66 @@
+(* Training loop for the GNN surrogate: binary cross-entropy on
+   labelled placements (label 1 = performance unsatisfactory, as in the
+   paper), Adam optimizer, mini-batch gradient accumulation. *)
+
+type sample = {
+  enc : Graph_enc.t;
+  xs : float array;
+  ys : float array;
+  label : float;  (* 1.0 = unsatisfactory *)
+}
+
+type stats = {
+  epochs_run : int;
+  final_loss : float;
+  final_accuracy : float;
+}
+
+let bce phi y =
+  let eps = 1e-7 in
+  let p = Float.max eps (Float.min (1.0 -. eps) phi) in
+  -.((y *. log p) +. ((1.0 -. y) *. log (1.0 -. p)))
+
+let evaluate model samples =
+  let loss = ref 0.0 and correct = ref 0 in
+  List.iter
+    (fun s ->
+      let p = Model.predict model s.enc ~xs:s.xs ~ys:s.ys in
+      loss := !loss +. bce p s.label;
+      if (p > 0.5) = (s.label > 0.5) then incr correct)
+    samples;
+  let n = float_of_int (List.length samples) in
+  (!loss /. n, float_of_int !correct /. n)
+
+let train ?(epochs = 120) ?(batch = 16) ?(lr = 3e-3) ~rng model samples =
+  let samples = Array.of_list samples in
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Train.train: no samples";
+  let adam = Numerics.Adam.create ~lr Model.n_params in
+  let params = Array.make Model.n_params 0.0 in
+  let grad_acc = Array.make Model.n_params 0.0 in
+  let order = Array.init n Fun.id in
+  let last_loss = ref infinity in
+  for _epoch = 1 to epochs do
+    Numerics.Rng.shuffle rng order;
+    let i = ref 0 in
+    while !i < n do
+      let bsz = min batch (n - !i) in
+      Array.fill grad_acc 0 Model.n_params 0.0;
+      for k = 0 to bsz - 1 do
+        let s = samples.(order.(!i + k)) in
+        let cache = Model.forward model s.enc ~xs:s.xs ~ys:s.ys in
+        let dz = Model.phi cache -. s.label in
+        let g = Model.backward model cache ~dz in
+        Numerics.Vec.axpy ~alpha:(1.0 /. float_of_int bsz)
+          g.Model.g_params grad_acc
+      done;
+      Model.pack model params;
+      Numerics.Adam.step adam ~params ~grads:grad_acc;
+      Model.unpack model params;
+      i := !i + bsz
+    done;
+    let loss, _acc = evaluate model (Array.to_list samples) in
+    last_loss := loss
+  done;
+  let loss, acc = evaluate model (Array.to_list samples) in
+  { epochs_run = epochs; final_loss = loss; final_accuracy = acc }

@@ -1,0 +1,25 @@
+(** Training for the GNN surrogate: binary cross-entropy (label 1 =
+    performance unsatisfactory) with Adam, as in the paper's Sec. V-C. *)
+
+type sample = {
+  enc : Graph_enc.t;
+  xs : float array;
+  ys : float array;
+  label : float;
+}
+
+type stats = {
+  epochs_run : int;
+  final_loss : float;
+  final_accuracy : float;
+}
+
+val bce : float -> float -> float
+
+val evaluate : Model.t -> sample list -> float * float
+(** (mean BCE loss, accuracy). *)
+
+val train :
+  ?epochs:int -> ?batch:int -> ?lr:float -> rng:Numerics.Rng.t -> Model.t ->
+  sample list -> stats
+(** In-place training. @raise Invalid_argument on an empty sample list. *)

@@ -1,0 +1,1 @@
+lib/netlist/checks.ml: Array Circuit Constraint_set Device Float Fmt Geometry Layout List

@@ -1,0 +1,1 @@
+lib/netlist/checks.mli: Constraint_set Format Layout

@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Constraint_set Device Fmt List Net

@@ -1,0 +1,1 @@
+lib/netlist/circuit.mli: Constraint_set Device Format Net

@@ -1,0 +1,1 @@
+lib/netlist/constraint_set.ml: Fmt Hashtbl List Result

@@ -1,0 +1,1 @@
+lib/netlist/constraint_set.mli:

@@ -1,0 +1,1 @@
+lib/netlist/io.ml: Array Circuit Constraint_set Device Fmt Geometry Hashtbl Layout List Net String

@@ -1,0 +1,1 @@
+lib/netlist/layout.ml: Array Circuit Device Float Fmt Geometry List Net

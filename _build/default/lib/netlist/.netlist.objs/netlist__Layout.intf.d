@@ -1,0 +1,1 @@
+lib/netlist/layout.mli: Circuit Format Geometry Net

@@ -1,0 +1,1 @@
+lib/netlist/svg.ml: Array Checks Circuit Constraint_set Device Float Fmt Format Geometry Layout List Net

@@ -1,0 +1,1 @@
+lib/netlist/svg.mli: Format Layout

@@ -1,0 +1,135 @@
+type violation =
+  | Overlap of { a : int; b : int; area : float }
+  | Symmetry of { group : int; detail : string; err : float }
+  | Alignment of { a : int; b : int; err : float }
+  | Ordering of { first : int; second : int; gap : float }
+
+let pp_violation ppf = function
+  | Overlap { a; b; area } -> Fmt.pf ppf "overlap(%d,%d)=%.4g" a b area
+  | Symmetry { group; detail; err } ->
+      Fmt.pf ppf "symmetry(group %d, %s)=%.4g" group detail err
+  | Alignment { a; b; err } -> Fmt.pf ppf "align(%d,%d)=%.4g" a b err
+  | Ordering { first; second; gap } ->
+      Fmt.pf ppf "order(%d before %d) gap=%.4g" first second gap
+
+let overlaps ?(eps = 1e-6) (l : Layout.t) =
+  let n = Layout.n_devices l in
+  let rects = Array.init n (Layout.device_rect l) in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = Geometry.Rect.overlap_area rects.(i) rects.(j) in
+      if a > eps then acc := Overlap { a = i; b = j; area = a } :: !acc
+    done
+  done;
+  List.rev !acc
+
+(* Symmetry-axis position implied by a group: mean of pair midpoints and
+   self-symmetric centres along the mirrored coordinate. *)
+let group_axis_position (l : Layout.t) (g : Constraint_set.sym_group) =
+  let coord i =
+    match g.Constraint_set.sym_axis with
+    | Constraint_set.Vertical -> l.Layout.xs.(i)
+    | Constraint_set.Horizontal -> l.Layout.ys.(i)
+  in
+  let sum = ref 0.0 and count = ref 0 in
+  List.iter
+    (fun (a, b) ->
+      sum := !sum +. (0.5 *. (coord a +. coord b));
+      incr count)
+    g.Constraint_set.pairs;
+  List.iter
+    (fun r ->
+      sum := !sum +. coord r;
+      incr count)
+    g.Constraint_set.selfs;
+  if !count = 0 then 0.0 else !sum /. float_of_int !count
+
+let symmetry_violations ?(tol = 1e-4) (l : Layout.t) =
+  let cs = l.Layout.circuit.Circuit.constraints in
+  List.concat
+    (List.mapi
+       (fun gi (g : Constraint_set.sym_group) ->
+         let axis = group_axis_position l g in
+         let main i =
+           match g.Constraint_set.sym_axis with
+           | Constraint_set.Vertical -> l.Layout.xs.(i)
+           | Constraint_set.Horizontal -> l.Layout.ys.(i)
+         and cross i =
+           match g.Constraint_set.sym_axis with
+           | Constraint_set.Vertical -> l.Layout.ys.(i)
+           | Constraint_set.Horizontal -> l.Layout.xs.(i)
+         in
+         let of_pair (a, b) =
+           let e1 = abs_float (main a +. main b -. (2.0 *. axis)) in
+           let e2 = abs_float (cross a -. cross b) in
+           let err = Float.max e1 e2 in
+           if err > tol then
+             [ Symmetry
+                 { group = gi; detail = Fmt.str "pair(%d,%d)" a b; err } ]
+           else []
+         in
+         let of_self r =
+           let err = abs_float (main r -. axis) in
+           if err > tol then
+             [ Symmetry { group = gi; detail = Fmt.str "self(%d)" r; err } ]
+           else []
+         in
+         List.concat_map of_pair g.Constraint_set.pairs
+         @ List.concat_map of_self g.Constraint_set.selfs)
+       cs.Constraint_set.sym_groups)
+
+let alignment_violations ?(tol = 1e-4) (l : Layout.t) =
+  let cs = l.Layout.circuit.Circuit.constraints in
+  let dev i = Circuit.device l.Layout.circuit i in
+  List.filter_map
+    (fun (p : Constraint_set.align_pair) ->
+      let a = p.Constraint_set.a and b = p.Constraint_set.b in
+      let err =
+        match p.Constraint_set.align_kind with
+        | Constraint_set.Bottom ->
+            abs_float
+              (l.Layout.ys.(a) -. (0.5 *. (dev a).Device.h)
+              -. (l.Layout.ys.(b) -. (0.5 *. (dev b).Device.h)))
+        | Constraint_set.Top ->
+            abs_float
+              (l.Layout.ys.(a) +. (0.5 *. (dev a).Device.h)
+              -. (l.Layout.ys.(b) +. (0.5 *. (dev b).Device.h)))
+        | Constraint_set.Vcenter -> abs_float (l.Layout.xs.(a) -. l.Layout.xs.(b))
+        | Constraint_set.Hcenter -> abs_float (l.Layout.ys.(a) -. l.Layout.ys.(b))
+      in
+      if err > tol then Some (Alignment { a; b; err }) else None)
+    cs.Constraint_set.aligns
+
+let ordering_violations ?(tol = 1e-4) (l : Layout.t) =
+  let cs = l.Layout.circuit.Circuit.constraints in
+  let dev i = Circuit.device l.Layout.circuit i in
+  List.concat_map
+    (fun (o : Constraint_set.order_chain) ->
+      let rec pairs = function
+        | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+        | _ -> []
+      in
+      List.filter_map
+        (fun (a, b) ->
+          let gap =
+            match o.Constraint_set.order_dir with
+            | Constraint_set.Left_to_right ->
+                l.Layout.xs.(b) -. (0.5 *. (dev b).Device.w)
+                -. (l.Layout.xs.(a) +. (0.5 *. (dev a).Device.w))
+            | Constraint_set.Bottom_to_top ->
+                l.Layout.ys.(b) -. (0.5 *. (dev b).Device.h)
+                -. (l.Layout.ys.(a) +. (0.5 *. (dev a).Device.h))
+          in
+          if gap < -.tol then Some (Ordering { first = a; second = b; gap })
+          else None)
+        (pairs o.Constraint_set.chain))
+    cs.Constraint_set.orders
+
+let all ?(tol = 1e-4) l =
+  overlaps ~eps:(tol *. tol) l
+  @ symmetry_violations ~tol l
+  @ alignment_violations ~tol l
+  @ ordering_violations ~tol l
+
+let is_legal ?tol l = all ?tol l = []

@@ -1,0 +1,24 @@
+(** Legality checking for placements: non-overlap, symmetry, alignment
+    and ordering constraints, each with a numeric tolerance. *)
+
+type violation =
+  | Overlap of { a : int; b : int; area : float }
+  | Symmetry of { group : int; detail : string; err : float }
+  | Alignment of { a : int; b : int; err : float }
+  | Ordering of { first : int; second : int; gap : float }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val overlaps : ?eps:float -> Layout.t -> violation list
+(** Pairs overlapping by more than [eps] area (default 1e-6 um^2). *)
+
+val group_axis_position : Layout.t -> Constraint_set.sym_group -> float
+(** Best-fit axis coordinate for the group under the current placement
+    (mean of pair midpoints and self-symmetric centres). *)
+
+val symmetry_violations : ?tol:float -> Layout.t -> violation list
+val alignment_violations : ?tol:float -> Layout.t -> violation list
+val ordering_violations : ?tol:float -> Layout.t -> violation list
+
+val all : ?tol:float -> Layout.t -> violation list
+val is_legal : ?tol:float -> Layout.t -> bool

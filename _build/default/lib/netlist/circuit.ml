@@ -1,0 +1,73 @@
+type t = {
+  name : string;
+  devices : Device.t array;
+  nets : Net.t array;
+  constraints : Constraint_set.t;
+  perf_class : string;
+  meta : (string * float) list;
+}
+
+let make ?(constraints = Constraint_set.empty) ?(perf_class = "generic")
+    ?(meta = []) ~name ~devices ~nets () =
+  let n = Array.length devices in
+  Array.iteri
+    (fun i (d : Device.t) ->
+      if d.Device.id <> i then
+        invalid_arg
+          (Fmt.str "Circuit.make %s: device %s has id %d at index %d" name
+             d.Device.name d.Device.id i))
+    devices;
+  Array.iteri
+    (fun i (e : Net.t) ->
+      if e.Net.id <> i then
+        invalid_arg
+          (Fmt.str "Circuit.make %s: net %s has id %d at index %d" name
+             e.Net.name e.Net.id i);
+      Array.iter
+        (fun (t : Net.terminal) ->
+          if t.Net.dev < 0 || t.Net.dev >= n then
+            invalid_arg
+              (Fmt.str "Circuit.make %s: net %s references device %d" name
+                 e.Net.name t.Net.dev);
+          let d = devices.(t.Net.dev) in
+          if t.Net.pin < 0 || t.Net.pin >= Array.length d.Device.pins then
+            invalid_arg
+              (Fmt.str "Circuit.make %s: net %s references pin %d of %s" name
+                 e.Net.name t.Net.pin d.Device.name))
+        e.Net.terminals)
+    nets;
+  (match Constraint_set.validate constraints ~n_devices:n with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Fmt.str "Circuit.make %s: %s" name msg));
+  { name; devices; nets; constraints; perf_class; meta }
+
+let n_devices c = Array.length c.devices
+let n_nets c = Array.length c.nets
+let device c i = c.devices.(i)
+let net c i = c.nets.(i)
+
+let total_device_area c =
+  Array.fold_left (fun acc d -> acc +. Device.area d) 0.0 c.devices
+
+let meta_value ?default c key =
+  match List.assoc_opt key c.meta with
+  | Some v -> v
+  | None -> (
+      match default with
+      | Some v -> v
+      | None ->
+          invalid_arg (Fmt.str "Circuit.meta_value %s: missing key %s" c.name key))
+
+(* Device -> nets incidence, computed once per traversal. *)
+let nets_of_device c =
+  let inc = Array.make (n_devices c) [] in
+  Array.iter
+    (fun (e : Net.t) ->
+      List.iter (fun d -> inc.(d) <- e.Net.id :: inc.(d)) (Net.devices e))
+    c.nets;
+  Array.map List.rev inc
+
+let pp ppf c =
+  Fmt.pf ppf "%s: %d devices, %d nets, %d sym groups" c.name (n_devices c)
+    (n_nets c)
+    (List.length c.constraints.Constraint_set.sym_groups)

@@ -1,0 +1,35 @@
+(** An analog circuit: devices, nets, geometric constraints, and the
+    electrical metadata its performance model reads. *)
+
+type t = {
+  name : string;
+  devices : Device.t array;  (** indexed by device id *)
+  nets : Net.t array;  (** indexed by net id *)
+  constraints : Constraint_set.t;
+  perf_class : string;
+      (** performance-model family: "ota", "comparator", "vco", … *)
+  meta : (string * float) list;
+      (** nominal electrical parameters (gm, ro, load cap, …) consumed by
+          the SPICE-lite models *)
+}
+
+val make :
+  ?constraints:Constraint_set.t -> ?perf_class:string ->
+  ?meta:(string * float) list -> name:string -> devices:Device.t array ->
+  nets:Net.t array -> unit -> t
+(** Validates id/index agreement, terminal references and constraints.
+    @raise Invalid_argument on any inconsistency. *)
+
+val n_devices : t -> int
+val n_nets : t -> int
+val device : t -> int -> Device.t
+val net : t -> int -> Net.t
+val total_device_area : t -> float
+
+val meta_value : ?default:float -> t -> string -> float
+(** Lookup in [meta]. @raise Invalid_argument if absent and no default. *)
+
+val nets_of_device : t -> int list array
+(** For each device, the ids of nets incident to it. *)
+
+val pp : Format.formatter -> t -> unit

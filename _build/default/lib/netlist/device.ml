@@ -1,0 +1,64 @@
+type kind =
+  | Nmos
+  | Pmos
+  | Cap
+  | Res
+  | Ind
+  | Io
+  | Other of string
+
+type pin = { pin_name : string; ox : float; oy : float }
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  w : float;
+  h : float;
+  pins : pin array;
+}
+
+let kind_to_string = function
+  | Nmos -> "nmos"
+  | Pmos -> "pmos"
+  | Cap -> "cap"
+  | Res -> "res"
+  | Ind -> "ind"
+  | Io -> "io"
+  | Other s -> s
+
+(* Stable small integer for feature encodings (GNN one-hot). *)
+let kind_index = function
+  | Nmos -> 0
+  | Pmos -> 1
+  | Cap -> 2
+  | Res -> 3
+  | Ind -> 4
+  | Io -> 5
+  | Other _ -> 6
+
+let n_kinds = 7
+
+let make ~id ~name ~kind ~w ~h ~pins =
+  if w <= 0.0 || h <= 0.0 then
+    invalid_arg (Fmt.str "Device.make %s: non-positive size %gx%g" name w h);
+  Array.iter
+    (fun p ->
+      if p.ox < 0.0 || p.ox > w || p.oy < 0.0 || p.oy > h then
+        invalid_arg
+          (Fmt.str "Device.make %s: pin %s offset (%g,%g) outside %gx%g" name
+             p.pin_name p.ox p.oy w h))
+    pins;
+  { id; name; kind; w; h; pins }
+
+let area d = d.w *. d.h
+
+let pin_offset d ~pin ~(orient : Geometry.Orient.t) =
+  if pin < 0 || pin >= Array.length d.pins then
+    invalid_arg (Fmt.str "Device.pin_offset %s: no pin %d" d.name pin);
+  let p = d.pins.(pin) in
+  Geometry.Orient.apply_offset orient ~w:d.w ~h:d.h ~ox:p.ox ~oy:p.oy
+
+let pp ppf d =
+  Fmt.pf ppf "%s#%d(%s %gx%g, %d pins)" d.name d.id (kind_to_string d.kind)
+    d.w d.h (Array.length d.pins)

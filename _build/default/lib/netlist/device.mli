@@ -1,0 +1,44 @@
+(** Placeable analog devices (transistors, passives, IO pads).
+
+    Sizes are in micrometres. Pin offsets are measured from the device's
+    lower-left corner in the unflipped orientation. *)
+
+type kind =
+  | Nmos
+  | Pmos
+  | Cap
+  | Res
+  | Ind
+  | Io
+  | Other of string
+
+type pin = { pin_name : string; ox : float; oy : float }
+
+type t = {
+  id : int;  (** index into the circuit's device array *)
+  name : string;
+  kind : kind;
+  w : float;
+  h : float;
+  pins : pin array;
+}
+
+val kind_to_string : kind -> string
+
+val kind_index : kind -> int
+(** Stable index in [0, n_kinds); used for one-hot feature encodings. *)
+
+val n_kinds : int
+
+val make :
+  id:int -> name:string -> kind:kind -> w:float -> h:float ->
+  pins:pin array -> t
+(** @raise Invalid_argument on non-positive size or out-of-device pin. *)
+
+val area : t -> float
+
+val pin_offset : t -> pin:int -> orient:Geometry.Orient.t -> float * float
+(** Offset of pin [pin] from the lower-left corner after flipping.
+    @raise Invalid_argument on bad pin index. *)
+
+val pp : Format.formatter -> t -> unit

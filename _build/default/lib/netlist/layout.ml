@@ -1,0 +1,120 @@
+type t = {
+  circuit : Circuit.t;
+  xs : float array;
+  ys : float array;
+  orients : Geometry.Orient.t array;
+}
+
+let create c =
+  let n = Circuit.n_devices c in
+  {
+    circuit = c;
+    xs = Array.make n 0.0;
+    ys = Array.make n 0.0;
+    orients = Array.make n Geometry.Orient.identity;
+  }
+
+let copy l =
+  {
+    circuit = l.circuit;
+    xs = Array.copy l.xs;
+    ys = Array.copy l.ys;
+    orients = Array.copy l.orients;
+  }
+
+let n_devices l = Circuit.n_devices l.circuit
+
+let set l i ~x ~y =
+  l.xs.(i) <- x;
+  l.ys.(i) <- y
+
+let set_orient l i o = l.orients.(i) <- o
+let center l i = Geometry.Point.make l.xs.(i) l.ys.(i)
+
+let device_rect l i =
+  let d = Circuit.device l.circuit i in
+  Geometry.Rect.of_center ~cx:l.xs.(i) ~cy:l.ys.(i) ~w:d.Device.w ~h:d.Device.h
+
+let pin_position l (t : Net.terminal) =
+  let d = Circuit.device l.circuit t.Net.dev in
+  let ox, oy =
+    Device.pin_offset d ~pin:t.Net.pin ~orient:l.orients.(t.Net.dev)
+  in
+  Geometry.Point.make
+    (l.xs.(t.Net.dev) -. (0.5 *. d.Device.w) +. ox)
+    (l.ys.(t.Net.dev) -. (0.5 *. d.Device.h) +. oy)
+
+let die_bbox l =
+  Geometry.Rect.bounding_box
+    (List.init (n_devices l) (fun i -> device_rect l i))
+
+let area l = Geometry.Rect.area (die_bbox l)
+
+let total_overlap l =
+  let n = n_devices l in
+  let rects = Array.init n (fun i -> device_rect l i) in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      acc := !acc +. Geometry.Rect.overlap_area rects.(i) rects.(j)
+    done
+  done;
+  !acc
+
+let net_bbox l (e : Net.t) =
+  let p0 = pin_position l e.Net.terminals.(0) in
+  let lo = ref p0 and hi = ref p0 in
+  Array.iter
+    (fun t ->
+      let p = pin_position l t in
+      lo :=
+        Geometry.Point.make
+          (Float.min !lo.Geometry.Point.x p.Geometry.Point.x)
+          (Float.min !lo.Geometry.Point.y p.Geometry.Point.y);
+      hi :=
+        Geometry.Point.make
+          (Float.max !hi.Geometry.Point.x p.Geometry.Point.x)
+          (Float.max !hi.Geometry.Point.y p.Geometry.Point.y))
+    e.Net.terminals;
+  Geometry.Rect.make ~x0:!lo.Geometry.Point.x ~y0:!lo.Geometry.Point.y
+    ~x1:!hi.Geometry.Point.x ~y1:!hi.Geometry.Point.y
+
+let net_hpwl l e =
+  let b = net_bbox l e in
+  Geometry.Rect.width b +. Geometry.Rect.height b
+
+let hpwl l =
+  Array.fold_left
+    (fun acc e -> acc +. (e.Net.weight *. net_hpwl l e))
+    0.0 l.circuit.Circuit.nets
+
+(* Shift all devices so the die bounding box has its lower-left at the
+   origin; placers produce coordinate-frame-agnostic results. *)
+let normalize l =
+  let b = die_bbox l in
+  let n = n_devices l in
+  for i = 0 to n - 1 do
+    l.xs.(i) <- l.xs.(i) -. b.Geometry.Rect.x0;
+    l.ys.(i) <- l.ys.(i) -. b.Geometry.Rect.y0
+  done
+
+let snap l ~grid =
+  if grid <= 0.0 then invalid_arg "Layout.snap: grid <= 0";
+  let n = n_devices l in
+  for i = 0 to n - 1 do
+    l.xs.(i) <- Float.round (l.xs.(i) /. grid) *. grid;
+    l.ys.(i) <- Float.round (l.ys.(i) /. grid) *. grid
+  done
+
+let pp ppf l =
+  let b = die_bbox l in
+  Fmt.pf ppf "%s: area %.1f um^2 (%.2f x %.2f), HPWL %.1f um"
+    l.circuit.Circuit.name (area l) (Geometry.Rect.width b)
+    (Geometry.Rect.height b) (hpwl l)
+
+let pp_devices ppf l =
+  for i = 0 to n_devices l - 1 do
+    let d = Circuit.device l.circuit i in
+    Fmt.pf ppf "  %-10s (%7.3f,%7.3f) %a@." d.Device.name l.xs.(i) l.ys.(i)
+      Geometry.Orient.pp l.orients.(i)
+  done

@@ -1,0 +1,47 @@
+(** Placement state: per-device centre coordinates and orientations.
+
+    Coordinates [(xs.(i), ys.(i))] are the *centre* of device [i],
+    matching the paper's convention (Eq. 4c). *)
+
+type t = {
+  circuit : Circuit.t;
+  xs : float array;
+  ys : float array;
+  orients : Geometry.Orient.t array;
+}
+
+val create : Circuit.t -> t
+(** All devices at the origin, unflipped. *)
+
+val copy : t -> t
+val n_devices : t -> int
+val set : t -> int -> x:float -> y:float -> unit
+val set_orient : t -> int -> Geometry.Orient.t -> unit
+val center : t -> int -> Geometry.Point.t
+val device_rect : t -> int -> Geometry.Rect.t
+val pin_position : t -> Net.terminal -> Geometry.Point.t
+
+val die_bbox : t -> Geometry.Rect.t
+(** Bounding box of all device rectangles. *)
+
+val area : t -> float
+(** Area of [die_bbox] — the paper's layout-area metric. *)
+
+val total_overlap : t -> float
+(** Sum of pairwise overlap areas; 0 iff the placement is overlap-free. *)
+
+val net_bbox : t -> Net.t -> Geometry.Rect.t
+val net_hpwl : t -> Net.t -> float
+
+val hpwl : t -> float
+(** Weighted half-perimeter wirelength over all nets. *)
+
+val normalize : t -> unit
+(** Translate so the die bounding box starts at the origin. *)
+
+val snap : t -> grid:float -> unit
+(** Round all centres to multiples of [grid].
+    @raise Invalid_argument if [grid <= 0]. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_devices : Format.formatter -> t -> unit

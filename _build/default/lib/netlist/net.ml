@@ -1,0 +1,24 @@
+type terminal = { dev : int; pin : int }
+
+type t = {
+  id : int;
+  name : string;
+  terminals : terminal array;
+  weight : float;
+  critical : bool;
+}
+
+let make ?(weight = 1.0) ?(critical = false) ~id ~name terminals =
+  if Array.length terminals < 1 then
+    invalid_arg (Fmt.str "Net.make %s: empty net" name);
+  if weight <= 0.0 then invalid_arg (Fmt.str "Net.make %s: weight <= 0" name);
+  { id; name; terminals = Array.copy terminals; weight; critical }
+
+let degree n = Array.length n.terminals
+
+let devices n =
+  Array.to_list n.terminals |> List.map (fun t -> t.dev) |> List.sort_uniq compare
+
+let pp ppf n =
+  Fmt.pf ppf "%s#%d(%d terms%s)" n.name n.id (degree n)
+    (if n.critical then ", critical" else "")

@@ -1,0 +1,23 @@
+(** Nets: hyperedges over device pins. *)
+
+type terminal = { dev : int; pin : int }
+
+type t = {
+  id : int;
+  name : string;
+  terminals : terminal array;
+  weight : float;  (** HPWL weight; criticality-derived weights > 1 *)
+  critical : bool;  (** performance-critical net (monotone-path candidates) *)
+}
+
+val make :
+  ?weight:float -> ?critical:bool -> id:int -> name:string ->
+  terminal array -> t
+(** @raise Invalid_argument on empty terminal list or non-positive weight. *)
+
+val degree : t -> int
+
+val devices : t -> int list
+(** Sorted, deduplicated device ids on this net. *)
+
+val pp : Format.formatter -> t -> unit

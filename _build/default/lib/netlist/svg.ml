@@ -1,0 +1,115 @@
+(* SVG rendering of placements: devices as rectangles coloured by kind,
+   pin markers, optional net fly-lines (star topology from the net
+   centroid) and symmetry-axis guides. Intended for debugging layouts
+   and for the examples' output. *)
+
+let kind_fill = function
+  | Device.Nmos -> "#7eb2dd"
+  | Device.Pmos -> "#e4a3a3"
+  | Device.Cap -> "#b7d7a8"
+  | Device.Res -> "#ffe599"
+  | Device.Ind -> "#d5a6bd"
+  | Device.Io -> "#cccccc"
+  | Device.Other _ -> "#eeeeee"
+
+let write ?(scale = 40.0) ?(margin = 12.0) ?(nets = true) ?(axes = true) ppf
+    (l : Layout.t) =
+  let b = Layout.die_bbox l in
+  let w = (Geometry.Rect.width b *. scale) +. (2.0 *. margin) in
+  let h = (Geometry.Rect.height b *. scale) +. (2.0 *. margin) in
+  (* SVG y grows downward; flip so the layout's y grows upward *)
+  let tx x = ((x -. b.Geometry.Rect.x0) *. scale) +. margin in
+  let ty y = h -. (((y -. b.Geometry.Rect.y0) *. scale) +. margin) in
+  Fmt.pf ppf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+     viewBox=\"0 0 %.1f %.1f\">@." w h w h;
+  Fmt.pf ppf "<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>@.";
+  (* devices *)
+  for i = 0 to Layout.n_devices l - 1 do
+    let d = Circuit.device l.Layout.circuit i in
+    let r = Layout.device_rect l i in
+    Fmt.pf ppf
+      "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+       fill=\"%s\" stroke=\"#333\" stroke-width=\"1\"/>@."
+      (tx r.Geometry.Rect.x0)
+      (ty r.Geometry.Rect.y1)
+      (Geometry.Rect.width r *. scale)
+      (Geometry.Rect.height r *. scale)
+      (kind_fill d.Device.kind);
+    Fmt.pf ppf
+      "<text x=\"%.1f\" y=\"%.1f\" font-size=\"%.1f\" text-anchor=\"middle\" \
+       fill=\"#222\">%s</text>@."
+      (tx l.Layout.xs.(i))
+      (ty l.Layout.ys.(i) +. 3.0)
+      (Float.min 11.0 (0.35 *. Geometry.Rect.width r *. scale))
+      d.Device.name;
+    (* pins *)
+    Array.iteri
+      (fun pin _ ->
+        let p = Layout.pin_position l { Net.dev = i; pin } in
+        Fmt.pf ppf
+          "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"1.6\" fill=\"#222\"/>@."
+          (tx p.Geometry.Point.x) (ty p.Geometry.Point.y))
+      d.Device.pins
+  done;
+  (* net fly-lines *)
+  if nets then
+    Array.iter
+      (fun (e : Net.t) ->
+        if Net.degree e >= 2 then begin
+          let pts = Array.map (Layout.pin_position l) e.Net.terminals in
+          let cx =
+            Array.fold_left (fun a p -> a +. p.Geometry.Point.x) 0.0 pts
+            /. float_of_int (Array.length pts)
+          in
+          let cy =
+            Array.fold_left (fun a p -> a +. p.Geometry.Point.y) 0.0 pts
+            /. float_of_int (Array.length pts)
+          in
+          let colour = if e.Net.critical then "#cc2222" else "#8888cc" in
+          Array.iter
+            (fun p ->
+              Fmt.pf ppf
+                "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+                 stroke=\"%s\" stroke-width=\"0.8\" opacity=\"0.7\"/>@."
+                (tx cx) (ty cy)
+                (tx p.Geometry.Point.x)
+                (ty p.Geometry.Point.y)
+                colour)
+            pts
+        end)
+      l.Layout.circuit.Circuit.nets;
+  (* symmetry axes *)
+  if axes then
+    List.iter
+      (fun (g : Constraint_set.sym_group) ->
+        let pos = Checks.group_axis_position l g in
+        match g.Constraint_set.sym_axis with
+        | Constraint_set.Vertical ->
+            Fmt.pf ppf
+              "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+               stroke=\"#999\" stroke-dasharray=\"4 3\"/>@."
+              (tx pos)
+              (ty b.Geometry.Rect.y0)
+              (tx pos)
+              (ty b.Geometry.Rect.y1)
+        | Constraint_set.Horizontal ->
+            Fmt.pf ppf
+              "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+               stroke=\"#999\" stroke-dasharray=\"4 3\"/>@."
+              (tx b.Geometry.Rect.x0)
+              (ty pos)
+              (tx b.Geometry.Rect.x1)
+              (ty pos))
+      l.Layout.circuit.Circuit.constraints.Constraint_set.sym_groups;
+  Fmt.pf ppf "</svg>@."
+
+let to_string ?scale ?margin ?nets ?axes l =
+  Fmt.str "%a" (fun ppf -> write ?scale ?margin ?nets ?axes ppf) l
+
+let save ?scale ?margin ?nets ?axes path l =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  write ?scale ?margin ?nets ?axes ppf l;
+  Format.pp_print_flush ppf ();
+  close_out oc

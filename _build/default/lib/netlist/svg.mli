@@ -1,0 +1,15 @@
+(** SVG rendering of placements: devices coloured by kind, pin markers,
+    optional net fly-lines and symmetry-axis guides. *)
+
+val write :
+  ?scale:float -> ?margin:float -> ?nets:bool -> ?axes:bool ->
+  Format.formatter -> Layout.t -> unit
+
+val to_string :
+  ?scale:float -> ?margin:float -> ?nets:bool -> ?axes:bool -> Layout.t ->
+  string
+
+val save :
+  ?scale:float -> ?margin:float -> ?nets:bool -> ?axes:bool -> string ->
+  Layout.t -> unit
+(** Write the SVG to [path]. *)

@@ -1,0 +1,1 @@
+lib/numerics/cg.ml: Array Float Vec

@@ -1,0 +1,1 @@
+lib/numerics/ilp.ml: Array Float List Simplex Unix

@@ -1,0 +1,1 @@
+lib/numerics/nesterov.ml: Array Option Vec

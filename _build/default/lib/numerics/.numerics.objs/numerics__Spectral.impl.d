@@ -1,0 +1,1 @@
+lib/numerics/spectral.ml: Array Float Matrix

@@ -1,0 +1,35 @@
+(* Adam optimizer (Kingma & Ba) for GNN training. *)
+
+type t = {
+  lr : float;
+  beta1 : float;
+  beta2 : float;
+  eps : float;
+  m : float array;
+  v : float array;
+  mutable step_count : int;
+}
+
+let create ?(lr = 1e-3) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) dim =
+  {
+    lr;
+    beta1;
+    beta2;
+    eps;
+    m = Array.make dim 0.0;
+    v = Array.make dim 0.0;
+    step_count = 0;
+  }
+
+let step t ~params ~grads =
+  if Array.length params <> Array.length t.m then invalid_arg "Adam.step: dim";
+  t.step_count <- t.step_count + 1;
+  let k = float_of_int t.step_count in
+  let bc1 = 1.0 -. (t.beta1 ** k) and bc2 = 1.0 -. (t.beta2 ** k) in
+  for i = 0 to Array.length params - 1 do
+    let g = grads.(i) in
+    t.m.(i) <- (t.beta1 *. t.m.(i)) +. ((1.0 -. t.beta1) *. g);
+    t.v.(i) <- (t.beta2 *. t.v.(i)) +. ((1.0 -. t.beta2) *. g *. g);
+    let mhat = t.m.(i) /. bc1 and vhat = t.v.(i) /. bc2 in
+    params.(i) <- params.(i) -. (t.lr *. mhat /. (sqrt vhat +. t.eps))
+  done

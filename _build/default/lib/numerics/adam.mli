@@ -1,0 +1,9 @@
+(** Adam optimizer, used to train the GNN performance model. *)
+
+type t
+
+val create : ?lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float -> int -> t
+(** [create dim] allocates moment buffers for [dim] parameters. *)
+
+val step : t -> params:float array -> grads:float array -> unit
+(** In-place parameter update. @raise Invalid_argument on size mismatch. *)

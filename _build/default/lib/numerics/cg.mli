@@ -1,0 +1,18 @@
+(** Nonlinear conjugate gradient (Polak-Ribiere+) with Armijo line
+    search — the NLP solver of the NTUplace3-style placer
+    reimplementation. *)
+
+type stats = { iterations : int; f_evals : int; final_value : float }
+
+val minimize :
+  ?max_iter:int ->
+  ?gtol:float ->
+  ?c1:float ->
+  ?t0:float ->
+  ?callback:(int -> float array -> float -> bool) ->
+  f:(float array -> float * float array) ->
+  x0:float array ->
+  unit ->
+  float array * stats
+(** [f x] returns [(value, gradient)]. The [callback iter x fx] runs
+    after each accepted step; returning [false] stops early. *)

@@ -1,0 +1,86 @@
+(* Iterative radix-2 Cooley-Tukey FFT over separate re/im arrays. *)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let bit_reverse_permute re im =
+  let n = Array.length re in
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) in
+      re.(i) <- re.(!j);
+      re.(!j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(!j);
+      im.(!j) <- ti
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done
+
+let transform ~inverse re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft: re/im size mismatch";
+  if not (is_pow2 n) then invalid_arg "Fft: length must be a power of two";
+  if n > 1 then begin
+    bit_reverse_permute re im;
+    let sign = if inverse then 1.0 else -1.0 in
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let theta = sign *. 2.0 *. Float.pi /. float_of_int !len in
+      let wr = cos theta and wi = sin theta in
+      let i = ref 0 in
+      while !i < n do
+        (* twiddle accumulates; re-seed per block to limit drift *)
+        let cr = ref 1.0 and ci = ref 0.0 in
+        for k = 0 to half - 1 do
+          let a = !i + k and b = !i + k + half in
+          let tr = (re.(b) *. !cr) -. (im.(b) *. !ci) in
+          let ti = (re.(b) *. !ci) +. (im.(b) *. !cr) in
+          re.(b) <- re.(a) -. tr;
+          im.(b) <- im.(a) -. ti;
+          re.(a) <- re.(a) +. tr;
+          im.(a) <- im.(a) +. ti;
+          let ncr = (!cr *. wr) -. (!ci *. wi) in
+          ci := (!cr *. wi) +. (!ci *. wr);
+          cr := ncr
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done;
+    if inverse then begin
+      let s = 1.0 /. float_of_int n in
+      for i = 0 to n - 1 do
+        re.(i) <- re.(i) *. s;
+        im.(i) <- im.(i) *. s
+      done
+    end
+  end
+
+let forward re im = transform ~inverse:false re im
+let inverse re im = transform ~inverse:true re im
+
+(* DCT-II of x via a length-N complex FFT (Makhoul's reordering):
+   v(n) = x(2n) for the first half, v(N-1-n) = x(2n+1) for the second;
+   C(k) = Re(exp(-i pi k / 2N) * FFT(v)(k)). *)
+let dct_ii x =
+  let n = Array.length x in
+  if not (is_pow2 n) then invalid_arg "Fft.dct_ii: length must be power of two";
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  let half = (n + 1) / 2 in
+  for i = 0 to half - 1 do
+    re.(i) <- x.(2 * i)
+  done;
+  for i = 0 to (n / 2) - 1 do
+    re.(n - 1 - i) <- x.((2 * i) + 1)
+  done;
+  forward re im;
+  Array.init n (fun k ->
+      let theta = -.Float.pi *. float_of_int k /. (2.0 *. float_of_int n) in
+      (re.(k) *. cos theta) -. (im.(k) *. sin theta))

@@ -1,0 +1,17 @@
+(** Radix-2 complex FFT and an FFT-based DCT-II.
+
+    Used as the fast path of the spectral Poisson solver in the
+    electrostatic density model (the Fourier step of ePlace). *)
+
+val is_pow2 : int -> bool
+
+val forward : float array -> float array -> unit
+(** In-place forward FFT of [(re, im)].
+    @raise Invalid_argument unless lengths are equal powers of two. *)
+
+val inverse : float array -> float array -> unit
+(** In-place inverse FFT, normalised by 1/N. *)
+
+val dct_ii : float array -> float array
+(** Unnormalised DCT-II: [C.(k) = sum_n x.(n) cos(pi k (2n+1) / 2N)].
+    @raise Invalid_argument unless the length is a power of two. *)

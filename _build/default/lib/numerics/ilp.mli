@@ -1,0 +1,28 @@
+(** Integer linear programming by branch and bound over the simplex
+    relaxation. Depth-first diving (nearest-branch-first) finds an
+    incumbent quickly; best-bound pruning keeps node counts low at
+    analog-placement problem sizes. *)
+
+type vartype = Continuous | Integer | Binary
+
+type problem = {
+  base : Simplex.problem;  (** relaxation; variables are >= 0 *)
+  kinds : vartype array;  (** one kind per variable *)
+}
+
+type status =
+  | Ilp_optimal  (** proved optimal *)
+  | Ilp_feasible  (** node/time limit hit; best incumbent returned *)
+  | Ilp_infeasible
+  | Ilp_unbounded
+
+type result = {
+  status : status;
+  x : float array;
+  objective_value : float;
+  nodes : int;  (** LP relaxations solved *)
+}
+
+val solve : ?max_nodes:int -> ?time_limit:float -> problem -> result
+(** Binary variables get an implicit [x <= 1] bound.
+    @raise Invalid_argument if [kinds] size mismatches the problem. *)

@@ -1,0 +1,23 @@
+(** Dense row-major matrices, used by the spectral transforms and the
+    neural-network layers. *)
+
+type t
+
+val create : int -> int -> t
+(** Zero matrix. @raise Invalid_argument on negative sizes. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val transpose : t -> t
+
+val matvec : t -> float array -> float array -> unit
+(** [matvec m x y] computes [y <- m x]. *)
+
+val matvec_t : t -> float array -> float array -> unit
+(** [matvec_t m x y] computes [y <- m^T x]. *)
+
+val matmul : t -> t -> t

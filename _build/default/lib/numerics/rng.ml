@@ -1,0 +1,57 @@
+(* Deterministic splitmix64 generator: reproducible across runs and
+   platforms, one independent stream per consumer. *)
+
+type t = { mutable state : int64; mutable cached_gauss : float option }
+
+let create seed = { state = Int64.of_int seed; cached_gauss = None }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let float t =
+  (* 53 random bits into [0,1) *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let uniform t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.uniform: hi < lo";
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound <= 0";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1)
+                  (Int64.of_int n))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let gaussian t =
+  match t.cached_gauss with
+  | Some g ->
+      t.cached_gauss <- None;
+      g
+  | None ->
+      (* Box-Muller; reject u1 = 0 to avoid log 0. *)
+      let rec u () =
+        let x = float t in
+        if x > 0.0 then x else u ()
+      in
+      let u1 = u () and u2 = float t in
+      let r = sqrt (-2.0 *. log u1) in
+      let theta = 2.0 *. Float.pi *. u2 in
+      t.cached_gauss <- Some (r *. sin theta);
+      r *. cos theta
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = create (Int64.to_int (next_int64 t))

@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random generator (splitmix64).
+
+    Every stochastic component in this project takes an explicit [Rng.t]
+    so experiments are exactly reproducible. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. Equal seeds give identical streams. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val int : t -> int -> int
+(** Uniform in [0, n). @raise Invalid_argument if [n <= 0]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal (Box-Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** Independent child stream. *)

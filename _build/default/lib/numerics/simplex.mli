@@ -1,0 +1,32 @@
+(** Dense two-phase primal simplex for linear programs
+
+    {[ minimize c.x  subject to  a_i.x (<= | = | >=) b_i,  x >= 0 ]}
+
+    This powers the LP legalization / detailed placement of the prior
+    analytical work and the LP relaxations inside the ILP
+    branch-and-bound. Analog problem sizes (hundreds of rows) make a
+    dense tableau the right tradeoff. *)
+
+type op = Le | Ge | Eq
+
+type constr = { coeffs : (int * float) list; op : op; rhs : float }
+(** Sparse row: list of (variable index, coefficient). *)
+
+type problem = {
+  n_vars : int;
+  objective : float array;  (** length [n_vars]; minimized *)
+  constraints : constr list;
+}
+
+type solution = { x : float array; objective_value : float }
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iter_limit  (** safety valve; treat as a solver failure *)
+
+val solve : ?max_iter:int -> problem -> result
+(** @raise Invalid_argument on malformed input (bad sizes or indices). *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,101 @@
+(* Spectral Poisson solver on a regular grid with Neumann boundary
+   conditions, the core of ePlace's electrostatic density model.
+
+   Basis: cos(w_u (i + 1/2)) with w_u = pi * u / M along each axis.
+   For density rho = sum a_uv cos cos, the potential solving
+   lap(psi) = -rho is psi = sum a_uv / (w_u^2 + w_v^2) cos cos, and the
+   field xi = -grad(psi) has a sin expansion along the derivative axis.
+
+   Transforms are applied with precomputed basis matrices (O(M^2) per
+   vector); `Fft.dct_ii` provides an FFT fast path checked against the
+   direct transform in the test suite. *)
+
+type t = {
+  nx : int;
+  ny : int;
+  bx : Matrix.t;  (* bx.(u).(i) = cos(pi u (i+1/2) / nx) *)
+  by : Matrix.t;
+  sx : Matrix.t;  (* sx.(u).(i) = sin(pi u (i+1/2) / nx) *)
+  sy : Matrix.t;
+  wx : float array;  (* w_u = pi u / nx *)
+  wy : float array;
+}
+
+let create ~nx ~ny =
+  if nx <= 0 || ny <= 0 then invalid_arg "Spectral.create: size";
+  let basis f n =
+    Matrix.init n n (fun u i ->
+        f (Float.pi *. float_of_int u *. (float_of_int i +. 0.5)
+           /. float_of_int n))
+  in
+  {
+    nx;
+    ny;
+    bx = basis cos nx;
+    by = basis cos ny;
+    sx = basis sin nx;
+    sy = basis sin ny;
+    wx = Array.init nx (fun u -> Float.pi *. float_of_int u /. float_of_int nx);
+    wy = Array.init ny (fun v -> Float.pi *. float_of_int v /. float_of_int ny);
+  }
+
+(* Forward cosine analysis: a = Cx rho Cy^T with orthogonality scaling,
+   so that rho.(i).(j) = sum_uv a.(u).(v) bx.(u).(i) by.(v).(j). *)
+let analyze t rho =
+  if Matrix.rows rho <> t.nx || Matrix.cols rho <> t.ny then
+    invalid_arg "Spectral.analyze: grid size";
+  let tmp = Matrix.matmul t.bx rho in
+  (* tmp.(u).(j) = sum_i bx.(u).(i) rho.(i).(j) *)
+  let a = Matrix.matmul tmp (Matrix.transpose t.by) in
+  let cu u n = if u = 0 then 1.0 /. float_of_int n else 2.0 /. float_of_int n in
+  for u = 0 to t.nx - 1 do
+    for v = 0 to t.ny - 1 do
+      Matrix.set a u v (Matrix.get a u v *. cu u t.nx *. cu v t.ny)
+    done
+  done;
+  a
+
+(* Synthesis with arbitrary per-axis basis: out = Px^T coef Py. *)
+let synth px py coef =
+  Matrix.matmul (Matrix.transpose px) (Matrix.matmul coef py)
+
+type field = { psi : Matrix.t; ex : Matrix.t; ey : Matrix.t }
+
+let solve_poisson t rho =
+  let a = analyze t rho in
+  let coef_psi = Matrix.create t.nx t.ny in
+  let coef_ex = Matrix.create t.nx t.ny in
+  let coef_ey = Matrix.create t.nx t.ny in
+  for u = 0 to t.nx - 1 do
+    for v = 0 to t.ny - 1 do
+      if u <> 0 || v <> 0 then begin
+        let w2 = (t.wx.(u) *. t.wx.(u)) +. (t.wy.(v) *. t.wy.(v)) in
+        let auv = Matrix.get a u v in
+        Matrix.set coef_psi u v (auv /. w2);
+        Matrix.set coef_ex u v (auv *. t.wx.(u) /. w2);
+        Matrix.set coef_ey u v (auv *. t.wy.(v) /. w2)
+      end
+    done
+  done;
+  {
+    psi = synth t.bx t.by coef_psi;
+    (* xi_x uses the sin basis along x (derivative axis), cos along y. *)
+    ex = synth t.sx t.by coef_ex;
+    ey = synth t.bx t.sy coef_ey;
+  }
+
+(* Direct (O(n^2)) reference DCT-II, matching Fft.dct_ii's convention. *)
+let dct_ii_direct x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc :=
+          !acc
+          +. x.(i)
+             *. cos
+                  (Float.pi *. float_of_int k
+                  *. ((2.0 *. float_of_int i) +. 1.0)
+                  /. (2.0 *. float_of_int n))
+      done;
+      !acc)

@@ -1,0 +1,24 @@
+(** Spectral Poisson solver on a regular grid (Neumann boundary),
+    implementing the Fourier step of the electrostatic density model.
+
+    Given a charge density [rho] on an [nx] x [ny] grid (in bin units),
+    [solve_poisson] returns the potential [psi] with
+    [laplacian psi = -rho] and the field [(ex, ey) = -grad psi],
+    evaluated at bin centres. *)
+
+type t
+
+val create : nx:int -> ny:int -> t
+(** Precompute basis tables for an [nx] x [ny] grid. *)
+
+val analyze : t -> Matrix.t -> Matrix.t
+(** Cosine-series coefficients [a] of a grid function:
+    [rho(i,j) = sum_uv a(u,v) cos(w_u (i+1/2)) cos(w_v (j+1/2))]. *)
+
+type field = { psi : Matrix.t; ex : Matrix.t; ey : Matrix.t }
+
+val solve_poisson : t -> Matrix.t -> field
+
+val dct_ii_direct : float array -> float array
+(** O(n^2) reference DCT-II with the same convention as {!Fft.dct_ii};
+    used to cross-validate the FFT fast path. *)

@@ -1,0 +1,49 @@
+type t = float array
+
+let create n = Array.make n 0.0
+let copy = Array.copy
+let fill v x = Array.fill v 0 (Array.length v) x
+
+let blit ~src ~dst =
+  if Array.length src <> Array.length dst then invalid_arg "Vec.blit: size";
+  Array.blit src 0 dst 0 (Array.length src)
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Vec.dot: size";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (Array.unsafe_get a i *. Array.unsafe_get b i)
+  done;
+  !acc
+
+let norm2 a = dot a a
+let norm a = sqrt (norm2 a)
+
+let axpy ~alpha x y =
+  if Array.length x <> Array.length y then invalid_arg "Vec.axpy: size";
+  for i = 0 to Array.length x - 1 do
+    Array.unsafe_set y i
+      (Array.unsafe_get y i +. (alpha *. Array.unsafe_get x i))
+  done
+
+let scale alpha x =
+  for i = 0 to Array.length x - 1 do
+    Array.unsafe_set x i (alpha *. Array.unsafe_get x i)
+  done
+
+let add a b = Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+let sub a b = Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let max_abs a = Array.fold_left (fun m x -> Float.max m (abs_float x)) 0.0 a
+
+let dist a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let mean a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)

@@ -1,0 +1,21 @@
+(** Small dense-vector helpers over [float array]. *)
+
+type t = float array
+
+val create : int -> t
+val copy : t -> t
+val fill : t -> float -> unit
+val blit : src:t -> dst:t -> unit
+val dot : t -> t -> float
+val norm2 : t -> float
+val norm : t -> float
+
+val axpy : alpha:float -> t -> t -> unit
+(** [axpy ~alpha x y] performs [y <- y + alpha * x] in place. *)
+
+val scale : float -> t -> unit
+val add : t -> t -> t
+val sub : t -> t -> t
+val max_abs : t -> float
+val dist : t -> t -> float
+val mean : t -> float

@@ -1,0 +1,1 @@
+lib/perfsim/fom.ml: Fmt List Models Netlist Spec

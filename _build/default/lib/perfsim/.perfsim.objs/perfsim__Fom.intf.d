@@ -1,0 +1,1 @@
+lib/perfsim/fom.mli: Format Models Netlist Spec

@@ -1,0 +1,1 @@
+lib/perfsim/mismatch.ml: Array Geometry List Netlist

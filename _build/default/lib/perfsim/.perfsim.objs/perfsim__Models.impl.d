@@ -1,0 +1,1 @@
+lib/perfsim/models.ml: Mismatch Netlist Router Spec

@@ -1,0 +1,1 @@
+lib/perfsim/models.mli: Netlist Spec

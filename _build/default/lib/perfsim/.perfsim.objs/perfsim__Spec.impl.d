@@ -1,0 +1,1 @@
+lib/perfsim/spec.ml: Float Fmt List

@@ -1,0 +1,1 @@
+lib/perfsim/spec.mli: Format

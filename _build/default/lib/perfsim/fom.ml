@@ -1,0 +1,19 @@
+(* End-to-end layout performance evaluation: route -> extract ->
+   model -> FOM (the paper's evaluation flow with our substitutes). *)
+
+type evaluation = {
+  metrics : Spec.metric list;
+  fom : float;
+  inputs : Models.inputs;
+}
+
+let evaluate (l : Netlist.Layout.t) =
+  let inputs = Models.inputs_of_layout l in
+  let metrics = Models.metrics l.Netlist.Layout.circuit inputs in
+  { metrics; fom = Spec.fom metrics; inputs }
+
+let fom l = (evaluate l).fom
+
+let pp ppf e =
+  Fmt.pf ppf "FOM %.3f@." e.fom;
+  List.iter (fun m -> Fmt.pf ppf "  %a@." Spec.pp_metric m) e.metrics

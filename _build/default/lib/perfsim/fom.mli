@@ -1,0 +1,12 @@
+(** End-to-end layout evaluation: route, extract parasitics, run the
+    class model, compute the FOM. *)
+
+type evaluation = {
+  metrics : Spec.metric list;
+  fom : float;
+  inputs : Models.inputs;
+}
+
+val evaluate : Netlist.Layout.t -> evaluation
+val fom : Netlist.Layout.t -> float
+val pp : Format.formatter -> evaluation -> unit

@@ -1,0 +1,67 @@
+(* Layout-induced mismatch for matched (symmetric-pair) devices: a
+   dimensionless score combining residual placement asymmetry, the
+   pair's separation (process-gradient-induced mismatch grows with
+   distance), and orientation disagreement. Zero only for perfectly
+   mirrored, adjacent, consistently-oriented pairs. *)
+
+type contribution = {
+  pair : int * int;
+  asym_um : float;  (* residual symmetry error *)
+  dist_um : float;  (* centre-to-centre separation *)
+  orient_penalty : float;  (* 0 or 1 *)
+}
+
+type t = { contributions : contribution list; score : float }
+
+let dist_weight = 0.10
+let orient_weight = 0.5
+
+let of_layout (l : Netlist.Layout.t) =
+  let cs = l.Netlist.Layout.circuit.Netlist.Circuit.constraints in
+  let contributions =
+    List.concat_map
+      (fun (g : Netlist.Constraint_set.sym_group) ->
+        let axis = Netlist.Checks.group_axis_position l g in
+        let mainf, crossf =
+          match g.Netlist.Constraint_set.sym_axis with
+          | Netlist.Constraint_set.Vertical ->
+              ((fun i -> l.Netlist.Layout.xs.(i)),
+               fun i -> l.Netlist.Layout.ys.(i))
+          | Netlist.Constraint_set.Horizontal ->
+              ((fun i -> l.Netlist.Layout.ys.(i)),
+               fun i -> l.Netlist.Layout.xs.(i))
+        in
+        List.map
+          (fun (a, b) ->
+            let asym =
+              abs_float (mainf a +. mainf b -. (2.0 *. axis))
+              +. abs_float (crossf a -. crossf b)
+            in
+            let dist =
+              Geometry.Point.dist_l1
+                (Netlist.Layout.center l a)
+                (Netlist.Layout.center l b)
+            in
+            let oa = l.Netlist.Layout.orients.(a)
+            and ob = l.Netlist.Layout.orients.(b) in
+            (* a mirrored pair matches best when exactly one device is
+               x-flipped (true reflection) *)
+            let orient_penalty =
+              if oa.Geometry.Orient.fx <> ob.Geometry.Orient.fx then 0.0
+              else 1.0
+            in
+            { pair = (a, b); asym_um = asym; dist_um = dist; orient_penalty })
+          g.Netlist.Constraint_set.pairs)
+      cs.Netlist.Constraint_set.sym_groups
+  in
+  let score =
+    List.fold_left
+      (fun acc c ->
+        acc +. c.asym_um
+        +. (dist_weight *. c.dist_um)
+        +. (orient_weight *. c.orient_penalty))
+      0.0 contributions
+  in
+  { contributions; score }
+
+let score l = (of_layout l).score

@@ -1,0 +1,15 @@
+(** Layout-induced mismatch score over matched device pairs: residual
+    asymmetry + distance-proportional gradient mismatch + orientation
+    disagreement. Feeds the SPICE-lite performance models. *)
+
+type contribution = {
+  pair : int * int;
+  asym_um : float;
+  dist_um : float;
+  orient_penalty : float;
+}
+
+type t = { contributions : contribution list; score : float }
+
+val of_layout : Netlist.Layout.t -> t
+val score : Netlist.Layout.t -> float

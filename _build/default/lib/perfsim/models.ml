@@ -1,0 +1,157 @@
+(* "SPICE-lite": analytic small-signal performance models per circuit
+   class, standing in for the paper's GF12nm extraction + SPICE flow
+   (see the substitution table in DESIGN.md). Each model maps the
+   schematic-level nominal metrics (from the circuit's meta table) plus
+   the layout-dependent quantities — critical-net parasitics, total
+   wire load, die area, matched-pair mismatch — to the measured
+   metrics. All dependencies are monotone in the physically expected
+   direction: shorter critical wires, smaller area and better matching
+   can only help. *)
+
+type inputs = {
+  area_um2 : float;
+  mismatch : float;
+  l_total_um : float;
+  l_crit_um : float;
+  c_crit_ff : float;
+  r_crit_ohm : float;
+}
+
+let inputs_of_layout (l : Netlist.Layout.t) =
+  let s = Router.Parasitics.extract l in
+  {
+    area_um2 = Netlist.Layout.area l;
+    mismatch = Mismatch.score l;
+    l_total_um = s.Router.Parasitics.total_length_um;
+    l_crit_um = s.Router.Parasitics.critical_length_um;
+    c_crit_ff = s.Router.Parasitics.critical_c_ff;
+    r_crit_ohm = s.Router.Parasitics.critical_r_ohm;
+  }
+
+(* area-proportional substrate/routing capacitance, fF *)
+let c_area_ff inp = 0.02 *. inp.area_um2
+
+let meta c key = Netlist.Circuit.meta_value c key
+
+let ota (c : Netlist.Circuit.t) inp =
+  let cl = meta c "cl_ff" in
+  let k_crit = cl /. (cl +. (2.0 *. inp.c_crit_ff)) in
+  let k_bw = cl /. (cl +. (2.0 *. inp.c_crit_ff) +. c_area_ff inp) in
+  [
+    { Spec.metric_name = "gain_db";
+      value = meta c "gain_db_nom" -. (1.5 *. inp.mismatch)
+              -. (0.01 *. inp.l_total_um);
+      spec = meta c "spec_gain_db"; direction = Spec.Higher };
+    { Spec.metric_name = "ugf_mhz";
+      value = meta c "ugf_mhz_nom" *. k_crit;
+      spec = meta c "spec_ugf_mhz"; direction = Spec.Higher };
+    { Spec.metric_name = "bw_mhz";
+      value = meta c "bw_mhz_nom" *. k_bw;
+      spec = meta c "spec_bw_mhz"; direction = Spec.Higher };
+    { Spec.metric_name = "pm_deg";
+      value = meta c "pm_deg_nom" -. (40.0 *. (1.0 -. k_crit))
+              -. (0.6 *. inp.mismatch);
+      spec = meta c "spec_pm_deg"; direction = Spec.Higher };
+  ]
+
+let comparator (c : Netlist.Circuit.t) inp =
+  let cl = meta c "cl_ff" in
+  [
+    { Spec.metric_name = "delay_ns";
+      value = meta c "delay_ns_nom" *. (1.0 +. (2.0 *. inp.c_crit_ff /. cl))
+              *. (1.0 +. (0.002 *. inp.l_total_um));
+      spec = meta c "spec_delay_ns"; direction = Spec.Lower };
+    { Spec.metric_name = "offset_mv";
+      value = meta c "offset_mv_nom" +. (1.2 *. inp.mismatch);
+      spec = meta c "spec_offset_mv"; direction = Spec.Lower };
+    { Spec.metric_name = "power_uw";
+      value = meta c "power_uw_nom"
+              *. (1.0 +. (0.001 *. inp.l_total_um)
+                 +. (0.0005 *. inp.area_um2));
+      spec = meta c "spec_power_uw"; direction = Spec.Lower };
+  ]
+
+let vco (c : Netlist.Circuit.t) inp =
+  let cl = meta c "cl_ff" in
+  let k_crit = cl /. (cl +. (1.5 *. inp.c_crit_ff)) in
+  [
+    { Spec.metric_name = "freq_ghz";
+      value = meta c "freq_ghz_nom" *. k_crit;
+      spec = meta c "spec_freq_ghz"; direction = Spec.Higher };
+    { Spec.metric_name = "tune_pct";
+      value = meta c "tune_pct_nom" *. (cl /. (cl +. (2.0 *. inp.c_crit_ff)));
+      spec = meta c "spec_tune_pct"; direction = Spec.Higher };
+    { Spec.metric_name = "pn_dbc";
+      (* stored as |dBc/Hz| magnitude: larger is better *)
+      value = meta c "pn_dbc_nom" -. (1.0 *. inp.mismatch)
+              -. (0.06 *. inp.l_crit_um);
+      spec = meta c "spec_pn_dbc"; direction = Spec.Higher };
+  ]
+
+let adder (c : Netlist.Circuit.t) inp =
+  let cl = meta c "cl_ff" in
+  let k_crit = cl /. (cl +. (2.0 *. inp.c_crit_ff) +. c_area_ff inp) in
+  [
+    { Spec.metric_name = "gain_err_pct";
+      value = meta c "gain_err_pct_nom"
+              *. (1.0 +. (0.08 *. inp.mismatch) +. (0.004 *. inp.l_total_um));
+      spec = meta c "spec_gain_err_pct"; direction = Spec.Lower };
+    { Spec.metric_name = "bw_mhz";
+      value = meta c "bw_mhz_nom" *. k_crit;
+      spec = meta c "spec_bw_mhz"; direction = Spec.Higher };
+    { Spec.metric_name = "offset_mv";
+      value = meta c "offset_mv_nom" +. (1.0 *. inp.mismatch);
+      spec = meta c "spec_offset_mv"; direction = Spec.Lower };
+  ]
+
+let vga (c : Netlist.Circuit.t) inp =
+  let cl = meta c "cl_ff" in
+  let k_bw = cl /. (cl +. (2.0 *. inp.c_crit_ff) +. c_area_ff inp) in
+  [
+    { Spec.metric_name = "gain_range_db";
+      value = meta c "gain_range_db_nom" -. (0.8 *. inp.mismatch);
+      spec = meta c "spec_gain_range_db"; direction = Spec.Higher };
+    { Spec.metric_name = "bw_mhz";
+      value = meta c "bw_mhz_nom" *. k_bw;
+      spec = meta c "spec_bw_mhz"; direction = Spec.Higher };
+    { Spec.metric_name = "noise_nv";
+      value = meta c "noise_nv_nom"
+              *. (1.0 +. (0.004 *. inp.l_total_um) +. (0.03 *. inp.mismatch));
+      spec = meta c "spec_noise_nv"; direction = Spec.Lower };
+  ]
+
+let scf (c : Netlist.Circuit.t) inp =
+  let cl = meta c "cl_ff" in
+  [
+    { Spec.metric_name = "cutoff_err_pct";
+      value = (meta c "cutoff_err_pct_nom" *. (1.0 +. (0.2 *. inp.mismatch)))
+              +. (0.002 *. inp.l_total_um);
+      spec = meta c "spec_cutoff_err_pct"; direction = Spec.Lower };
+    { Spec.metric_name = "thd_db";
+      value = meta c "thd_db_nom" -. (1.0 *. inp.mismatch)
+              -. (0.01 *. inp.l_total_um);
+      spec = meta c "spec_thd_db"; direction = Spec.Higher };
+    { Spec.metric_name = "settle_ns";
+      value = meta c "settle_ns_nom" *. (1.0 +. (2.0 *. inp.c_crit_ff /. cl));
+      spec = meta c "spec_settle_ns"; direction = Spec.Lower };
+  ]
+
+let generic (_c : Netlist.Circuit.t) inp =
+  (* fallback for user-built circuits without a class model: rate wire
+     load and matching against fixed references *)
+  [
+    { Spec.metric_name = "wire_load_um"; value = inp.l_total_um; spec = 100.0;
+      direction = Spec.Lower };
+    { Spec.metric_name = "mismatch"; value = 1.0 +. inp.mismatch; spec = 2.0;
+      direction = Spec.Lower };
+  ]
+
+let metrics (c : Netlist.Circuit.t) inp =
+  match c.Netlist.Circuit.perf_class with
+  | "ota" -> ota c inp
+  | "comparator" -> comparator c inp
+  | "vco" -> vco c inp
+  | "adder" -> adder c inp
+  | "vga" -> vga c inp
+  | "scf" -> scf c inp
+  | _ -> generic c inp

@@ -1,0 +1,21 @@
+(** SPICE-lite analytic performance models (GF12nm SPICE substitute).
+
+    Each circuit class maps nominal metrics plus layout-derived inputs
+    (parasitics, area, mismatch) to measured metrics, monotone in the
+    physically expected direction. *)
+
+type inputs = {
+  area_um2 : float;
+  mismatch : float;
+  l_total_um : float;
+  l_crit_um : float;
+  c_crit_ff : float;
+  r_crit_ohm : float;
+}
+
+val inputs_of_layout : Netlist.Layout.t -> inputs
+(** Routes the layout, extracts parasitics and mismatch. *)
+
+val metrics : Netlist.Circuit.t -> inputs -> Spec.metric list
+(** Dispatch on [perf_class]: "ota", "comparator", "vco", "adder",
+    "vga", "scf", with a generic fallback. *)

@@ -1,0 +1,46 @@
+(* Performance metrics and the paper's FOM (Eq. 6): each metric z_i is
+   normalised against its specification psi_i into [0, 1] and the FOM
+   is their weighted sum. *)
+
+type direction = Higher | Lower
+
+type metric = {
+  metric_name : string;
+  value : float;
+  spec : float;
+  direction : direction;
+}
+
+(* Eq. 6: z~ = min(z/psi, 1) for Higher-is-better metrics and
+   min(psi/z, 1) for Lower-is-better. *)
+let normalized m =
+  let r =
+    match m.direction with
+    | Higher -> if m.spec <= 0.0 then 1.0 else m.value /. m.spec
+    | Lower -> if m.value <= 0.0 then 1.0 else m.spec /. m.value
+  in
+  Float.max 0.0 (Float.min 1.0 r)
+
+let meets_spec m = normalized m >= 1.0 -. 1e-9
+
+(* Equal beta weights unless given; weights are renormalised to sum 1. *)
+let fom ?weights metrics =
+  match metrics with
+  | [] -> 0.0
+  | _ ->
+      let n = List.length metrics in
+      let ws =
+        match weights with
+        | Some ws when List.length ws = n -> ws
+        | Some _ | None -> List.map (fun _ -> 1.0) metrics
+      in
+      let wsum = List.fold_left ( +. ) 0.0 ws in
+      List.fold_left2
+        (fun acc m w -> acc +. (w /. wsum *. normalized m))
+        0.0 metrics ws
+
+let pp_metric ppf m =
+  Fmt.pf ppf "%s=%.4g (spec %s %.4g, %.0f%%)" m.metric_name m.value
+    (match m.direction with Higher -> ">=" | Lower -> "<=")
+    m.spec
+    (100.0 *. normalized m)

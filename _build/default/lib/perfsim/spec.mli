@@ -1,0 +1,23 @@
+(** Performance metrics and the composite FOM of the paper (Eq. 6). *)
+
+type direction =
+  | Higher  (** metric belongs to Pi+ (gain, bandwidth, ...) *)
+  | Lower  (** metric belongs to Pi- (delay, offset, ...) *)
+
+type metric = {
+  metric_name : string;
+  value : float;
+  spec : float;
+  direction : direction;
+}
+
+val normalized : metric -> float
+(** Eq. 6 normalisation, clipped into [0, 1]. *)
+
+val meets_spec : metric -> bool
+
+val fom : ?weights:float list -> metric list -> float
+(** Weighted sum of normalised metrics; equal weights by default.
+    Weights are renormalised to sum to one. *)
+
+val pp_metric : Format.formatter -> metric -> unit

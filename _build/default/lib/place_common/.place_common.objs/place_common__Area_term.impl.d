@@ -1,0 +1,1 @@
+lib/place_common/area_term.ml: Array Netlist Wirelength

@@ -1,0 +1,1 @@
+lib/place_common/constraint_penalty.ml: Array List Netlist

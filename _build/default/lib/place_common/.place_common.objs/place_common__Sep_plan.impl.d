@@ -1,0 +1,1 @@
+lib/place_common/sep_plan.ml: Array Fun Hashtbl List Netlist Set

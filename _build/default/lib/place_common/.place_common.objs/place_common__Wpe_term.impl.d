@@ -1,0 +1,1 @@
+lib/place_common/wpe_term.ml: Array Float Netlist

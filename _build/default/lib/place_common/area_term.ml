@@ -1,0 +1,47 @@
+(* Smoothed layout-area term (paper Sec. IV-A): the area is estimated
+   as WA-span(x edges) * WA-span(y edges), where the spans run over the
+   device edge coordinates x_i +/- w_i/2. Digital placers ignore this
+   term; for analog circuits it is essential (Fig. 2 of the paper). *)
+
+type t = {
+  widths : float array;
+  heights : float array;
+}
+
+let create (c : Netlist.Circuit.t) =
+  let n = Netlist.Circuit.n_devices c in
+  {
+    widths =
+      Array.init n (fun i -> (Netlist.Circuit.device c i).Netlist.Device.w);
+    heights =
+      Array.init n (fun i -> (Netlist.Circuit.device c i).Netlist.Device.h);
+  }
+
+(* Smoothed span over edge coordinates lo_i = c_i - e_i, hi_i = c_i + e_i.
+   Builds the 2n coordinate array [hi...; lo...] and maps the WA span
+   derivative back onto the centres (both edges move with the centre). *)
+let span_grad ~gamma ~centers ~extents ~gout =
+  let n = Array.length centers in
+  let coords = Array.make (2 * n) 0.0 in
+  let dcoef = Array.make (2 * n) 0.0 in
+  for i = 0 to n - 1 do
+    coords.(i) <- centers.(i) +. (0.5 *. extents.(i));
+    coords.(n + i) <- centers.(i) -. (0.5 *. extents.(i))
+  done;
+  let span = Wirelength.Wa.span_grad ~gamma ~coords ~scale:1.0 ~dcoef in
+  for i = 0 to n - 1 do
+    gout.(i) <- dcoef.(i) +. dcoef.(n + i)
+  done;
+  span
+
+(* Area value and gradient accumulation (product rule). *)
+let value_grad t ~gamma ~xs ~ys ~gx ~gy =
+  let n = Array.length xs in
+  let dx = Array.make n 0.0 and dy = Array.make n 0.0 in
+  let wspan = span_grad ~gamma ~centers:xs ~extents:t.widths ~gout:dx in
+  let hspan = span_grad ~gamma ~centers:ys ~extents:t.heights ~gout:dy in
+  for i = 0 to n - 1 do
+    gx.(i) <- gx.(i) +. (dx.(i) *. hspan);
+    gy.(i) <- gy.(i) +. (dy.(i) *. wspan)
+  done;
+  wspan *. hspan

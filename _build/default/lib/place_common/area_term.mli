@@ -1,0 +1,13 @@
+(** Smoothed total-layout-area objective term, Area(v) of the paper's
+    Eq. 3: WA-smoothed width span times WA-smoothed height span over
+    device edges. *)
+
+type t
+
+val create : Netlist.Circuit.t -> t
+
+val value_grad :
+  t -> gamma:float -> xs:float array -> ys:float array ->
+  gx:float array -> gy:float array -> float
+(** Smoothed area estimate; accumulates its gradient w.r.t. device
+    centres into [gx], [gy]. *)

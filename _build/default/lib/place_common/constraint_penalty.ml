@@ -1,0 +1,189 @@
+(* Soft penalties for the analog geometric constraints during global
+   placement (paper Sec. IV-A): for a vertical-axis symmetric pair
+   (i, j) about axis x_m the term is (y_i - y_j)^2 + (x_i + x_j - 2 x_m)^2,
+   with x_m the group's best-fit axis (recomputed every evaluation and
+   treated as constant in the gradient). Alignment uses squared edge
+   differences; ordering uses a squared hinge on the required gap. *)
+
+module CS = Netlist.Constraint_set
+
+type t = {
+  circuit : Netlist.Circuit.t;
+  widths : float array;
+  heights : float array;
+}
+
+let create (c : Netlist.Circuit.t) =
+  let n = Netlist.Circuit.n_devices c in
+  {
+    circuit = c;
+    widths =
+      Array.init n (fun i -> (Netlist.Circuit.device c i).Netlist.Device.w);
+    heights =
+      Array.init n (fun i -> (Netlist.Circuit.device c i).Netlist.Device.h);
+  }
+
+(* The axis that minimises the group's penalty: a weighted mean with
+   weight 4 per pair and 1 per self-symmetric device. Using the
+   minimiser makes the frozen-axis gradient exact (envelope theorem). *)
+let group_axis ~xs ~ys (g : CS.sym_group) =
+  let coord i = match g.CS.sym_axis with CS.Vertical -> xs.(i) | CS.Horizontal -> ys.(i) in
+  let sum = ref 0.0 and weight = ref 0.0 in
+  List.iter
+    (fun (a, b) ->
+      sum := !sum +. (2.0 *. (coord a +. coord b));
+      weight := !weight +. 4.0)
+    g.CS.pairs;
+  List.iter
+    (fun r ->
+      sum := !sum +. coord r;
+      weight := !weight +. 1.0)
+    g.CS.selfs;
+  if !weight = 0.0 then 0.0 else !sum /. !weight
+
+let symmetry_value_grad t ~xs ~ys ~gx ~gy =
+  let cs = t.circuit.Netlist.Circuit.constraints in
+  let value = ref 0.0 in
+  List.iter
+    (fun (g : CS.sym_group) ->
+      let axis = group_axis ~xs ~ys g in
+      (* m = mirrored coordinate array, c = cross coordinate array *)
+      let m, c, gm, gc =
+        match g.CS.sym_axis with
+        | CS.Vertical -> (xs, ys, gx, gy)
+        | CS.Horizontal -> (ys, xs, gy, gx)
+      in
+      List.iter
+        (fun (a, b) ->
+          let e1 = c.(a) -. c.(b) in
+          let e2 = m.(a) +. m.(b) -. (2.0 *. axis) in
+          value := !value +. (e1 *. e1) +. (e2 *. e2);
+          gc.(a) <- gc.(a) +. (2.0 *. e1);
+          gc.(b) <- gc.(b) -. (2.0 *. e1);
+          gm.(a) <- gm.(a) +. (2.0 *. e2);
+          gm.(b) <- gm.(b) +. (2.0 *. e2))
+        g.CS.pairs;
+      List.iter
+        (fun r ->
+          let e = m.(r) -. axis in
+          value := !value +. (e *. e);
+          gm.(r) <- gm.(r) +. (2.0 *. e))
+        g.CS.selfs)
+    cs.CS.sym_groups;
+  !value
+
+let alignment_value_grad t ~xs ~ys ~gx ~gy =
+  let cs = t.circuit.Netlist.Circuit.constraints in
+  let value = ref 0.0 in
+  List.iter
+    (fun (p : CS.align_pair) ->
+      let a = p.CS.a and b = p.CS.b in
+      let e, is_y =
+        match p.CS.align_kind with
+        | CS.Bottom ->
+            ( ys.(a) -. (0.5 *. t.heights.(a))
+              -. (ys.(b) -. (0.5 *. t.heights.(b))),
+              true )
+        | CS.Top ->
+            ( ys.(a) +. (0.5 *. t.heights.(a))
+              -. (ys.(b) +. (0.5 *. t.heights.(b))),
+              true )
+        | CS.Vcenter -> (xs.(a) -. xs.(b), false)
+        | CS.Hcenter -> (ys.(a) -. ys.(b), true)
+      in
+      value := !value +. (e *. e);
+      let g = if is_y then gy else gx in
+      g.(a) <- g.(a) +. (2.0 *. e);
+      g.(b) <- g.(b) -. (2.0 *. e))
+    cs.CS.aligns;
+  !value
+
+let ordering_value_grad t ~xs ~ys ~gx ~gy =
+  let cs = t.circuit.Netlist.Circuit.constraints in
+  let value = ref 0.0 in
+  List.iter
+    (fun (o : CS.order_chain) ->
+      let rec pairs = function
+        | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+        | _ -> []
+      in
+      List.iter
+        (fun (a, b) ->
+          (* violation = overlap of the required gap, squared hinge *)
+          let viol, g =
+            match o.CS.order_dir with
+            | CS.Left_to_right ->
+                ( xs.(a) +. (0.5 *. t.widths.(a))
+                  -. (xs.(b) -. (0.5 *. t.widths.(b))),
+                  gx )
+            | CS.Bottom_to_top ->
+                ( ys.(a) +. (0.5 *. t.heights.(a))
+                  -. (ys.(b) -. (0.5 *. t.heights.(b))),
+                  gy )
+          in
+          if viol > 0.0 then begin
+            value := !value +. (viol *. viol);
+            g.(a) <- g.(a) +. (2.0 *. viol);
+            g.(b) <- g.(b) -. (2.0 *. viol)
+          end)
+        (pairs o.CS.chain))
+    cs.CS.orders;
+  !value
+
+let value_grad t ~xs ~ys ~gx ~gy =
+  symmetry_value_grad t ~xs ~ys ~gx ~gy
+  +. alignment_value_grad t ~xs ~ys ~gx ~gy
+  +. ordering_value_grad t ~xs ~ys ~gx ~gy
+
+(* Hard-mode projection: enforce symmetry (and alignment) exactly by
+   averaging, used for the paper's Table I soft-vs-hard comparison. *)
+let project_hard t ~xs ~ys =
+  let cs = t.circuit.Netlist.Circuit.constraints in
+  List.iter
+    (fun (g : CS.sym_group) ->
+      let axis = group_axis ~xs ~ys g in
+      let m, c =
+        match g.CS.sym_axis with
+        | CS.Vertical -> (xs, ys)
+        | CS.Horizontal -> (ys, xs)
+      in
+      List.iter
+        (fun (a, b) ->
+          let mid = 0.5 *. (c.(a) +. c.(b)) in
+          c.(a) <- mid;
+          c.(b) <- mid;
+          let half = 0.5 *. (m.(b) -. m.(a)) in
+          m.(a) <- axis -. half;
+          m.(b) <- axis +. half)
+        g.CS.pairs;
+      List.iter (fun r -> m.(r) <- axis) g.CS.selfs)
+    cs.CS.sym_groups;
+  List.iter
+    (fun (p : CS.align_pair) ->
+      let a = p.CS.a and b = p.CS.b in
+      match p.CS.align_kind with
+      | CS.Bottom ->
+          let bot =
+            0.5
+            *. (ys.(a) -. (0.5 *. t.heights.(a))
+               +. (ys.(b) -. (0.5 *. t.heights.(b))))
+          in
+          ys.(a) <- bot +. (0.5 *. t.heights.(a));
+          ys.(b) <- bot +. (0.5 *. t.heights.(b))
+      | CS.Top ->
+          let top =
+            0.5
+            *. (ys.(a) +. (0.5 *. t.heights.(a))
+               +. (ys.(b) +. (0.5 *. t.heights.(b))))
+          in
+          ys.(a) <- top -. (0.5 *. t.heights.(a));
+          ys.(b) <- top -. (0.5 *. t.heights.(b))
+      | CS.Vcenter ->
+          let mid = 0.5 *. (xs.(a) +. xs.(b)) in
+          xs.(a) <- mid;
+          xs.(b) <- mid
+      | CS.Hcenter ->
+          let mid = 0.5 *. (ys.(a) +. ys.(b)) in
+          ys.(a) <- mid;
+          ys.(b) <- mid)
+    cs.CS.aligns

@@ -1,0 +1,32 @@
+(** Soft penalties (and hard projections) for analog geometric
+    constraints during global placement: the Sym(v) term of the paper's
+    Eq. 3 plus alignment and ordering terms. *)
+
+type t
+
+val create : Netlist.Circuit.t -> t
+
+val group_axis :
+  xs:float array -> ys:float array -> Netlist.Constraint_set.sym_group -> float
+(** Best-fit symmetry-axis coordinate under the current placement. *)
+
+val symmetry_value_grad :
+  t -> xs:float array -> ys:float array -> gx:float array -> gy:float array ->
+  float
+
+val alignment_value_grad :
+  t -> xs:float array -> ys:float array -> gx:float array -> gy:float array ->
+  float
+
+val ordering_value_grad :
+  t -> xs:float array -> ys:float array -> gx:float array -> gy:float array ->
+  float
+
+val value_grad :
+  t -> xs:float array -> ys:float array -> gx:float array -> gy:float array ->
+  float
+(** Sum of the three penalty families; gradients accumulate. *)
+
+val project_hard : t -> xs:float array -> ys:float array -> unit
+(** Enforce symmetry and alignment exactly by averaging — the "hard
+    constraint" variant compared in the paper's Table I. *)

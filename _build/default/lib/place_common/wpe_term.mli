@@ -1,0 +1,15 @@
+(** Well-proximity-effect penalty: an optional layout-dependent-effects
+    objective term (extension in the spirit of the paper's reference
+    [9]). Pushes MOS devices away from the layout boundary with a
+    smooth exponential cost. *)
+
+type t
+
+val create : ?d0:float -> Netlist.Circuit.t -> t
+(** [d0] is the decay distance in micrometres (default 1.0). *)
+
+val value_grad :
+  t -> xs:float array -> ys:float array -> gx:float array ->
+  gy:float array -> float
+(** Penalty value; accumulates its gradient (the bounding box is
+    treated as constant per evaluation, like the symmetry axes). *)

@@ -1,0 +1,1 @@
+lib/prevwork/lp_stages.ml: Array List Netlist Numerics Place_common Unix

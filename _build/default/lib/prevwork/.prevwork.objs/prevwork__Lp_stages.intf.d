@@ -1,0 +1,1 @@
+lib/prevwork/lp_stages.mli: Netlist

@@ -1,0 +1,1 @@
+lib/prevwork/ntu_gp.ml: Array Density Geometry Netlist Numerics Place_common Unix Wirelength

@@ -1,0 +1,1 @@
+lib/prevwork/ntu_gp.mli: Netlist

@@ -1,0 +1,1 @@
+lib/prevwork/prev_analytical.mli: Lp_stages Netlist Ntu_gp

@@ -1,0 +1,12 @@
+(** The prior work's two-stage LP legalization + detailed placement:
+    area compaction first, then wirelength minimisation with the
+    extents capped; no device flipping. *)
+
+type params = { zeta : float }
+
+val default_params : params
+
+type result = { layout : Netlist.Layout.t; runtime_s : float }
+
+val run :
+  ?params:params -> Netlist.Circuit.t -> gp:Netlist.Layout.t -> result option

@@ -1,0 +1,1 @@
+lib/router/maze.ml: Array Float Geometry List Netlist Option Set

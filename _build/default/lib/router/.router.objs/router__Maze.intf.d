@@ -1,0 +1,1 @@
+lib/router/maze.mli: Netlist

@@ -1,0 +1,1 @@
+lib/router/parasitics.ml: Array Netlist Steiner

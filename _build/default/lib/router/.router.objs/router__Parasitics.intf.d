@@ -1,0 +1,1 @@
+lib/router/parasitics.mli: Netlist

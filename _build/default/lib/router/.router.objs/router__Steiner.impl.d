@@ -1,0 +1,1 @@
+lib/router/steiner.ml: Array Float Geometry List Netlist

@@ -1,0 +1,1 @@
+lib/router/steiner.mli: Geometry Netlist

@@ -1,0 +1,217 @@
+(* Grid maze router (Lee/Dijkstra wave expansion): routes every net of
+   a placement on a uniform grid with congestion-aware costs. This is
+   the heavier, more faithful counterpart of the MST/Steiner length
+   estimator in {!Steiner}: paths avoid each other (congestion cost)
+   and crossing over device bodies is discouraged (over-cell cost,
+   standing in for limited over-device routing resources).
+
+   Multi-pin nets are routed incrementally: each remaining terminal is
+   connected to the partially-built tree by a cheapest wave from the
+   tree (multi-source Dijkstra), which yields Steiner-like topologies. *)
+
+type cell_cost = { base : int; over_device : int; congestion : int }
+
+let default_costs = { base = 2; over_device = 3; congestion = 3 }
+
+type routed_net = {
+  net_id : int;
+  length_um : float;  (* geometric length of all segments *)
+  cells : (int * int) list;  (* grid cells used *)
+}
+
+type result = {
+  nets : routed_net array;
+  total_length_um : float;
+  grid_step : float;
+  overflow_cells : int;  (* cells used by more than two nets *)
+}
+
+type grid = {
+  nx : int;
+  ny : int;
+  x0 : float;
+  y0 : float;
+  step : float;
+  over_dev : bool array;  (* flattened nx*ny *)
+  usage : int array;
+}
+
+let cell_of g (p : Geometry.Point.t) =
+  let clamp v lo hi = max lo (min hi v) in
+  let i =
+    clamp (int_of_float ((p.Geometry.Point.x -. g.x0) /. g.step)) 0 (g.nx - 1)
+  in
+  let j =
+    clamp (int_of_float ((p.Geometry.Point.y -. g.y0) /. g.step)) 0 (g.ny - 1)
+  in
+  (i, j)
+
+let idx g i j = (j * g.nx) + i
+
+let make_grid ?(margin = 2.0) ~step (l : Netlist.Layout.t) =
+  if step <= 0.0 then invalid_arg "Maze.make_grid: step";
+  let b = Netlist.Layout.die_bbox l in
+  let x0 = b.Geometry.Rect.x0 -. margin and y0 = b.Geometry.Rect.y0 -. margin in
+  let w = Geometry.Rect.width b +. (2.0 *. margin) in
+  let h = Geometry.Rect.height b +. (2.0 *. margin) in
+  let nx = max 2 (int_of_float (Float.ceil (w /. step))) in
+  let ny = max 2 (int_of_float (Float.ceil (h /. step))) in
+  let over_dev = Array.make (nx * ny) false in
+  let g = { nx; ny; x0; y0; step; over_dev; usage = Array.make (nx * ny) 0 } in
+  for d = 0 to Netlist.Layout.n_devices l - 1 do
+    let r = Netlist.Layout.device_rect l d in
+    let i0, j0 = cell_of g (Geometry.Rect.lower_left r) in
+    let i1, j1 = cell_of g (Geometry.Rect.upper_right r) in
+    for i = i0 to i1 do
+      for j = j0 to j1 do
+        over_dev.(idx g i j) <- true
+      done
+    done
+  done;
+  g
+
+(* Multi-source Dijkstra from [sources] to [target]; returns the path
+   as cells from the tree to the target (exclusive of the source). *)
+let wave g ~(costs : cell_cost) ~sources ~target =
+  let n = g.nx * g.ny in
+  let dist = Array.make n max_int in
+  let prev = Array.make n (-1) in
+  let module H = Set.Make (struct
+    type t = int * int (* dist, cell *)
+
+    let compare = compare
+  end) in
+  let heap = ref H.empty in
+  List.iter
+    (fun (i, j) ->
+      let c = idx g i j in
+      dist.(c) <- 0;
+      heap := H.add (0, c) !heap)
+    sources;
+  let ti, tj = target in
+  let tcell = idx g ti tj in
+  let finished = ref (dist.(tcell) = 0) in
+  while (not !finished) && not (H.is_empty !heap) do
+    let ((d, c) as e) = H.min_elt !heap in
+    heap := H.remove e !heap;
+    if c = tcell then finished := true
+    else if d <= dist.(c) then begin
+      let ci = c mod g.nx and cj = c / g.nx in
+      let try_step ni nj =
+        if ni >= 0 && ni < g.nx && nj >= 0 && nj < g.ny then begin
+          let nc = idx g ni nj in
+          let w =
+            costs.base
+            + (if g.over_dev.(nc) then costs.over_device else 0)
+            + (g.usage.(nc) * costs.congestion)
+          in
+          if d + w < dist.(nc) then begin
+            dist.(nc) <- d + w;
+            prev.(nc) <- c;
+            heap := H.add (d + w, nc) !heap
+          end
+        end
+      in
+      try_step (ci + 1) cj;
+      try_step (ci - 1) cj;
+      try_step ci (cj + 1);
+      try_step ci (cj - 1)
+    end
+  done;
+  if dist.(tcell) = max_int then None
+  else begin
+    let rec walk c acc =
+      if dist.(c) = 0 then acc
+      else walk prev.(c) ((c mod g.nx, c / g.nx) :: acc)
+    in
+    Some (walk tcell [])
+  end
+
+let route ?(costs = default_costs) ?(step = 0.25) (l : Netlist.Layout.t) =
+  let g = make_grid ~step l in
+  let nets = l.Netlist.Layout.circuit.Netlist.Circuit.nets in
+  (* route larger-degree nets first: they shape the congestion map *)
+  let order =
+    Array.to_list nets
+    |> List.sort (fun a b -> compare (Netlist.Net.degree b) (Netlist.Net.degree a))
+  in
+  let routed = Array.make (Array.length nets) None in
+  List.iter
+    (fun (e : Netlist.Net.t) ->
+      let pins =
+        Array.to_list
+          (Array.map
+             (fun t -> cell_of g (Netlist.Layout.pin_position l t))
+             e.Netlist.Net.terminals)
+        |> List.sort_uniq compare
+      in
+      match pins with
+      | [] | [ _ ] ->
+          routed.(e.Netlist.Net.id) <-
+            Some { net_id = e.Netlist.Net.id; length_um = 0.0; cells = [] }
+      | first :: rest ->
+          let tree = ref [ first ] in
+          let cells = ref [ first ] in
+          let total_steps = ref 0 in
+          let ok = ref true in
+          (* connect nearest-remaining-pin first *)
+          let remaining = ref rest in
+          while !ok && !remaining <> [] do
+            let dist_to_tree (i, j) =
+              List.fold_left
+                (fun m (a, b) -> min m (abs (i - a) + abs (j - b)))
+                max_int !tree
+            in
+            let next =
+              List.fold_left
+                (fun best p ->
+                  match best with
+                  | None -> Some p
+                  | Some b ->
+                      if dist_to_tree p < dist_to_tree b then Some p else best)
+                None !remaining
+            in
+            let target = Option.get next in
+            remaining := List.filter (fun p -> p <> target) !remaining;
+            match wave g ~costs ~sources:!tree ~target with
+            | None -> ok := false
+            | Some path ->
+                total_steps := !total_steps + List.length path;
+                List.iter
+                  (fun (i, j) ->
+                    g.usage.(idx g i j) <- g.usage.(idx g i j) + 1)
+                  path;
+                tree := path @ !tree;
+                cells := path @ !cells
+          done;
+          if !ok then
+            routed.(e.Netlist.Net.id) <-
+              Some
+                {
+                  net_id = e.Netlist.Net.id;
+                  length_um = float_of_int !total_steps *. step;
+                  cells = !cells;
+                })
+    order;
+  let nets_out =
+    Array.map
+      (function
+        | Some r -> r
+        | None -> { net_id = -1; length_um = infinity; cells = [] })
+      routed
+  in
+  let total =
+    Array.fold_left
+      (fun a (r : routed_net) ->
+        if Float.is_finite r.length_um then a +. r.length_um else a)
+      0.0 nets_out
+  in
+  let overflow =
+    Array.fold_left (fun a u -> if u > 2 then a + 1 else a) 0 g.usage
+  in
+  {
+    nets = nets_out;
+    total_length_um = total;
+    grid_step = step;
+    overflow_cells = overflow;
+  }

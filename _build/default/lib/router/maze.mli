@@ -1,0 +1,29 @@
+(** Congestion-aware grid maze router (Lee/Dijkstra wave expansion):
+    the heavier counterpart of the {!Steiner} length estimator, with
+    nets avoiding each other and device bodies at a cost. *)
+
+type cell_cost = {
+  base : int;  (** per grid step *)
+  over_device : int;  (** extra cost for cells over a device body *)
+  congestion : int;  (** extra cost per net already using the cell *)
+}
+
+val default_costs : cell_cost
+
+type routed_net = {
+  net_id : int;
+  length_um : float;  (** infinity if the net could not be routed *)
+  cells : (int * int) list;
+}
+
+type result = {
+  nets : routed_net array;  (** indexed by net id *)
+  total_length_um : float;
+  grid_step : float;
+  overflow_cells : int;  (** cells shared by more than two nets *)
+}
+
+val route : ?costs:cell_cost -> ?step:float -> Netlist.Layout.t -> result
+(** Route every net of the placement on a uniform grid ([step] in um).
+    Nets are routed in decreasing-degree order; multi-pin nets grow a
+    Steiner-like tree by repeated cheapest waves. *)

@@ -1,0 +1,52 @@
+(* Wire parasitic extraction from routed net lengths. Constants are
+   representative of a 12nm-class intermediate metal stack:
+   0.2 fF/um and 1.0 ohm/um, plus a fixed per-pin via/contact cap. *)
+
+type constants = {
+  c_per_um_ff : float;
+  r_per_um_ohm : float;
+  c_pin_ff : float;
+}
+
+let default_constants = { c_per_um_ff = 0.2; r_per_um_ohm = 1.0; c_pin_ff = 0.05 }
+
+type net_rc = { length_um : float; c_ff : float; r_ohm : float }
+
+let of_net ?(k = default_constants) l (e : Netlist.Net.t) =
+  let len = Steiner.net_length l e in
+  {
+    length_um = len;
+    c_ff =
+      (k.c_per_um_ff *. len)
+      +. (k.c_pin_ff *. float_of_int (Netlist.Net.degree e));
+    r_ohm = k.r_per_um_ohm *. len;
+  }
+
+type summary = {
+  total_length_um : float;
+  critical_length_um : float;
+  critical_c_ff : float;
+  critical_r_ohm : float;
+  per_net : net_rc array;
+}
+
+let extract ?(k = default_constants) (l : Netlist.Layout.t) =
+  let nets = l.Netlist.Layout.circuit.Netlist.Circuit.nets in
+  let per_net = Array.map (of_net ~k l) nets in
+  let tot = ref 0.0 and cl = ref 0.0 and cc = ref 0.0 and cr = ref 0.0 in
+  Array.iteri
+    (fun i (rc : net_rc) ->
+      tot := !tot +. rc.length_um;
+      if nets.(i).Netlist.Net.critical then begin
+        cl := !cl +. rc.length_um;
+        cc := !cc +. rc.c_ff;
+        cr := !cr +. rc.r_ohm
+      end)
+    per_net;
+  {
+    total_length_um = !tot;
+    critical_length_um = !cl;
+    critical_c_ff = !cc;
+    critical_r_ohm = !cr;
+    per_net;
+  }

@@ -1,0 +1,24 @@
+(** Wire parasitics from routed net lengths (the extraction step of the
+    paper's evaluation flow, with 12nm-class constants). *)
+
+type constants = {
+  c_per_um_ff : float;
+  r_per_um_ohm : float;
+  c_pin_ff : float;
+}
+
+val default_constants : constants
+
+type net_rc = { length_um : float; c_ff : float; r_ohm : float }
+
+val of_net : ?k:constants -> Netlist.Layout.t -> Netlist.Net.t -> net_rc
+
+type summary = {
+  total_length_um : float;
+  critical_length_um : float;
+  critical_c_ff : float;
+  critical_r_ohm : float;
+  per_net : net_rc array;
+}
+
+val extract : ?k:constants -> Netlist.Layout.t -> summary

@@ -1,0 +1,1 @@
+lib/wirelength/lse.mli: Netview

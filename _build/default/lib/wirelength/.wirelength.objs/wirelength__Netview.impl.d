@@ -1,0 +1,1 @@
+lib/wirelength/netview.ml: Array Geometry Netlist

@@ -1,0 +1,1 @@
+lib/wirelength/netview.mli: Geometry Netlist

@@ -1,0 +1,1 @@
+lib/wirelength/wa.ml: Array Netview

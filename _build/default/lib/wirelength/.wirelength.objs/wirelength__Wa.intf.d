@@ -1,0 +1,1 @@
+lib/wirelength/wa.mli: Netview

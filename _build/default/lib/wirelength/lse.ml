@@ -1,0 +1,58 @@
+(* Log-Sum-Exp wirelength smoothing (NTUplace3), used by the
+   reimplementation of the prior analytical work [11]:
+
+     LSE_max = g * log sum exp(c_t/g),  LSE_min = -g * log sum exp(-c_t/g)
+
+   d(LSE_max)/dc_t = softmax_t;  d(LSE_min)/dc_t = softmin_t.
+   LSE overestimates the true span (the paper's reason to prefer WA). *)
+
+let span_grad ~gamma ~coords ~scale ~dcoef =
+  let k = Array.length coords in
+  assert (k > 0);
+  let cmax = ref neg_infinity and cmin = ref infinity in
+  for t = 0 to k - 1 do
+    if coords.(t) > !cmax then cmax := coords.(t);
+    if coords.(t) < !cmin then cmin := coords.(t)
+  done;
+  let sp = ref 0.0 and sq = ref 0.0 in
+  for t = 0 to k - 1 do
+    sp := !sp +. exp ((coords.(t) -. !cmax) /. gamma);
+    sq := !sq +. exp ((!cmin -. coords.(t)) /. gamma)
+  done;
+  let lse_max = !cmax +. (gamma *. log !sp) in
+  let lse_min = !cmin -. (gamma *. log !sq) in
+  for t = 0 to k - 1 do
+    let p = exp ((coords.(t) -. !cmax) /. gamma) /. !sp in
+    let q = exp ((!cmin -. coords.(t)) /. gamma) /. !sq in
+    dcoef.(t) <- dcoef.(t) +. (scale *. (p -. q))
+  done;
+  lse_max -. lse_min
+
+let value_grad (nv : Netview.t) ~gamma ~xs ~ys ~gx ~gy =
+  let total = ref 0.0 in
+  Array.iter
+    (fun (net : Netview.net) ->
+      let k = Array.length net.Netview.devs in
+      if k > 1 then begin
+        let coords = Array.make k 0.0 and dcoef = Array.make k 0.0 in
+        for t = 0 to k - 1 do
+          coords.(t) <- xs.(net.Netview.devs.(t)) +. net.Netview.offx.(t)
+        done;
+        let sx =
+          span_grad ~gamma ~coords ~scale:net.Netview.weight ~dcoef
+        in
+        for t = 0 to k - 1 do
+          gx.(net.Netview.devs.(t)) <- gx.(net.Netview.devs.(t)) +. dcoef.(t);
+          dcoef.(t) <- 0.0;
+          coords.(t) <- ys.(net.Netview.devs.(t)) +. net.Netview.offy.(t)
+        done;
+        let sy =
+          span_grad ~gamma ~coords ~scale:net.Netview.weight ~dcoef
+        in
+        for t = 0 to k - 1 do
+          gy.(net.Netview.devs.(t)) <- gy.(net.Netview.devs.(t)) +. dcoef.(t)
+        done;
+        total := !total +. (net.Netview.weight *. (sx +. sy))
+      end)
+    nv.Netview.nets;
+  !total

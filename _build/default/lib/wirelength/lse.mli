@@ -1,0 +1,12 @@
+(** Log-Sum-Exp wirelength smoothing — the HPWL approximation of the
+    NTUplace3-based prior analytical work. Overestimates spans, which
+    is one of the paper's three reasons ePlace-A (WA-based) wins. *)
+
+val span_grad :
+  gamma:float -> coords:float array -> scale:float -> dcoef:float array ->
+  float
+
+val value_grad :
+  Netview.t -> gamma:float -> xs:float array -> ys:float array ->
+  gx:float array -> gy:float array -> float
+(** Same contract as {!Wa.value_grad}. *)

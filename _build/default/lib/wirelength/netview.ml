@@ -1,0 +1,64 @@
+(* Flattened net view for gradient computation: terminal positions are
+   device centres plus fixed pin offsets (orientation is frozen during
+   global placement, matching the paper: flipping is decided later by
+   the ILP detailed placement). *)
+
+type net = {
+  weight : float;
+  devs : int array;
+  offx : float array;  (* pin offset from device centre *)
+  offy : float array;
+}
+
+type t = { nets : net array; n_devices : int }
+
+let of_circuit ?orients (c : Netlist.Circuit.t) =
+  let n = Netlist.Circuit.n_devices c in
+  let orient i =
+    match orients with
+    | None -> Geometry.Orient.identity
+    | Some o -> o.(i)
+  in
+  let nets =
+    Array.map
+      (fun (e : Netlist.Net.t) ->
+        let k = Array.length e.Netlist.Net.terminals in
+        let devs = Array.make k 0 in
+        let offx = Array.make k 0.0 in
+        let offy = Array.make k 0.0 in
+        Array.iteri
+          (fun t (term : Netlist.Net.terminal) ->
+            let d = Netlist.Circuit.device c term.Netlist.Net.dev in
+            let ox, oy =
+              Netlist.Device.pin_offset d ~pin:term.Netlist.Net.pin
+                ~orient:(orient term.Netlist.Net.dev)
+            in
+            devs.(t) <- term.Netlist.Net.dev;
+            offx.(t) <- ox -. (0.5 *. d.Netlist.Device.w);
+            offy.(t) <- oy -. (0.5 *. d.Netlist.Device.h))
+          e.Netlist.Net.terminals;
+        { weight = e.Netlist.Net.weight; devs; offx; offy })
+      c.Netlist.Circuit.nets
+  in
+  { nets; n_devices = n }
+
+(* Exact weighted HPWL on centre coordinates. *)
+let hpwl t ~xs ~ys =
+  Array.fold_left
+    (fun acc net ->
+      let k = Array.length net.devs in
+      if k <= 1 then acc
+      else begin
+        let xmin = ref infinity and xmax = ref neg_infinity in
+        let ymin = ref infinity and ymax = ref neg_infinity in
+        for i = 0 to k - 1 do
+          let x = xs.(net.devs.(i)) +. net.offx.(i) in
+          let y = ys.(net.devs.(i)) +. net.offy.(i) in
+          if x < !xmin then xmin := x;
+          if x > !xmax then xmax := x;
+          if y < !ymin then ymin := y;
+          if y > !ymax then ymax := y
+        done;
+        acc +. (net.weight *. (!xmax -. !xmin +. !ymax -. !ymin))
+      end)
+    0.0 t.nets

@@ -1,0 +1,19 @@
+(** Flattened net view used by the smoothed-wirelength gradients.
+
+    Terminal positions are device centres plus frozen pin offsets;
+    orientation changes are the detailed placer's job, so global
+    placement treats offsets as constants. *)
+
+type net = {
+  weight : float;
+  devs : int array;
+  offx : float array;
+  offy : float array;
+}
+
+type t = { nets : net array; n_devices : int }
+
+val of_circuit : ?orients:Geometry.Orient.t array -> Netlist.Circuit.t -> t
+
+val hpwl : t -> xs:float array -> ys:float array -> float
+(** Exact weighted HPWL at centre coordinates [xs], [ys]. *)

@@ -1,0 +1,87 @@
+(* Weighted-Average (WA) wirelength smoothing (Hsu et al., DAC'11),
+   used by ePlace-A. For a coordinate set {c_t}:
+
+     WA_max = sum c_t exp(c_t/g) / sum exp(c_t/g)
+     WA_min = sum c_t exp(-c_t/g) / sum exp(-c_t/g)
+
+   d(WA_max)/dc_t = p_t (1 + (c_t - WA_max)/g),  p_t = softmax weight
+   d(WA_min)/dc_t = q_t (1 - (c_t - WA_min)/g)
+
+   Exponentials are shifted by the extreme value for stability. *)
+
+(* One axis of one net: returns the smoothed span (max - min) and
+   accumulates its derivative w.r.t. each coordinate into [dcoef]
+   (multiplied by [scale]). *)
+let span_grad ~gamma ~coords ~scale ~dcoef =
+  let k = Array.length coords in
+  assert (k > 0);
+  let cmax = ref neg_infinity and cmin = ref infinity in
+  for t = 0 to k - 1 do
+    if coords.(t) > !cmax then cmax := coords.(t);
+    if coords.(t) < !cmin then cmin := coords.(t)
+  done;
+  (* softmax toward max *)
+  let sp = ref 0.0 and spx = ref 0.0 in
+  let sq = ref 0.0 and sqx = ref 0.0 in
+  for t = 0 to k - 1 do
+    let ep = exp ((coords.(t) -. !cmax) /. gamma) in
+    let eq = exp ((!cmin -. coords.(t)) /. gamma) in
+    sp := !sp +. ep;
+    spx := !spx +. (coords.(t) *. ep);
+    sq := !sq +. eq;
+    sqx := !sqx +. (coords.(t) *. eq)
+  done;
+  let wa_max = !spx /. !sp and wa_min = !sqx /. !sq in
+  for t = 0 to k - 1 do
+    let p = exp ((coords.(t) -. !cmax) /. gamma) /. !sp in
+    let q = exp ((!cmin -. coords.(t)) /. gamma) /. !sq in
+    let dmax = p *. (1.0 +. ((coords.(t) -. wa_max) /. gamma)) in
+    let dmin = q *. (1.0 -. ((coords.(t) -. wa_min) /. gamma)) in
+    dcoef.(t) <- dcoef.(t) +. (scale *. (dmax -. dmin))
+  done;
+  wa_max -. wa_min
+
+(* Smoothed weighted HPWL with gradient accumulation into gx, gy. *)
+let value_grad (nv : Netview.t) ~gamma ~xs ~ys ~gx ~gy =
+  let total = ref 0.0 in
+  let buf = ref (Array.make 8 0.0) in
+  let dbuf = ref (Array.make 8 0.0) in
+  Array.iter
+    (fun (net : Netview.net) ->
+      let k = Array.length net.Netview.devs in
+      if k > 1 then begin
+        if Array.length !buf < k then begin
+          buf := Array.make k 0.0;
+          dbuf := Array.make k 0.0
+        end;
+        let coords = !buf and dcoef = !dbuf in
+        (* x axis *)
+        for t = 0 to k - 1 do
+          coords.(t) <- xs.(net.Netview.devs.(t)) +. net.Netview.offx.(t);
+          dcoef.(t) <- 0.0
+        done;
+        let coords_k = Array.sub coords 0 k in
+        let dcoef_k = Array.sub dcoef 0 k in
+        let sx =
+          span_grad ~gamma ~coords:coords_k ~scale:net.Netview.weight
+            ~dcoef:dcoef_k
+        in
+        for t = 0 to k - 1 do
+          gx.(net.Netview.devs.(t)) <- gx.(net.Netview.devs.(t)) +. dcoef_k.(t)
+        done;
+        (* y axis *)
+        for t = 0 to k - 1 do
+          coords_k.(t) <- ys.(net.Netview.devs.(t)) +. net.Netview.offy.(t);
+          dcoef_k.(t) <- 0.0
+        done;
+        let sy =
+          span_grad ~gamma ~coords:coords_k ~scale:net.Netview.weight
+            ~dcoef:dcoef_k
+        in
+        for t = 0 to k - 1 do
+          gy.(net.Netview.devs.(t)) <- gy.(net.Netview.devs.(t)) +. dcoef_k.(t)
+        done;
+        total := !total +. (net.Netview.weight *. (sx +. sy))
+      end)
+    nv.Netview.nets;
+  !total

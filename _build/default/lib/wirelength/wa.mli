@@ -1,0 +1,15 @@
+(** Weighted-Average (WA) wirelength smoothing — ePlace-A's HPWL
+    approximation (paper Eq. 2). Smaller [gamma] means tighter
+    approximation but a stiffer gradient field. *)
+
+val span_grad :
+  gamma:float -> coords:float array -> scale:float -> dcoef:float array ->
+  float
+(** Smoothed span (WA_max - WA_min) of one coordinate set; accumulates
+    [scale *] the derivative w.r.t. each coordinate into [dcoef]. *)
+
+val value_grad :
+  Netview.t -> gamma:float -> xs:float array -> ys:float array ->
+  gx:float array -> gy:float array -> float
+(** Smoothed weighted HPWL over all nets; accumulates gradients w.r.t.
+    device centres into [gx], [gy] (caller zeroes them). *)

@@ -1,0 +1,1 @@
+test/test_annealing.ml: Alcotest Annealing Array Circuits Fixtures Fun List Netlist Numerics

@@ -1,0 +1,1 @@
+test/test_dp_detail.ml: Alcotest Array Circuits Eplace Geometry List Netlist Prevwork

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Circuits Eplace Experiments Fmt List Netlist Prevwork String

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Float Geometry List QCheck2 QCheck_alcotest

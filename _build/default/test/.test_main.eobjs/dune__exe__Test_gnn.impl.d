@@ -1,0 +1,1 @@
+test/test_gnn.ml: Alcotest Array Fixtures Float Gnn List Netlist Numerics Printf

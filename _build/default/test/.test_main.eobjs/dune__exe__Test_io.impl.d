@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Circuits Filename Fixtures Geometry List Netlist Printexc String Sys

@@ -1,0 +1,1 @@
+test/test_maze.ml: Alcotest Annealing Array Circuits Fixtures Float Geometry Netlist Printf Router

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Fun List Numerics Printf QCheck2 QCheck_alcotest

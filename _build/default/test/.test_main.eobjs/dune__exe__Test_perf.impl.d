@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Annealing Array Circuits Fixtures Fun Geometry List Netlist Numerics Perfsim Router

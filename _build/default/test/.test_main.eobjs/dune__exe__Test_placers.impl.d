@@ -1,0 +1,1 @@
+test/test_placers.ml: Alcotest Annealing Array Circuits Eplace Hashtbl List Netlist Perfsim Place_common Prevwork

@@ -1,0 +1,1 @@
+test/test_properties.ml: Annealing Array Circuits Fixtures Float List Netlist Numerics Perfsim QCheck2 QCheck_alcotest Wirelength

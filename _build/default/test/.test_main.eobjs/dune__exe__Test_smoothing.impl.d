@@ -1,0 +1,1 @@
+test/test_smoothing.ml: Alcotest Array Density Fixtures Float Geometry List Netlist Place_common Wirelength

@@ -1,0 +1,59 @@
+(* Shared test fixtures. *)
+
+module D = Netlist.Device
+module N = Netlist.Net
+module CS = Netlist.Constraint_set
+module C = Netlist.Circuit
+
+let mos_pins =
+  [| { D.pin_name = "g"; ox = 0.2; oy = 0.5 };
+     { D.pin_name = "d"; ox = 0.8; oy = 0.9 };
+     { D.pin_name = "s"; ox = 0.8; oy = 0.1 } |]
+
+(* Six-device differential stage: pair (0,1), loads (2,3), tail 4, cap 5. *)
+let diff_stage () =
+  let dev id name kind w h pins = D.make ~id ~name ~kind ~w ~h ~pins in
+  let one_pin = [| { D.pin_name = "p"; ox = 0.5; oy = 0.5 } |] in
+  let devices =
+    [| dev 0 "m_inp" D.Nmos 1.2 1.0 mos_pins;
+       dev 1 "m_inn" D.Nmos 1.2 1.0 mos_pins;
+       dev 2 "m_lp" D.Pmos 1.4 1.0 mos_pins;
+       dev 3 "m_ln" D.Pmos 1.4 1.0 mos_pins;
+       dev 4 "m_tail" D.Nmos 2.0 1.0 one_pin;
+       dev 5 "c_load" D.Cap 1.6 1.6 one_pin |]
+  in
+  let t dev pin = { N.dev; pin } in
+  let nets =
+    [| N.make ~id:0 ~name:"inp" [| t 0 0 |];
+       N.make ~id:1 ~name:"inn" [| t 1 0 |];
+       N.make ~id:2 ~name:"tail" [| t 0 2; t 1 2; t 4 0 |];
+       N.make ~id:3 ~name:"outp" ~critical:true [| t 0 1; t 2 1; t 5 0 |];
+       N.make ~id:4 ~name:"outn" ~critical:true [| t 1 1; t 3 1 |] |]
+  in
+  let constraints =
+    CS.make
+      ~sym_groups:
+        [ CS.sym_group ~selfs:[ 4 ] [ (0, 1) ]; CS.sym_group [ (2, 3) ] ]
+      ~aligns:[ { CS.align_kind = CS.Bottom; a = 0; b = 1 } ]
+      ~orders:[ { CS.order_dir = CS.Left_to_right; chain = [ 0; 1 ] } ]
+      ()
+  in
+  C.make ~constraints ~perf_class:"ota"
+    ~meta:[ ("gm", 2e-3); ("ro", 5e4); ("cl", 1e-13) ]
+    ~name:"diff_stage" ~devices ~nets ()
+
+(* Spread-out non-overlapping starting coordinates for diff_stage. *)
+let diff_stage_coords () =
+  let xs = [| 0.8; 4.0; 1.0; 4.2; 2.4; 2.4 |] in
+  let ys = [| 0.6; 0.6; 2.2; 2.2; 3.8; 5.6 |] in
+  (xs, ys)
+
+(* Numerical gradient of a scalar function by central differences. *)
+let fd_grad ~f ~x ~eps =
+  Array.mapi
+    (fun i _ ->
+      let x1 = Array.copy x and x2 = Array.copy x in
+      x1.(i) <- x1.(i) -. eps;
+      x2.(i) <- x2.(i) +. eps;
+      (f x2 -. f x1) /. (2.0 *. eps))
+    x

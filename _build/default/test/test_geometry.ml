@@ -1,0 +1,144 @@
+(* Unit + property tests for the geometry substrate. *)
+
+let check_f msg expected actual =
+  Alcotest.(check (float 1e-9)) msg expected actual
+
+module P = Geometry.Point
+module R = Geometry.Rect
+module O = Geometry.Orient
+
+let point_tests =
+  [
+    Alcotest.test_case "add/sub roundtrip" `Quick (fun () ->
+        let a = P.make 1.5 (-2.0) and b = P.make 0.25 4.0 in
+        Alcotest.(check bool) "roundtrip" true (P.equal (P.sub (P.add a b) b) a));
+    Alcotest.test_case "l1 distance" `Quick (fun () ->
+        check_f "l1" 7.0 (P.dist_l1 (P.make 0.0 0.0) (P.make 3.0 (-4.0))));
+    Alcotest.test_case "l2 distance" `Quick (fun () ->
+        check_f "l2" 5.0 (P.dist (P.make 0.0 0.0) (P.make 3.0 4.0)));
+    Alcotest.test_case "midpoint" `Quick (fun () ->
+        Alcotest.(check bool) "mid" true
+          (P.equal (P.midpoint (P.make 0.0 0.0) (P.make 2.0 6.0)) (P.make 1.0 3.0)));
+    Alcotest.test_case "compare is lexicographic" `Quick (fun () ->
+        Alcotest.(check bool) "lt" true
+          (P.compare (P.make 1.0 9.0) (P.make 2.0 0.0) < 0);
+        Alcotest.(check bool) "tie on x" true
+          (P.compare (P.make 1.0 1.0) (P.make 1.0 2.0) < 0));
+  ]
+
+let rect_tests =
+  [
+    Alcotest.test_case "of_center geometry" `Quick (fun () ->
+        let r = R.of_center ~cx:5.0 ~cy:3.0 ~w:4.0 ~h:2.0 in
+        check_f "x0" 3.0 r.R.x0;
+        check_f "y1" 4.0 r.R.y1;
+        check_f "area" 8.0 (R.area r);
+        Alcotest.(check bool) "center" true (P.equal (R.center r) (P.make 5.0 3.0)));
+    Alcotest.test_case "make rejects inverted corners" `Quick (fun () ->
+        Alcotest.check_raises "inverted" (Invalid_argument
+          "Rect.make: degenerate corners (1,0)-(0,1)")
+          (fun () -> ignore (R.make ~x0:1.0 ~y0:0.0 ~x1:0.0 ~y1:1.0)));
+    Alcotest.test_case "overlap area of crossing rects" `Quick (fun () ->
+        let a = R.make ~x0:0.0 ~y0:0.0 ~x1:4.0 ~y1:2.0 in
+        let b = R.make ~x0:3.0 ~y0:1.0 ~x1:6.0 ~y1:5.0 in
+        check_f "overlap" 1.0 (R.overlap_area a b));
+    Alcotest.test_case "touching rects do not intersect" `Quick (fun () ->
+        let a = R.make ~x0:0.0 ~y0:0.0 ~x1:1.0 ~y1:1.0 in
+        let b = R.make ~x0:1.0 ~y0:0.0 ~x1:2.0 ~y1:1.0 in
+        Alcotest.(check bool) "no strict intersection" false (R.intersects a b);
+        check_f "zero overlap" 0.0 (R.overlap_area a b));
+    Alcotest.test_case "bounding box" `Quick (fun () ->
+        let rs =
+          [ R.make ~x0:0.0 ~y0:0.0 ~x1:1.0 ~y1:1.0;
+            R.make ~x0:(-2.0) ~y0:3.0 ~x1:0.5 ~y1:4.0 ]
+        in
+        let b = R.bounding_box rs in
+        check_f "x0" (-2.0) b.R.x0;
+        check_f "x1" 1.0 b.R.x1;
+        check_f "y1" 4.0 b.R.y1);
+    Alcotest.test_case "contains" `Quick (fun () ->
+        let outer = R.make ~x0:0.0 ~y0:0.0 ~x1:10.0 ~y1:10.0 in
+        let inner = R.make ~x0:1.0 ~y0:1.0 ~x1:9.0 ~y1:9.0 in
+        Alcotest.(check bool) "in" true (R.contains ~outer inner);
+        Alcotest.(check bool) "out" false (R.contains ~outer:inner outer));
+  ]
+
+let orient_tests =
+  [
+    Alcotest.test_case "identity keeps offsets" `Quick (fun () ->
+        let ox, oy = O.apply_offset O.identity ~w:4.0 ~h:2.0 ~ox:1.0 ~oy:0.5 in
+        check_f "ox" 1.0 ox;
+        check_f "oy" 0.5 oy);
+    Alcotest.test_case "fx mirrors x only" `Quick (fun () ->
+        let o = O.flip_x O.identity in
+        let ox, oy = O.apply_offset o ~w:4.0 ~h:2.0 ~ox:1.0 ~oy:0.5 in
+        check_f "ox" 3.0 ox;
+        check_f "oy" 0.5 oy);
+    Alcotest.test_case "double flip is identity" `Quick (fun () ->
+        Alcotest.(check bool) "fx fx" true
+          (O.equal (O.flip_x (O.flip_x O.identity)) O.identity));
+    Alcotest.test_case "all lists four distinct orientations" `Quick (fun () ->
+        Alcotest.(check int) "count" 4 (List.length O.all);
+        let distinct =
+          List.for_all
+            (fun a -> List.length (List.filter (O.equal a) O.all) = 1)
+            O.all
+        in
+        Alcotest.(check bool) "distinct" true distinct);
+  ]
+
+(* Property tests *)
+
+let rect_gen =
+  QCheck2.Gen.(
+    let coord = float_range (-50.0) 50.0 in
+    let size = float_range 0.0 20.0 in
+    map
+      (fun (cx, cy, w, h) -> R.of_center ~cx ~cy ~w ~h)
+      (quad coord coord size size))
+
+let prop_overlap_symmetric =
+  QCheck2.Test.make ~name:"rect overlap is symmetric" ~count:500
+    QCheck2.Gen.(pair rect_gen rect_gen)
+    (fun (a, b) ->
+      abs_float (R.overlap_area a b -. R.overlap_area b a) < 1e-9)
+
+let prop_overlap_bounded =
+  QCheck2.Test.make ~name:"overlap <= min area" ~count:500
+    QCheck2.Gen.(pair rect_gen rect_gen)
+    (fun (a, b) ->
+      R.overlap_area a b <= Float.min (R.area a) (R.area b) +. 1e-9)
+
+let prop_union_contains =
+  QCheck2.Test.make ~name:"union contains both" ~count:500
+    QCheck2.Gen.(pair rect_gen rect_gen)
+    (fun (a, b) ->
+      let u = R.union a b in
+      R.contains ~eps:1e-9 ~outer:u a && R.contains ~eps:1e-9 ~outer:u b)
+
+let prop_flip_involution =
+  QCheck2.Test.make ~name:"pin offset flip is involutive" ~count:500
+    QCheck2.Gen.(
+      map
+        (fun (w, h, fx, fy) ->
+          let ox = Float.min w (0.3 *. w) and oy = Float.min h (0.7 *. h) in
+          (w +. 0.1, h +. 0.1, ox, oy, fx, fy))
+        (quad (float_range 0.1 10.0) (float_range 0.1 10.0) bool bool))
+    (fun (w, h, ox, oy, fx, fy) ->
+      let o = O.make ~fx ~fy in
+      let ox1, oy1 = O.apply_offset o ~w ~h ~ox ~oy in
+      let ox2, oy2 = O.apply_offset o ~w ~h ~ox:ox1 ~oy:oy1 in
+      abs_float (ox2 -. ox) < 1e-9 && abs_float (oy2 -. oy) < 1e-9)
+
+let prop_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_overlap_symmetric; prop_overlap_bounded; prop_union_contains;
+      prop_flip_involution ]
+
+let suites =
+  [
+    ("geometry.point", point_tests);
+    ("geometry.rect", rect_tests);
+    ("geometry.orient", orient_tests);
+    ("geometry.properties", prop_tests);
+  ]

@@ -1,0 +1,169 @@
+(* Tests for the GNN surrogate: encoding invariants, finite-difference
+   gradient checks for both parameters and input positions, and
+   trainability on a separable toy task. *)
+
+module GE = Gnn.Graph_enc
+module Mo = Gnn.Model
+module Tr = Gnn.Train
+module M = Numerics.Matrix
+module R = Numerics.Rng
+
+let close ?(rtol = 1e-3) ?(atol = 1e-6) a b =
+  abs_float (a -. b) <= atol +. (rtol *. Float.max (abs_float a) (abs_float b))
+
+let enc_tests =
+  [
+    Alcotest.test_case "adjacency rows sum to one" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let enc = GE.of_circuit c in
+        let n = Netlist.Circuit.n_devices c in
+        for i = 0 to n - 1 do
+          let s = ref 0.0 in
+          for j = 0 to n - 1 do
+            s := !s +. M.get enc.GE.ahat i j
+          done;
+          Alcotest.(check (float 1e-9)) "row sum" 1.0 !s
+        done);
+    Alcotest.test_case "features are translation invariant" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let enc = GE.of_circuit c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        let f1, _ = GE.features enc ~xs ~ys in
+        let xs2 = Array.map (fun x -> x +. 17.0) xs in
+        let ys2 = Array.map (fun y -> y -. 4.0) ys in
+        let f2, _ = GE.features enc ~xs:xs2 ~ys:ys2 in
+        for i = 0 to M.rows f1 - 1 do
+          for j = 0 to M.cols f1 - 1 do
+            Alcotest.(check (float 1e-9)) "feat" (M.get f1 i j) (M.get f2 i j)
+          done
+        done);
+    Alcotest.test_case "phi is translation invariant" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let enc = GE.of_circuit c in
+        let model = Mo.create (R.create 3) in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        let p1 = Mo.predict model enc ~xs ~ys in
+        let xs2 = Array.map (fun x -> x +. 5.0) xs in
+        let p2 = Mo.predict model enc ~xs:xs2 ~ys in
+        Alcotest.(check (float 1e-9)) "phi" p1 p2);
+    Alcotest.test_case "phi in (0,1)" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let enc = GE.of_circuit c in
+        let model = Mo.create (R.create 7) in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        let p = Mo.predict model enc ~xs ~ys in
+        Alcotest.(check bool) "range" true (p > 0.0 && p < 1.0));
+  ]
+
+let grad_tests =
+  [
+    Alcotest.test_case "position gradient matches finite differences" `Quick
+      (fun () ->
+        let c = Fixtures.diff_stage () in
+        let enc = GE.of_circuit c in
+        let model = Mo.create (R.create 11) in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        let n = Array.length xs in
+        let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+        let v = Mo.phi_grad model enc ~alpha:1.0 ~xs ~ys ~gx ~gy in
+        Alcotest.(check bool) "value is phi" true (v > 0.0 && v < 1.0);
+        let eps = 1e-5 in
+        for i = 0 to n - 1 do
+          let x1 = Array.copy xs and x2 = Array.copy xs in
+          x1.(i) <- x1.(i) -. eps;
+          x2.(i) <- x2.(i) +. eps;
+          let fd =
+            (Mo.predict model enc ~xs:x2 ~ys -. Mo.predict model enc ~xs:x1 ~ys)
+            /. (2.0 *. eps)
+          in
+          if not (close gx.(i) fd) then
+            Alcotest.failf "gx.(%d): analytic %.8g fd %.8g" i gx.(i) fd;
+          let y1 = Array.copy ys and y2 = Array.copy ys in
+          y1.(i) <- y1.(i) -. eps;
+          y2.(i) <- y2.(i) +. eps;
+          let fd =
+            (Mo.predict model enc ~xs ~ys:y2 -. Mo.predict model enc ~xs ~ys:y1)
+            /. (2.0 *. eps)
+          in
+          if not (close gy.(i) fd) then
+            Alcotest.failf "gy.(%d): analytic %.8g fd %.8g" i gy.(i) fd
+        done);
+    Alcotest.test_case "parameter gradient matches finite differences" `Quick
+      (fun () ->
+        let c = Fixtures.diff_stage () in
+        let enc = GE.of_circuit c in
+        let model = Mo.create (R.create 13) in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        let label = 1.0 in
+        let cache = Mo.forward model enc ~xs ~ys in
+        let dz = Mo.phi cache -. label in
+        let g = Mo.backward model cache ~dz in
+        let params = Array.make Mo.n_params 0.0 in
+        Mo.pack model params;
+        let eps = 1e-5 in
+        let rng = R.create 5 in
+        (* spot-check 60 random parameters *)
+        for _ = 1 to 60 do
+          let k = R.int rng Mo.n_params in
+          let saved = params.(k) in
+          params.(k) <- saved +. eps;
+          Mo.unpack model params;
+          let p2 = Mo.predict model enc ~xs ~ys in
+          params.(k) <- saved -. eps;
+          Mo.unpack model params;
+          let p1 = Mo.predict model enc ~xs ~ys in
+          params.(k) <- saved;
+          Mo.unpack model params;
+          let fd = (Tr.bce p2 label -. Tr.bce p1 label) /. (2.0 *. eps) in
+          if not (close ~rtol:2e-3 ~atol:1e-6 g.Mo.g_params.(k) fd) then
+            Alcotest.failf "param %d: analytic %.8g fd %.8g" k
+              g.Mo.g_params.(k) fd
+        done);
+    Alcotest.test_case "pack/unpack roundtrip" `Quick (fun () ->
+        let m = Mo.create (R.create 17) in
+        let p1 = Array.make Mo.n_params 0.0 in
+        Mo.pack m p1;
+        let m2 = Mo.create (R.create 18) in
+        Mo.unpack m2 p1;
+        let p2 = Array.make Mo.n_params 0.0 in
+        Mo.pack m2 p2;
+        Alcotest.(check bool) "same" true
+          (Array.for_all2 (fun a b -> a = b) p1 p2));
+  ]
+
+let train_tests =
+  [
+    Alcotest.test_case "learns a separable placement property" `Quick
+      (fun () ->
+        (* label = 1 when the diff pair is badly separated; the GNN
+           should learn to discriminate compact vs spread placements *)
+        let c = Fixtures.diff_stage () in
+        let enc = GE.of_circuit c in
+        let rng = R.create 23 in
+        let mk_sample spread =
+          let xs, ys = Fixtures.diff_stage_coords () in
+          let xs = Array.map (fun x -> x *. spread) xs in
+          let ys = Array.map (fun y -> y *. spread) ys in
+          (* jitter to avoid degeneracy *)
+          let xs = Array.map (fun x -> x +. (0.1 *. R.gaussian rng)) xs in
+          let ys = Array.map (fun y -> y +. (0.1 *. R.gaussian rng)) ys in
+          { Tr.enc; xs; ys; label = (if spread > 1.6 then 1.0 else 0.0) }
+        in
+        let samples =
+          List.init 80 (fun i ->
+              mk_sample (if i mod 2 = 0 then 1.0 else 2.2))
+        in
+        let model = Mo.create (R.create 29) in
+        let stats = Tr.train ~epochs:80 ~rng model samples in
+        Alcotest.(check bool)
+          (Printf.sprintf "accuracy %.2f >= 0.9" stats.Tr.final_accuracy)
+          true
+          (stats.Tr.final_accuracy >= 0.9));
+  ]
+
+let suites =
+  [
+    ("gnn.encoding", enc_tests);
+    ("gnn.gradients", grad_tests);
+    ("gnn.training", train_tests);
+  ]

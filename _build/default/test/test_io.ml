@@ -1,0 +1,144 @@
+(* Tests for the text interchange format and the SVG writer. *)
+
+module IO = Netlist.Io
+
+let roundtrip_tests =
+  [
+    Alcotest.test_case "circuit round-trips through text" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let text = IO.circuit_to_string c in
+        let c2 = IO.parse_circuit text in
+        Alcotest.(check string) "name" c.Netlist.Circuit.name
+          c2.Netlist.Circuit.name;
+        Alcotest.(check int) "devices" (Netlist.Circuit.n_devices c)
+          (Netlist.Circuit.n_devices c2);
+        Alcotest.(check int) "nets" (Netlist.Circuit.n_nets c)
+          (Netlist.Circuit.n_nets c2);
+        (* second round trip is a fixpoint *)
+        Alcotest.(check string) "fixpoint" text (IO.circuit_to_string c2));
+    Alcotest.test_case "all testcases round-trip" `Quick (fun () ->
+        List.iter
+          (fun name ->
+            let c = Circuits.Testcases.get name in
+            let text = IO.circuit_to_string c in
+            let c2 = IO.parse_circuit text in
+            Alcotest.(check string)
+              (name ^ " fixpoint")
+              text
+              (IO.circuit_to_string c2);
+            (* constraints preserved: same count of each family *)
+            let cs = c.Netlist.Circuit.constraints in
+            let cs2 = c2.Netlist.Circuit.constraints in
+            Alcotest.(check int) "syms"
+              (List.length cs.Netlist.Constraint_set.sym_groups)
+              (List.length cs2.Netlist.Constraint_set.sym_groups);
+            Alcotest.(check int) "aligns"
+              (List.length cs.Netlist.Constraint_set.aligns)
+              (List.length cs2.Netlist.Constraint_set.aligns);
+            Alcotest.(check int) "orders"
+              (List.length cs.Netlist.Constraint_set.orders)
+              (List.length cs2.Netlist.Constraint_set.orders))
+          Circuits.Testcases.all_names);
+    Alcotest.test_case "placement round-trips with orientations" `Quick
+      (fun () ->
+        let c = Fixtures.diff_stage () in
+        let l = Netlist.Layout.create c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        Array.iteri (fun i x -> Netlist.Layout.set l i ~x ~y:ys.(i)) xs;
+        Netlist.Layout.set_orient l 1 (Geometry.Orient.make ~fx:true ~fy:false);
+        Netlist.Layout.set_orient l 3 (Geometry.Orient.make ~fx:true ~fy:true);
+        let text = IO.placement_to_string l in
+        let l2 = IO.parse_placement c text in
+        for i = 0 to Netlist.Layout.n_devices l - 1 do
+          Alcotest.(check (float 1e-9)) "x" l.Netlist.Layout.xs.(i)
+            l2.Netlist.Layout.xs.(i);
+          Alcotest.(check (float 1e-9)) "y" l.Netlist.Layout.ys.(i)
+            l2.Netlist.Layout.ys.(i);
+          Alcotest.(check bool) "orient" true
+            (Geometry.Orient.equal l.Netlist.Layout.orients.(i)
+               l2.Netlist.Layout.orients.(i))
+        done;
+        (* hpwl identical after round trip *)
+        Alcotest.(check (float 1e-9)) "hpwl" (Netlist.Layout.hpwl l)
+          (Netlist.Layout.hpwl l2));
+  ]
+
+let error_tests =
+  [
+    Alcotest.test_case "unknown directive reports the line" `Quick (fun () ->
+        match IO.parse_circuit "circuit c generic\nfrobnicate x" with
+        | exception IO.Parse_error (2, _) -> ()
+        | exception e -> Alcotest.failf "unexpected %s" (Printexc.to_string e)
+        | _ -> Alcotest.fail "expected Parse_error");
+    Alcotest.test_case "unknown device in net is rejected" `Quick (fun () ->
+        let txt = "circuit c generic\nnet n1 ghost.a" in
+        match IO.parse_circuit txt with
+        | exception IO.Parse_error (2, _) -> ()
+        | _ -> Alcotest.fail "expected Parse_error");
+    Alcotest.test_case "bad number is rejected" `Quick (fun () ->
+        let txt = "circuit c generic\ndevice d nmos w 1.0 pins p:0.5:0.5" in
+        match IO.parse_circuit txt with
+        | exception IO.Parse_error (2, _) -> ()
+        | _ -> Alcotest.fail "expected Parse_error");
+    Alcotest.test_case "duplicate device is rejected" `Quick (fun () ->
+        let txt =
+          "circuit c generic\n\
+           device d nmos 1 1 pins p:0.5:0.5\n\
+           device d nmos 1 1 pins p:0.5:0.5"
+        in
+        match IO.parse_circuit txt with
+        | exception IO.Parse_error (3, _) -> ()
+        | _ -> Alcotest.fail "expected Parse_error");
+    Alcotest.test_case "comments and blank lines are ignored" `Quick
+      (fun () ->
+        let txt =
+          "# a comment\n\ncircuit c generic\n# another\ndevice d nmos 1 1 \
+           pins p:0.5:0.5\n"
+        in
+        let c = IO.parse_circuit txt in
+        Alcotest.(check int) "one device" 1 (Netlist.Circuit.n_devices c));
+  ]
+
+let svg_tests =
+  [
+    Alcotest.test_case "svg output is well-formed-ish" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let l = Netlist.Layout.create c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        Array.iteri (fun i x -> Netlist.Layout.set l i ~x ~y:ys.(i)) xs;
+        let svg = Netlist.Svg.to_string l in
+        Alcotest.(check bool) "opens" true
+          (String.length svg > 0
+          && String.sub svg 0 4 = "<svg");
+        let count needle =
+          let n = ref 0 and i = ref 0 in
+          let nl = String.length needle in
+          while !i + nl <= String.length svg do
+            if String.sub svg !i nl = needle then incr n;
+            incr i
+          done;
+          !n
+        in
+        Alcotest.(check bool) "closes" true (count "</svg>" = 1);
+        (* one rect per device plus the background *)
+        Alcotest.(check int) "rects"
+          (Netlist.Circuit.n_devices c + 1)
+          (count "<rect"));
+    Alcotest.test_case "svg save writes a file" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let l = Netlist.Layout.create c in
+        let path = Filename.temp_file "layout" ".svg" in
+        Netlist.Svg.save path l;
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        close_in ic;
+        Sys.remove path;
+        Alcotest.(check bool) "nonempty" true (len > 100));
+  ]
+
+let suites =
+  [
+    ("io.roundtrip", roundtrip_tests);
+    ("io.errors", error_tests);
+    ("io.svg", svg_tests);
+  ]

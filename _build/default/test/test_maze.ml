@@ -1,0 +1,98 @@
+(* Tests for the grid maze router. *)
+
+module Mz = Router.Maze
+module St = Router.Steiner
+
+let placed_fixture () =
+  let c = Fixtures.diff_stage () in
+  let l = Netlist.Layout.create c in
+  let xs, ys = Fixtures.diff_stage_coords () in
+  Array.iteri (fun i x -> Netlist.Layout.set l i ~x ~y:ys.(i)) xs;
+  (c, l)
+
+let tests =
+  [
+    Alcotest.test_case "routes every net of the fixture" `Quick (fun () ->
+        let _, l = placed_fixture () in
+        let r = Mz.route ~step:0.25 l in
+        Array.iter
+          (fun (n : Mz.routed_net) ->
+            Alcotest.(check bool) "finite" true (Float.is_finite n.Mz.length_um))
+          r.Mz.nets);
+    Alcotest.test_case "maze length >= L1 lower bound per 2-pin net" `Quick
+      (fun () ->
+        let c, l = placed_fixture () in
+        let r = Mz.route ~step:0.25 l in
+        Array.iter
+          (fun (e : Netlist.Net.t) ->
+            if Netlist.Net.degree e = 2 then begin
+              let p0 = Netlist.Layout.pin_position l e.Netlist.Net.terminals.(0) in
+              let p1 = Netlist.Layout.pin_position l e.Netlist.Net.terminals.(1) in
+              let lb = Geometry.Point.dist_l1 p0 p1 in
+              let got = r.Mz.nets.(e.Netlist.Net.id).Mz.length_um in
+              (* grid discretisation tolerance: one step per bend/pin *)
+              if got < lb -. (3.0 *. r.Mz.grid_step) then
+                Alcotest.failf "net %s routed below L1 bound: %.2f < %.2f"
+                  e.Netlist.Net.name got lb
+            end)
+          c.Netlist.Circuit.nets);
+    Alcotest.test_case "total maze length within 3x of steiner estimate"
+      `Quick (fun () ->
+        let c, l = placed_fixture () in
+        let r = Mz.route ~step:0.25 l in
+        let est =
+          Array.fold_left
+            (fun acc e -> acc +. St.net_length l e)
+            0.0 c.Netlist.Circuit.nets
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "maze %.1f vs steiner %.1f" r.Mz.total_length_um est)
+          true
+          (r.Mz.total_length_um >= 0.8 *. est
+          && r.Mz.total_length_um <= 3.0 *. est));
+    Alcotest.test_case "single-pin nets route to zero length" `Quick
+      (fun () ->
+        let c, l = placed_fixture () in
+        let r = Mz.route l in
+        Array.iter
+          (fun (e : Netlist.Net.t) ->
+            if Netlist.Net.degree e = 1 then
+              Alcotest.(check (float 1e-9)) "zero" 0.0
+                r.Mz.nets.(e.Netlist.Net.id).Mz.length_um)
+          c.Netlist.Circuit.nets);
+    Alcotest.test_case "finer grid refines the length estimate" `Quick
+      (fun () ->
+        let _, l = placed_fixture () in
+        let coarse = Mz.route ~step:0.5 l in
+        let fine = Mz.route ~step:0.2 l in
+        (* same topology class: lengths should agree within ~40% *)
+        let ratio = fine.Mz.total_length_um /. coarse.Mz.total_length_um in
+        Alcotest.(check bool)
+          (Printf.sprintf "ratio %.2f" ratio)
+          true
+          (ratio > 0.6 && ratio < 1.6));
+    Alcotest.test_case "congestion costs spread parallel nets" `Quick
+      (fun () ->
+        let _, l = placed_fixture () in
+        let r = Mz.route ~step:0.25 l in
+        (* with congestion pricing, heavy sharing should be rare *)
+        Alcotest.(check bool)
+          (Printf.sprintf "overflow cells %d" r.Mz.overflow_cells)
+          true (r.Mz.overflow_cells < 40));
+    Alcotest.test_case "routes a real placed testcase" `Slow (fun () ->
+        let c = Circuits.Testcases.get "CC-OTA" in
+        let params =
+          { Annealing.Sa_placer.default_params with
+            Annealing.Sa_placer.moves = 8000 }
+        in
+        let l, _ = Annealing.Sa_placer.place ~params c in
+        let r = Mz.route ~step:0.25 l in
+        Array.iter
+          (fun (n : Mz.routed_net) ->
+            Alcotest.(check bool) "routed" true
+              (Float.is_finite n.Mz.length_um))
+          r.Mz.nets;
+        Alcotest.(check bool) "nonzero total" true (r.Mz.total_length_um > 0.0));
+  ]
+
+let suites = [ ("router.maze", tests) ]

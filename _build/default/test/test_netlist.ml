@@ -1,0 +1,187 @@
+(* Tests for the netlist substrate: circuit construction, layout
+   metrics and legality checks. *)
+
+module D = Netlist.Device
+module N = Netlist.Net
+module CS = Netlist.Constraint_set
+module C = Netlist.Circuit
+module L = Netlist.Layout
+module K = Netlist.Checks
+
+let check_f msg expected actual =
+  Alcotest.(check (float 1e-6)) msg expected actual
+
+(* A four-device fixture: differential pair (m0, m1) symmetric about a
+   vertical axis, a tail device m2 self-symmetric, and a load cap c3. *)
+let pins_mos =
+  [| { D.pin_name = "g"; ox = 0.2; oy = 0.5 };
+     { D.pin_name = "d"; ox = 0.8; oy = 0.9 };
+     { D.pin_name = "s"; ox = 0.8; oy = 0.1 } |]
+
+let fixture () =
+  let dev id name kind w h pins = D.make ~id ~name ~kind ~w ~h ~pins in
+  let devices =
+    [| dev 0 "m0" D.Nmos 1.0 1.0 pins_mos;
+       dev 1 "m1" D.Nmos 1.0 1.0 pins_mos;
+       dev 2 "m2" D.Nmos 2.0 1.0 [| { D.pin_name = "d"; ox = 1.0; oy = 0.5 } |];
+       dev 3 "c3" D.Cap 2.0 2.0 [| { D.pin_name = "p"; ox = 1.0; oy = 1.0 } |] |]
+  in
+  let t dev pin = { N.dev; pin } in
+  let nets =
+    [| N.make ~id:0 ~name:"tail" [| t 0 2; t 1 2; t 2 0 |];
+       N.make ~id:1 ~name:"out" ~critical:true [| t 0 1; t 3 0 |];
+       N.make ~id:2 ~name:"outb" [| t 1 1 |] |]
+  in
+  let constraints =
+    CS.make
+      ~sym_groups:[ CS.sym_group ~selfs:[ 2 ] [ (0, 1) ] ]
+      ~aligns:[ { CS.align_kind = CS.Bottom; a = 0; b = 1 } ]
+      ~orders:[ { CS.order_dir = CS.Left_to_right; chain = [ 0; 1 ] } ]
+      ()
+  in
+  C.make ~constraints ~perf_class:"ota" ~meta:[ ("gm", 1e-3) ] ~name:"fixture"
+    ~devices ~nets ()
+
+(* A symmetric legal placement of the fixture. *)
+let legal_layout c =
+  let l = L.create c in
+  L.set l 0 ~x:0.5 ~y:0.5;
+  L.set l 1 ~x:3.5 ~y:0.5;
+  L.set l 2 ~x:2.0 ~y:1.6;
+  L.set l 3 ~x:2.0 ~y:3.2;
+  l
+
+let circuit_tests =
+  [
+    Alcotest.test_case "make validates device ids" `Quick (fun () ->
+        let bad = D.make ~id:5 ~name:"x" ~kind:D.Nmos ~w:1.0 ~h:1.0 ~pins:[||] in
+        let raised =
+          try
+            ignore (C.make ~name:"bad" ~devices:[| bad |] ~nets:[||] ());
+            false
+          with Invalid_argument _ -> true
+        in
+        Alcotest.(check bool) "raises" true raised);
+    Alcotest.test_case "make validates net terminals" `Quick (fun () ->
+        let d = D.make ~id:0 ~name:"x" ~kind:D.Nmos ~w:1.0 ~h:1.0 ~pins:[||] in
+        let n = N.make ~id:0 ~name:"n" [| { N.dev = 0; pin = 3 } |] in
+        let raised =
+          try
+            ignore (C.make ~name:"bad" ~devices:[| d |] ~nets:[| n |] ());
+            false
+          with Invalid_argument _ -> true
+        in
+        Alcotest.(check bool) "raises" true raised);
+    Alcotest.test_case "constraint validation rejects double membership" `Quick
+      (fun () ->
+        let cs =
+          CS.make ~sym_groups:[ CS.sym_group [ (0, 1) ]; CS.sym_group [ (1, 2) ] ] ()
+        in
+        match CS.validate cs ~n_devices:3 with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected double-membership error");
+    Alcotest.test_case "total device area" `Quick (fun () ->
+        check_f "area" 8.0 (C.total_device_area (fixture ())));
+    Alcotest.test_case "nets_of_device incidence" `Quick (fun () ->
+        let inc = C.nets_of_device (fixture ()) in
+        Alcotest.(check (list int)) "m0" [ 0; 1 ] inc.(0);
+        Alcotest.(check (list int)) "c3" [ 1 ] inc.(3));
+    Alcotest.test_case "matched pairs" `Quick (fun () ->
+        Alcotest.(check (list (pair int int))) "pairs" [ (0, 1) ]
+          (CS.matched_pairs (fixture ()).C.constraints));
+    Alcotest.test_case "meta_value" `Quick (fun () ->
+        let c = fixture () in
+        check_f "gm" 1e-3 (C.meta_value c "gm");
+        check_f "default" 7.0 (C.meta_value ~default:7.0 c "nope"));
+  ]
+
+let layout_tests =
+  [
+    Alcotest.test_case "die bbox and area" `Quick (fun () ->
+        let l = legal_layout (fixture ()) in
+        let b = L.die_bbox l in
+        check_f "x0" 0.0 b.Geometry.Rect.x0;
+        check_f "x1" 4.0 b.Geometry.Rect.x1;
+        check_f "y1" 4.2 b.Geometry.Rect.y1;
+        check_f "area" (4.0 *. 4.2) (L.area l));
+    Alcotest.test_case "pin position respects orientation" `Quick (fun () ->
+        let l = legal_layout (fixture ()) in
+        (* m0 center (0.5,0.5), 1x1, pin g at (0.2,0.5) from lower-left. *)
+        let p = L.pin_position l { N.dev = 0; pin = 0 } in
+        check_f "x" 0.2 p.Geometry.Point.x;
+        check_f "y" 0.5 p.Geometry.Point.y;
+        L.set_orient l 0 (Geometry.Orient.make ~fx:true ~fy:false);
+        let p' = L.pin_position l { N.dev = 0; pin = 0 } in
+        check_f "flipped x" 0.8 p'.Geometry.Point.x);
+    Alcotest.test_case "hpwl of two-pin net" `Quick (fun () ->
+        let c = fixture () in
+        let l = legal_layout c in
+        (* net outb has a single pin: zero HPWL *)
+        check_f "1-pin" 0.0 (L.net_hpwl l (C.net c 2));
+        let b = L.net_bbox l (C.net c 1) in
+        Alcotest.(check bool) "bbox nonempty" true (Geometry.Rect.area b > 0.0));
+    Alcotest.test_case "overlap-free placement has zero overlap" `Quick (fun () ->
+        let l = legal_layout (fixture ()) in
+        check_f "overlap" 0.0 (L.total_overlap l));
+    Alcotest.test_case "stacked placement has overlap" `Quick (fun () ->
+        let c = fixture () in
+        let l = L.create c in
+        (* all at origin: every pair overlaps *)
+        Alcotest.(check bool) "overlap > 0" true (L.total_overlap l > 0.0));
+    Alcotest.test_case "normalize moves bbox to origin" `Quick (fun () ->
+        let l = legal_layout (fixture ()) in
+        L.set l 0 ~x:(-3.0) ~y:(-5.0);
+        L.normalize l;
+        let b = L.die_bbox l in
+        check_f "x0" 0.0 b.Geometry.Rect.x0;
+        check_f "y0" 0.0 b.Geometry.Rect.y0);
+    Alcotest.test_case "snap rounds to grid" `Quick (fun () ->
+        let l = legal_layout (fixture ()) in
+        L.set l 0 ~x:0.37 ~y:0.88;
+        L.snap l ~grid:0.25;
+        check_f "x" 0.25 l.L.xs.(0);
+        check_f "y" 1.0 l.L.ys.(0));
+  ]
+
+let checks_tests =
+  [
+    Alcotest.test_case "legal layout passes all checks" `Quick (fun () ->
+        let l = legal_layout (fixture ()) in
+        Alcotest.(check bool) "legal" true (K.is_legal l));
+    Alcotest.test_case "overlap detected" `Quick (fun () ->
+        let l = legal_layout (fixture ()) in
+        L.set l 3 ~x:2.0 ~y:1.6;
+        Alcotest.(check bool) "illegal" false (K.is_legal l);
+        Alcotest.(check bool) "has overlap violation" true
+          (List.exists (function K.Overlap _ -> true | _ -> false) (K.all l)));
+    Alcotest.test_case "symmetry violation detected" `Quick (fun () ->
+        let l = legal_layout (fixture ()) in
+        L.set l 1 ~x:3.5 ~y:0.7;
+        Alcotest.(check bool) "sym violation" true
+          (List.exists
+             (function K.Symmetry _ -> true | _ -> false)
+             (K.symmetry_violations l)));
+    Alcotest.test_case "alignment violation detected" `Quick (fun () ->
+        let l = legal_layout (fixture ()) in
+        L.set l 1 ~x:3.5 ~y:0.55;
+        Alcotest.(check bool) "align violation" true
+          (K.alignment_violations l <> []));
+    Alcotest.test_case "ordering violation detected" `Quick (fun () ->
+        let l = legal_layout (fixture ()) in
+        L.set l 0 ~x:4.5 ~y:0.5;
+        (* m0 must be left of m1 *)
+        Alcotest.(check bool) "order violation" true
+          (K.ordering_violations l <> []));
+    Alcotest.test_case "axis position is pair midpoint" `Quick (fun () ->
+        let c = fixture () in
+        let l = legal_layout c in
+        let g = List.hd c.C.constraints.CS.sym_groups in
+        check_f "axis" 2.0 (K.group_axis_position l g));
+  ]
+
+let suites =
+  [
+    ("netlist.circuit", circuit_tests);
+    ("netlist.layout", layout_tests);
+    ("netlist.checks", checks_tests);
+  ]

@@ -1,0 +1,522 @@
+(* Tests for the numeric substrates: RNG, FFT/spectral Poisson,
+   optimizers, simplex LP and branch-and-bound ILP. *)
+
+module R = Numerics.Rng
+module V = Numerics.Vec
+module M = Numerics.Matrix
+module F = Numerics.Fft
+module Sp = Numerics.Spectral
+module Sx = Numerics.Simplex
+module I = Numerics.Ilp
+
+let checkf ?(eps = 1e-6) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let rng_tests =
+  [
+    Alcotest.test_case "determinism" `Quick (fun () ->
+        let a = R.create 42 and b = R.create 42 in
+        for _ = 1 to 100 do
+          checkf "same stream" (R.float a) (R.float b)
+        done);
+    Alcotest.test_case "float in [0,1)" `Quick (fun () ->
+        let r = R.create 7 in
+        for _ = 1 to 1000 do
+          let x = R.float r in
+          Alcotest.(check bool) "range" true (x >= 0.0 && x < 1.0)
+        done);
+    Alcotest.test_case "int bounds" `Quick (fun () ->
+        let r = R.create 3 in
+        for _ = 1 to 1000 do
+          let x = R.int r 17 in
+          Alcotest.(check bool) "range" true (x >= 0 && x < 17)
+        done);
+    Alcotest.test_case "gaussian moments" `Quick (fun () ->
+        let r = R.create 11 in
+        let n = 20000 in
+        let sum = ref 0.0 and sum2 = ref 0.0 in
+        for _ = 1 to n do
+          let g = R.gaussian r in
+          sum := !sum +. g;
+          sum2 := !sum2 +. (g *. g)
+        done;
+        let mean = !sum /. float_of_int n in
+        let var = (!sum2 /. float_of_int n) -. (mean *. mean) in
+        Alcotest.(check bool) "mean ~ 0" true (abs_float mean < 0.05);
+        Alcotest.(check bool) "var ~ 1" true (abs_float (var -. 1.0) < 0.05));
+    Alcotest.test_case "shuffle permutes" `Quick (fun () ->
+        let r = R.create 5 in
+        let a = Array.init 50 (fun i -> i) in
+        R.shuffle r a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted);
+  ]
+
+let fft_tests =
+  [
+    Alcotest.test_case "forward/inverse roundtrip" `Quick (fun () ->
+        let r = R.create 1 in
+        let n = 64 in
+        let re = Array.init n (fun _ -> R.gaussian r) in
+        let im = Array.init n (fun _ -> R.gaussian r) in
+        let re0 = Array.copy re and im0 = Array.copy im in
+        F.forward re im;
+        F.inverse re im;
+        for i = 0 to n - 1 do
+          checkf ~eps:1e-9 "re" re0.(i) re.(i);
+          checkf ~eps:1e-9 "im" im0.(i) im.(i)
+        done);
+    Alcotest.test_case "fft of an impulse is flat" `Quick (fun () ->
+        let n = 16 in
+        let re = Array.make n 0.0 and im = Array.make n 0.0 in
+        re.(0) <- 1.0;
+        F.forward re im;
+        for i = 0 to n - 1 do
+          checkf "re" 1.0 re.(i);
+          checkf "im" 0.0 im.(i)
+        done);
+    Alcotest.test_case "fft matches direct DFT" `Quick (fun () ->
+        let r = R.create 2 in
+        let n = 32 in
+        let x = Array.init n (fun _ -> R.gaussian r) in
+        let re = Array.copy x and im = Array.make n 0.0 in
+        F.forward re im;
+        for k = 0 to n - 1 do
+          let sr = ref 0.0 and si = ref 0.0 in
+          for t = 0 to n - 1 do
+            let ang =
+              -2.0 *. Float.pi *. float_of_int (k * t) /. float_of_int n
+            in
+            sr := !sr +. (x.(t) *. cos ang);
+            si := !si +. (x.(t) *. sin ang)
+          done;
+          checkf ~eps:1e-8 "re" !sr re.(k);
+          checkf ~eps:1e-8 "im" !si im.(k)
+        done);
+    Alcotest.test_case "fft dct matches direct dct" `Quick (fun () ->
+        let r = R.create 9 in
+        let n = 64 in
+        let x = Array.init n (fun _ -> R.gaussian r) in
+        let a = F.dct_ii x and b = Sp.dct_ii_direct x in
+        for k = 0 to n - 1 do
+          checkf ~eps:1e-8 (Printf.sprintf "k=%d" k) b.(k) a.(k)
+        done);
+    Alcotest.test_case "rejects non power of two" `Quick (fun () ->
+        let raised =
+          try
+            F.forward (Array.make 12 0.0) (Array.make 12 0.0);
+            false
+          with Invalid_argument _ -> true
+        in
+        Alcotest.(check bool) "raises" true raised);
+  ]
+
+let spectral_tests =
+  [
+    Alcotest.test_case "analysis/synthesis roundtrip" `Quick (fun () ->
+        let nx = 16 and ny = 12 in
+        let sp = Sp.create ~nx ~ny in
+        let r = R.create 4 in
+        let rho = M.init nx ny (fun _ _ -> R.gaussian r) in
+        let a = Sp.analyze sp rho in
+        (* synthesize back by evaluating the cosine series *)
+        for i = 0 to nx - 1 do
+          for j = 0 to ny - 1 do
+            let acc = ref 0.0 in
+            for u = 0 to nx - 1 do
+              for v = 0 to ny - 1 do
+                acc :=
+                  !acc
+                  +. M.get a u v
+                     *. cos (Float.pi *. float_of_int u
+                             *. (float_of_int i +. 0.5) /. float_of_int nx)
+                     *. cos (Float.pi *. float_of_int v
+                             *. (float_of_int j +. 0.5) /. float_of_int ny)
+              done
+            done;
+            checkf ~eps:1e-7 "rho" (M.get rho i j) !acc
+          done
+        done);
+    Alcotest.test_case "poisson: field points away from a blob" `Quick (fun () ->
+        let n = 32 in
+        let sp = Sp.create ~nx:n ~ny:n in
+        let rho =
+          M.init n n (fun i j ->
+              (* gaussian blob near (8,8) *)
+              let dx = float_of_int i -. 8.0 and dy = float_of_int j -. 8.0 in
+              exp (-.((dx *. dx) +. (dy *. dy)) /. 8.0))
+        in
+        let f = Sp.solve_poisson sp rho in
+        (* potential is highest at the blob centre *)
+        let psi_c = M.get f.Sp.psi 8 8 and psi_far = M.get f.Sp.psi 28 28 in
+        Alcotest.(check bool) "psi peak" true (psi_c > psi_far);
+        (* field at a point right of the blob points right (+x) *)
+        Alcotest.(check bool) "ex sign" true (M.get f.Sp.ex 14 8 > 0.0);
+        (* field left of the blob points left *)
+        Alcotest.(check bool) "ex sign left" true (M.get f.Sp.ex 2 8 < 0.0);
+        (* and above it points up *)
+        Alcotest.(check bool) "ey sign" true (M.get f.Sp.ey 8 14 > 0.0));
+    Alcotest.test_case "poisson residual is small" `Quick (fun () ->
+        (* check lap(psi) ~ -(rho - mean rho) on interior points using a
+           5-point stencil; the DC term is excluded by construction *)
+        let n = 32 in
+        let sp = Sp.create ~nx:n ~ny:n in
+        let r = R.create 8 in
+        let rho = M.init n n (fun _ _ -> R.float r) in
+        let mean =
+          let s = ref 0.0 in
+          for i = 0 to n - 1 do
+            for j = 0 to n - 1 do
+              s := !s +. M.get rho i j
+            done
+          done;
+          !s /. float_of_int (n * n)
+        in
+        let f = Sp.solve_poisson sp rho in
+        (* The spectral solve is exact for the cosine series; the finite
+           difference residual is only O(h^2)-accurate for smooth fields,
+           so test on a smoothed density instead of white noise. *)
+        ignore f;
+        let rho2 =
+          M.init n n (fun i j ->
+              cos (Float.pi *. 2.0 *. (float_of_int i +. 0.5) /. float_of_int n)
+              *. cos
+                   (Float.pi *. 3.0 *. (float_of_int j +. 0.5) /. float_of_int n)
+              +. mean)
+        in
+        let f2 = Sp.solve_poisson sp rho2 in
+        let w2 =
+          ((Float.pi *. 2.0 /. float_of_int n) ** 2.0)
+          +. ((Float.pi *. 3.0 /. float_of_int n) ** 2.0)
+        in
+        (* psi should equal (rho2 - mean)/w2 for this single mode *)
+        for i = 5 to 10 do
+          for j = 5 to 10 do
+            checkf ~eps:1e-6 "psi mode"
+              ((M.get rho2 i j -. mean) /. w2)
+              (M.get f2.Sp.psi i j)
+          done
+        done);
+  ]
+
+let opt_tests =
+  [
+    Alcotest.test_case "nesterov minimizes a quadratic" `Quick (fun () ->
+        (* f(x) = 1/2 sum d_i (x_i - t_i)^2, anisotropic *)
+        let d = [| 1.0; 10.0; 0.5; 4.0 |] in
+        let t = [| 1.0; -2.0; 3.0; 0.25 |] in
+        let grad x g =
+          Array.iteri (fun i _ -> g.(i) <- d.(i) *. (x.(i) -. t.(i))) x
+        in
+        let x =
+          Numerics.Nesterov.minimize ~max_iter:500 ~gtol:1e-10
+            ~x0:(Array.make 4 0.0) ~grad ()
+        in
+        Array.iteri (fun i ti -> checkf ~eps:1e-4 "xi" ti x.(i)) t);
+    Alcotest.test_case "nesterov beats plain descent iterations" `Quick
+      (fun () ->
+        (* ill-conditioned quadratic: nesterov should converge fast *)
+        let n = 20 in
+        let d = Array.init n (fun i -> 1.0 +. (float_of_int i *. 10.0)) in
+        let grad x g = Array.iteri (fun i _ -> g.(i) <- d.(i) *. x.(i)) x in
+        let st =
+          Numerics.Nesterov.create ~x0:(Array.make n 1.0) ~grad ()
+        in
+        let it = ref 0 in
+        while Numerics.Vec.norm (Numerics.Nesterov.gradient st) > 1e-6
+              && !it < 2000 do
+          Numerics.Nesterov.step st;
+          incr it
+        done;
+        Alcotest.(check bool) "converged reasonably fast" true (!it < 1500));
+    Alcotest.test_case "cg minimizes rosenbrock" `Quick (fun () ->
+        let f x =
+          let a = 1.0 -. x.(0)
+          and b = x.(1) -. (x.(0) *. x.(0)) in
+          let v = (a *. a) +. (100.0 *. b *. b) in
+          let g =
+            [| (-2.0 *. a) -. (400.0 *. x.(0) *. b); 200.0 *. b |]
+          in
+          (v, g)
+        in
+        let x, stats =
+          Numerics.Cg.minimize ~max_iter:5000 ~gtol:1e-8 ~f
+            ~x0:[| -1.2; 1.0 |] ()
+        in
+        ignore stats;
+        checkf ~eps:1e-3 "x0" 1.0 x.(0);
+        checkf ~eps:1e-3 "x1" 1.0 x.(1));
+    Alcotest.test_case "adam minimizes a quadratic" `Quick (fun () ->
+        let params = [| 5.0; -3.0 |] in
+        let opt = Numerics.Adam.create ~lr:0.1 2 in
+        for _ = 1 to 500 do
+          let g = [| params.(0) -. 1.0; params.(1) +. 2.0 |] in
+          Numerics.Adam.step opt ~params ~grads:g
+        done;
+        checkf ~eps:1e-2 "p0" 1.0 params.(0);
+        checkf ~eps:1e-2 "p1" (-2.0) params.(1));
+  ]
+
+let lp c = { Sx.coeffs = c.Sx.coeffs; op = c.Sx.op; rhs = c.Sx.rhs }
+let _ = lp
+
+let simplex_tests =
+  [
+    Alcotest.test_case "textbook maximization" `Quick (fun () ->
+        (* max 3x + 5y st x <= 4; 2y <= 12; 3x + 2y <= 18 -> (2,6), 36 *)
+        let p =
+          {
+            Sx.n_vars = 2;
+            objective = [| -3.0; -5.0 |];
+            constraints =
+              [
+                { Sx.coeffs = [ (0, 1.0) ]; op = Sx.Le; rhs = 4.0 };
+                { Sx.coeffs = [ (1, 2.0) ]; op = Sx.Le; rhs = 12.0 };
+                { Sx.coeffs = [ (0, 3.0); (1, 2.0) ]; op = Sx.Le; rhs = 18.0 };
+              ];
+          }
+        in
+        match Sx.solve p with
+        | Sx.Optimal s ->
+            checkf "obj" (-36.0) s.Sx.objective_value;
+            checkf "x" 2.0 s.Sx.x.(0);
+            checkf "y" 6.0 s.Sx.x.(1)
+        | r -> Alcotest.failf "unexpected %a" Sx.pp_result r);
+    Alcotest.test_case "equality and >= constraints (two-phase)" `Quick
+      (fun () ->
+        (* min x + 2y st x + y = 10; x >= 3 -> (10,0)? obj x+2y minimized:
+           y = 10 - x, obj = x + 20 - 2x = 20 - x, maximize x -> x = 10, y=0.
+           With x >= 3 satisfied. obj = 10. *)
+        let p =
+          {
+            Sx.n_vars = 2;
+            objective = [| 1.0; 2.0 |];
+            constraints =
+              [
+                { Sx.coeffs = [ (0, 1.0); (1, 1.0) ]; op = Sx.Eq; rhs = 10.0 };
+                { Sx.coeffs = [ (0, 1.0) ]; op = Sx.Ge; rhs = 3.0 };
+              ];
+          }
+        in
+        match Sx.solve p with
+        | Sx.Optimal s ->
+            checkf "obj" 10.0 s.Sx.objective_value;
+            checkf "x" 10.0 s.Sx.x.(0)
+        | r -> Alcotest.failf "unexpected %a" Sx.pp_result r);
+    Alcotest.test_case "infeasible detected" `Quick (fun () ->
+        let p =
+          {
+            Sx.n_vars = 1;
+            objective = [| 1.0 |];
+            constraints =
+              [
+                { Sx.coeffs = [ (0, 1.0) ]; op = Sx.Ge; rhs = 5.0 };
+                { Sx.coeffs = [ (0, 1.0) ]; op = Sx.Le; rhs = 3.0 };
+              ];
+          }
+        in
+        match Sx.solve p with
+        | Sx.Infeasible -> ()
+        | r -> Alcotest.failf "unexpected %a" Sx.pp_result r);
+    Alcotest.test_case "unbounded detected" `Quick (fun () ->
+        let p =
+          {
+            Sx.n_vars = 2;
+            objective = [| -1.0; 0.0 |];
+            constraints =
+              [ { Sx.coeffs = [ (1, 1.0) ]; op = Sx.Le; rhs = 1.0 } ];
+          }
+        in
+        match Sx.solve p with
+        | Sx.Unbounded -> ()
+        | r -> Alcotest.failf "unexpected %a" Sx.pp_result r);
+    Alcotest.test_case "negative rhs normalisation" `Quick (fun () ->
+        (* min x st -x <= -4  (i.e. x >= 4) *)
+        let p =
+          {
+            Sx.n_vars = 1;
+            objective = [| 1.0 |];
+            constraints =
+              [ { Sx.coeffs = [ (0, -1.0) ]; op = Sx.Le; rhs = -4.0 } ];
+          }
+        in
+        match Sx.solve p with
+        | Sx.Optimal s -> checkf "x" 4.0 s.Sx.x.(0)
+        | r -> Alcotest.failf "unexpected %a" Sx.pp_result r);
+    Alcotest.test_case "degenerate problem solves" `Quick (fun () ->
+        (* multiple redundant constraints through one vertex *)
+        let p =
+          {
+            Sx.n_vars = 2;
+            objective = [| -1.0; -1.0 |];
+            constraints =
+              [
+                { Sx.coeffs = [ (0, 1.0); (1, 1.0) ]; op = Sx.Le; rhs = 2.0 };
+                { Sx.coeffs = [ (0, 1.0) ]; op = Sx.Le; rhs = 1.0 };
+                { Sx.coeffs = [ (1, 1.0) ]; op = Sx.Le; rhs = 1.0 };
+                { Sx.coeffs = [ (0, 2.0); (1, 2.0) ]; op = Sx.Le; rhs = 4.0 };
+              ];
+          }
+        in
+        match Sx.solve p with
+        | Sx.Optimal s -> checkf "obj" (-2.0) s.Sx.objective_value
+        | r -> Alcotest.failf "unexpected %a" Sx.pp_result r);
+  ]
+
+let ilp_tests =
+  [
+    Alcotest.test_case "knapsack-style binary ILP" `Quick (fun () ->
+        (* max 8a + 11b + 6c + 4d st 5a + 7b + 4c + 3d <= 14, binaries.
+           optimum: a,b,c = 1 -> 25 (weight 16 > 14? 5+7+4=16 no!)
+           feasible best: b,c,d = 11+6+4=21 weight 14 -> optimal 21 *)
+        let p =
+          {
+            I.base =
+              {
+                Sx.n_vars = 4;
+                objective = [| -8.0; -11.0; -6.0; -4.0 |];
+                constraints =
+                  [
+                    {
+                      Sx.coeffs = [ (0, 5.0); (1, 7.0); (2, 4.0); (3, 3.0) ];
+                      op = Sx.Le;
+                      rhs = 14.0;
+                    };
+                  ];
+              };
+            kinds = Array.make 4 I.Binary;
+          }
+        in
+        let r = I.solve p in
+        Alcotest.(check bool) "optimal" true (r.I.status = I.Ilp_optimal);
+        checkf "obj" (-21.0) r.I.objective_value;
+        checkf "a" 0.0 r.I.x.(0);
+        checkf "b" 1.0 r.I.x.(1));
+    Alcotest.test_case "integer rounding gap" `Quick (fun () ->
+        (* max x + y st 2x + 3y <= 12, 3x + 2y <= 12, integers ->
+           LP opt (2.4,2.4)=4.8; ILP opt 4 (e.g. 2,2 or 3,1 or 0,4) *)
+        let p =
+          {
+            I.base =
+              {
+                Sx.n_vars = 2;
+                objective = [| -1.0; -1.0 |];
+                constraints =
+                  [
+                    { Sx.coeffs = [ (0, 2.0); (1, 3.0) ]; op = Sx.Le; rhs = 12.0 };
+                    { Sx.coeffs = [ (0, 3.0); (1, 2.0) ]; op = Sx.Le; rhs = 12.0 };
+                  ];
+              };
+            kinds = [| I.Integer; I.Integer |];
+          }
+        in
+        let r = I.solve p in
+        Alcotest.(check bool) "optimal" true (r.I.status = I.Ilp_optimal);
+        checkf "obj" (-4.0) r.I.objective_value);
+    Alcotest.test_case "infeasible ILP" `Quick (fun () ->
+        (* 0.5 <= x <= 0.7 has no integer point; force via constraints *)
+        let p =
+          {
+            I.base =
+              {
+                Sx.n_vars = 1;
+                objective = [| 1.0 |];
+                constraints =
+                  [
+                    { Sx.coeffs = [ (0, 1.0) ]; op = Sx.Ge; rhs = 0.5 };
+                    { Sx.coeffs = [ (0, 1.0) ]; op = Sx.Le; rhs = 0.7 };
+                  ];
+              };
+            kinds = [| I.Integer |];
+          }
+        in
+        let r = I.solve p in
+        Alcotest.(check bool) "infeasible" true (r.I.status = I.Ilp_infeasible));
+    Alcotest.test_case "continuous vars stay continuous" `Quick (fun () ->
+        (* min -x - 10 b st x + 4b <= 3.5; x cont, b binary.
+           b=0 -> x=3.5 obj -3.5 ; b=1 -> x <= -0.5 infeasible (x>=0)?
+           x + 4 <= 3.5 -> x <= -0.5 < 0 infeasible. So b=0, x=3.5. *)
+        let p =
+          {
+            I.base =
+              {
+                Sx.n_vars = 2;
+                objective = [| -1.0; -10.0 |];
+                constraints =
+                  [ { Sx.coeffs = [ (0, 1.0); (1, 4.0) ]; op = Sx.Le; rhs = 3.5 } ];
+              };
+            kinds = [| I.Continuous; I.Binary |];
+          }
+        in
+        let r = I.solve p in
+        Alcotest.(check bool) "optimal" true (r.I.status = I.Ilp_optimal);
+        checkf "x" 3.5 r.I.x.(0);
+        checkf "b" 0.0 r.I.x.(1));
+  ]
+
+(* Property: simplex optimum never violates constraints. *)
+let prop_simplex_feasible =
+  let gen =
+    QCheck2.Gen.(
+      let coef = float_range (-3.0) 3.0 in
+      let pos = float_range 0.5 10.0 in
+      map
+        (fun ((c1, c2), rows) ->
+          let constraints =
+            List.map
+              (fun (a, b, r) ->
+                { Sx.coeffs = [ (0, a); (1, b) ]; op = Sx.Le; rhs = r })
+              rows
+          in
+          { Sx.n_vars = 2; objective = [| c1; c2 |]; constraints })
+        (pair (pair coef coef) (list_size (int_range 1 6) (triple coef coef pos))))
+  in
+  QCheck2.Test.make ~name:"simplex optimum is feasible" ~count:300 gen
+    (fun p ->
+      match Sx.solve p with
+      | Sx.Optimal s ->
+          List.for_all
+            (fun c ->
+              let lhs =
+                List.fold_left
+                  (fun acc (j, a) -> acc +. (a *. s.Sx.x.(j)))
+                  0.0 c.Sx.coeffs
+              in
+              lhs <= c.Sx.rhs +. 1e-6)
+            p.Sx.constraints
+          && Array.for_all (fun v -> v >= -1e-9) s.Sx.x
+      | Sx.Unbounded | Sx.Infeasible | Sx.Iter_limit -> true)
+
+let prop_matrix_matvec_t =
+  QCheck2.Test.make ~name:"matvec_t agrees with transpose matvec" ~count:100
+    QCheck2.Gen.(
+      map
+        (fun seed ->
+          let r = R.create seed in
+          let m = 3 + R.int r 6 and n = 2 + R.int r 5 in
+          (seed, m, n))
+        (int_range 0 10000))
+    (fun (seed, rows, cols) ->
+      let r = R.create seed in
+      let a = M.init rows cols (fun _ _ -> R.gaussian r) in
+      let x = Array.init rows (fun _ -> R.gaussian r) in
+      let y1 = Array.make cols 0.0 and y2 = Array.make cols 0.0 in
+      M.matvec_t a x y1;
+      M.matvec (M.transpose a) x y2;
+      Array.for_all2 (fun u v -> abs_float (u -. v) < 1e-9) y1 y2)
+
+let prop_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_simplex_feasible; prop_matrix_matvec_t ]
+
+let suites =
+  [
+    ("numerics.rng", rng_tests);
+    ("numerics.fft", fft_tests);
+    ("numerics.spectral", spectral_tests);
+    ("numerics.optimizers", opt_tests);
+    ("numerics.simplex", simplex_tests);
+    ("numerics.ilp", ilp_tests);
+    ("numerics.properties", prop_tests);
+  ]

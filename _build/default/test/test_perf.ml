@@ -1,0 +1,202 @@
+(* Tests for the router, parasitics and SPICE-lite performance stack. *)
+
+module St = Router.Steiner
+module Pa = Router.Parasitics
+module Sp = Perfsim.Spec
+module Mi = Perfsim.Mismatch
+module Fo = Perfsim.Fom
+module P = Geometry.Point
+
+let checkf ?(eps = 1e-6) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let router_tests =
+  [
+    Alcotest.test_case "mst of two pins is their L1 distance" `Quick (fun () ->
+        let t = St.mst [| P.make 0.0 0.0; P.make 3.0 4.0 |] in
+        checkf "len" 7.0 t.St.length;
+        Alcotest.(check int) "edges" 1 (List.length t.St.edges));
+    Alcotest.test_case "mst length of a square" `Quick (fun () ->
+        let pins =
+          [| P.make 0.0 0.0; P.make 1.0 0.0; P.make 0.0 1.0; P.make 1.0 1.0 |]
+        in
+        checkf "mst" 3.0 (St.mst pins).St.length);
+    Alcotest.test_case "steiner of 3 pins equals hpwl" `Quick (fun () ->
+        let pins = [| P.make 0.0 0.0; P.make 4.0 0.0; P.make 2.0 3.0 |] in
+        checkf "steiner" 7.0 (St.steiner_length pins));
+    Alcotest.test_case "steiner <= mst for larger nets" `Quick (fun () ->
+        let rng = Numerics.Rng.create 3 in
+        for _ = 1 to 50 do
+          let pins =
+            Array.init 7 (fun _ ->
+                P.make (Numerics.Rng.uniform rng ~lo:0.0 ~hi:10.0)
+                  (Numerics.Rng.uniform rng ~lo:0.0 ~hi:10.0))
+          in
+          let s = St.steiner_length pins and m = (St.mst pins).St.length in
+          Alcotest.(check bool) "s <= m" true (s <= m +. 1e-9)
+        done);
+    Alcotest.test_case "single-pin net has zero length" `Quick (fun () ->
+        checkf "len" 0.0 (St.steiner_length [| P.make 1.0 1.0 |]));
+    Alcotest.test_case "mst connects all pins" `Quick (fun () ->
+        let rng = Numerics.Rng.create 9 in
+        let pins =
+          Array.init 9 (fun _ ->
+              P.make (Numerics.Rng.uniform rng ~lo:0.0 ~hi:5.0)
+                (Numerics.Rng.uniform rng ~lo:0.0 ~hi:5.0))
+        in
+        let t = St.mst pins in
+        Alcotest.(check int) "edge count" 8 (List.length t.St.edges);
+        (* union-find connectivity check *)
+        let parent = Array.init 9 Fun.id in
+        let rec find i = if parent.(i) = i then i else find parent.(i) in
+        List.iter
+          (fun (e : St.edge) ->
+            let a = find e.St.from_pin and b = find e.St.to_pin in
+            if a <> b then parent.(a) <- b)
+          t.St.edges;
+        let root = find 0 in
+        for i = 1 to 8 do
+          Alcotest.(check int) "connected" root (find i)
+        done);
+  ]
+
+let parasitics_tests =
+  [
+    Alcotest.test_case "rc scales with length" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let l = Netlist.Layout.create c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        Array.iteri (fun i x -> Netlist.Layout.set l i ~x ~y:ys.(i)) xs;
+        let s1 = Pa.extract l in
+        (* scale the placement 2x: all lengths double *)
+        Array.iteri
+          (fun i x -> Netlist.Layout.set l i ~x:(2.0 *. x) ~y:(2.0 *. ys.(i)))
+          xs;
+        let s2 = Pa.extract l in
+        Alcotest.(check bool) "length doubled" true
+          (abs_float
+             (s2.Pa.total_length_um -. (2.0 *. s1.Pa.total_length_um))
+          /. s2.Pa.total_length_um
+          < 0.25));
+    Alcotest.test_case "critical subset of total" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let l = Netlist.Layout.create c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        Array.iteri (fun i x -> Netlist.Layout.set l i ~x ~y:ys.(i)) xs;
+        let s = Pa.extract l in
+        Alcotest.(check bool) "crit <= total" true
+          (s.Pa.critical_length_um <= s.Pa.total_length_um +. 1e-9);
+        Alcotest.(check bool) "has critical nets" true
+          (s.Pa.critical_length_um > 0.0));
+  ]
+
+let spec_tests =
+  [
+    Alcotest.test_case "normalization clips at 1" `Quick (fun () ->
+        let m =
+          { Sp.metric_name = "gain"; value = 30.0; spec = 25.0;
+            direction = Sp.Higher }
+        in
+        checkf "clip" 1.0 (Sp.normalized m);
+        Alcotest.(check bool) "meets" true (Sp.meets_spec m));
+    Alcotest.test_case "lower-is-better normalization" `Quick (fun () ->
+        let m =
+          { Sp.metric_name = "delay"; value = 2.0; spec = 1.0;
+            direction = Sp.Lower }
+        in
+        checkf "half" 0.5 (Sp.normalized m));
+    Alcotest.test_case "fom is weighted mean" `Quick (fun () ->
+        let hi v =
+          { Sp.metric_name = "m"; value = v; spec = 1.0; direction = Sp.Higher }
+        in
+        checkf "fom" 0.75 (Sp.fom [ hi 0.5; hi 1.0 ]);
+        checkf "weighted" 0.9
+          (Sp.fom ~weights:[ 1.0; 4.0 ] [ hi 0.5; hi 1.0 ]));
+    Alcotest.test_case "fom of empty list" `Quick (fun () ->
+        checkf "empty" 0.0 (Sp.fom []));
+  ]
+
+let mismatch_tests =
+  [
+    Alcotest.test_case "perfect mirror pair has distance-only score" `Quick
+      (fun () ->
+        let c = Fixtures.diff_stage () in
+        let l = Netlist.Layout.create c in
+        let xs = [| 1.0; 3.0; 1.0; 3.0; 2.0; 2.0 |] in
+        let ys = [| 0.5; 0.5; 2.0; 2.0; 3.5; 5.0 |] in
+        Array.iteri (fun i x -> Netlist.Layout.set l i ~x ~y:ys.(i)) xs;
+        (* proper reflection: flip the right-hand devices *)
+        Netlist.Layout.set_orient l 1 (Geometry.Orient.make ~fx:true ~fy:false);
+        Netlist.Layout.set_orient l 3 (Geometry.Orient.make ~fx:true ~fy:false);
+        let m = Mi.of_layout l in
+        List.iter
+          (fun (co : Mi.contribution) ->
+            checkf "asym" 0.0 co.Mi.asym_um;
+            checkf "orient" 0.0 co.Mi.orient_penalty)
+          m.Mi.contributions;
+        Alcotest.(check bool) "distance contributes" true (m.Mi.score > 0.0));
+    Alcotest.test_case "asymmetry raises the score" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let mk dx =
+          let l = Netlist.Layout.create c in
+          let xs = [| 1.0; 3.0 +. dx; 1.0; 3.0; 2.0; 2.0 |] in
+          let ys = [| 0.5; 0.5; 2.0; 2.0; 3.5; 5.0 |] in
+          Array.iteri (fun i x -> Netlist.Layout.set l i ~x ~y:ys.(i)) xs;
+          Mi.score l
+        in
+        Alcotest.(check bool) "worse" true (mk 0.7 > mk 0.0));
+    Alcotest.test_case "farther pair scores worse" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let mk gap =
+          let l = Netlist.Layout.create c in
+          let xs = [| 1.0; 1.0 +. gap; 1.0; 3.0; 2.0; 2.0 |] in
+          let ys = [| 0.5; 0.5; 2.0; 2.0; 3.5; 5.0 |] in
+          Array.iteri (fun i x -> Netlist.Layout.set l i ~x ~y:ys.(i)) xs;
+          Mi.score l
+        in
+        Alcotest.(check bool) "worse" true (mk 6.0 > mk 2.0));
+  ]
+
+let fom_tests =
+  [
+    Alcotest.test_case "fom improves with a tighter placement" `Quick
+      (fun () ->
+        let c = Circuits.Testcases.get "CC-OTA" in
+        let params =
+          { Annealing.Sa_placer.default_params with
+            Annealing.Sa_placer.moves = 15000 }
+        in
+        let l, _ = Annealing.Sa_placer.place ~params c in
+        let f1 = Fo.fom l in
+        (* spreading the layout 3x strictly hurts *)
+        let l2 = Netlist.Layout.copy l in
+        for i = 0 to Netlist.Layout.n_devices l2 - 1 do
+          Netlist.Layout.set l2 i ~x:(3.0 *. l2.Netlist.Layout.xs.(i))
+            ~y:(3.0 *. l2.Netlist.Layout.ys.(i))
+        done;
+        let f2 = Fo.fom l2 in
+        Alcotest.(check bool) "tighter is better" true (f1 > f2));
+    Alcotest.test_case "every testcase evaluates to a sane fom" `Quick
+      (fun () ->
+        List.iter
+          (fun name ->
+            let c = Circuits.Testcases.get name in
+            let params =
+              { Annealing.Sa_placer.default_params with
+                Annealing.Sa_placer.moves = 8000 }
+            in
+            let l, _ = Annealing.Sa_placer.place ~params c in
+            let e = Fo.evaluate l in
+            if not (e.Fo.fom >= 0.3 && e.Fo.fom <= 1.0) then
+              Alcotest.failf "%s: fom %.3f out of expected band" name e.Fo.fom)
+          Circuits.Testcases.all_names);
+  ]
+
+let suites =
+  [
+    ("router.steiner", router_tests);
+    ("router.parasitics", parasitics_tests);
+    ("perfsim.spec", spec_tests);
+    ("perfsim.mismatch", mismatch_tests);
+    ("perfsim.fom", fom_tests);
+  ]

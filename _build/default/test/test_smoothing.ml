@@ -1,0 +1,378 @@
+(* Tests for wirelength smoothings, density models and the shared
+   objective terms — centred on finite-difference gradient checks. *)
+
+module NV = Wirelength.Netview
+module WA = Wirelength.Wa
+module LSE = Wirelength.Lse
+module BG = Density.Bin_grid
+module ES = Density.Electrostatic
+module Bell = Density.Bell
+module CP = Place_common.Constraint_penalty
+module AT = Place_common.Area_term
+module R = Geometry.Rect
+
+let checkf ?(eps = 1e-6) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let close ?(rtol = 1e-3) ?(atol = 1e-5) a b =
+  abs_float (a -. b) <= atol +. (rtol *. Float.max (abs_float a) (abs_float b))
+
+(* check analytic (gx, gy) against finite differences of value fn *)
+let grad_check ?rtol ?atol ~name ~value ~grad_xy ~xs ~ys () =
+  let close a b = close ?rtol ?atol a b in
+  let n = Array.length xs in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  grad_xy ~xs ~ys ~gx ~gy;
+  let fdx =
+    Fixtures.fd_grad ~eps:1e-5 ~x:xs ~f:(fun xs' -> value ~xs:xs' ~ys)
+  in
+  let fdy =
+    Fixtures.fd_grad ~eps:1e-5 ~x:ys ~f:(fun ys' -> value ~xs ~ys:ys')
+  in
+  for i = 0 to n - 1 do
+    if not (close gx.(i) fdx.(i)) then
+      Alcotest.failf "%s: gx.(%d) analytic %.8g fd %.8g" name i gx.(i) fdx.(i);
+    if not (close gy.(i) fdy.(i)) then
+      Alcotest.failf "%s: gy.(%d) analytic %.8g fd %.8g" name i gy.(i) fdy.(i)
+  done
+
+let wa_tests =
+  [
+    Alcotest.test_case "wa span underestimates exact span" `Quick (fun () ->
+        let coords = [| 0.0; 1.0; 3.0; 7.5 |] in
+        let dcoef = Array.make 4 0.0 in
+        let span = WA.span_grad ~gamma:0.5 ~coords ~scale:1.0 ~dcoef in
+        Alcotest.(check bool) "wa <= exact" true (span <= 7.5);
+        Alcotest.(check bool) "wa close" true (span > 6.0));
+    Alcotest.test_case "wa converges to exact as gamma -> 0" `Quick (fun () ->
+        let coords = [| 0.0; 1.0; 3.0; 7.5 |] in
+        let dcoef = Array.make 4 0.0 in
+        let span = WA.span_grad ~gamma:0.01 ~coords ~scale:1.0 ~dcoef in
+        checkf ~eps:1e-6 "exact" 7.5 span);
+    Alcotest.test_case "lse overestimates, wa underestimates" `Quick (fun () ->
+        let coords = [| 0.0; 2.0; 5.0 |] in
+        let d1 = Array.make 3 0.0 and d2 = Array.make 3 0.0 in
+        let wa = WA.span_grad ~gamma:1.0 ~coords ~scale:1.0 ~dcoef:d1 in
+        let lse = LSE.span_grad ~gamma:1.0 ~coords ~scale:1.0 ~dcoef:d2 in
+        Alcotest.(check bool) "wa <= 5" true (wa <= 5.0 +. 1e-9);
+        Alcotest.(check bool) "lse >= 5" true (lse >= 5.0 -. 1e-9);
+        Alcotest.(check bool) "lse >= wa" true (lse >= wa));
+    Alcotest.test_case "wa gradient matches finite differences" `Quick
+      (fun () ->
+        let c = Fixtures.diff_stage () in
+        let nv = NV.of_circuit c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        grad_check ~name:"wa"
+          ~value:(fun ~xs ~ys ->
+            let n = Array.length xs in
+            let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+            WA.value_grad nv ~gamma:0.7 ~xs ~ys ~gx ~gy)
+          ~grad_xy:(fun ~xs ~ys ~gx ~gy ->
+            ignore (WA.value_grad nv ~gamma:0.7 ~xs ~ys ~gx ~gy))
+          ~xs ~ys ());
+    Alcotest.test_case "lse gradient matches finite differences" `Quick
+      (fun () ->
+        let c = Fixtures.diff_stage () in
+        let nv = NV.of_circuit c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        grad_check ~name:"lse"
+          ~value:(fun ~xs ~ys ->
+            let n = Array.length xs in
+            let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+            LSE.value_grad nv ~gamma:0.7 ~xs ~ys ~gx ~gy)
+          ~grad_xy:(fun ~xs ~ys ~gx ~gy ->
+            ignore (LSE.value_grad nv ~gamma:0.7 ~xs ~ys ~gx ~gy))
+          ~xs ~ys ());
+    Alcotest.test_case "netview hpwl matches layout hpwl" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let nv = NV.of_circuit c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        let l = Netlist.Layout.create c in
+        Array.iteri (fun i x -> Netlist.Layout.set l i ~x ~y:ys.(i)) xs;
+        checkf ~eps:1e-9 "hpwl" (Netlist.Layout.hpwl l) (NV.hpwl nv ~xs ~ys));
+    Alcotest.test_case "wa smoothed hpwl below exact hpwl" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let nv = NV.of_circuit c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        let n = Array.length xs in
+        let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+        let smoothed = WA.value_grad nv ~gamma:0.5 ~xs ~ys ~gx ~gy in
+        Alcotest.(check bool) "wa <= exact" true
+          (smoothed <= NV.hpwl nv ~xs ~ys +. 1e-9));
+  ]
+
+let bin_tests =
+  [
+    Alcotest.test_case "splat conserves area" `Quick (fun () ->
+        let g =
+          BG.create ~region:(R.make ~x0:0.0 ~y0:0.0 ~x1:8.0 ~y1:8.0) ~nx:8
+            ~ny:8
+        in
+        let r = R.make ~x0:1.3 ~y0:2.7 ~x1:4.9 ~y1:6.1 in
+        let acc = ref 0.0 in
+        BG.splat g r ~f:(fun _ _ a -> acc := !acc +. a);
+        checkf ~eps:1e-9 "conserved" (Geometry.Rect.area r) !acc);
+    Alcotest.test_case "splat clips to region" `Quick (fun () ->
+        let g =
+          BG.create ~region:(R.make ~x0:0.0 ~y0:0.0 ~x1:4.0 ~y1:4.0) ~nx:4
+            ~ny:4
+        in
+        let r = R.make ~x0:(-2.0) ~y0:3.0 ~x1:2.0 ~y1:9.0 in
+        let acc = ref 0.0 in
+        BG.splat g r ~f:(fun _ _ a -> acc := !acc +. a);
+        (* clipped: x in [0,2], y in [3,4] -> area 2 *)
+        checkf ~eps:1e-9 "clipped" 2.0 !acc);
+    Alcotest.test_case "device smaller than a bin lands in one bin" `Quick
+      (fun () ->
+        let g =
+          BG.create ~region:(R.make ~x0:0.0 ~y0:0.0 ~x1:8.0 ~y1:8.0) ~nx:4
+            ~ny:4
+        in
+        let r = R.make ~x0:2.2 ~y0:2.2 ~x1:2.8 ~y1:2.8 in
+        let hits = ref [] in
+        BG.splat g r ~f:(fun i j a -> hits := (i, j, a) :: !hits);
+        match !hits with
+        | [ (1, 1, a) ] -> checkf ~eps:1e-9 "area" 0.36 a
+        | _ -> Alcotest.failf "expected single bin hit, got %d" (List.length !hits));
+  ]
+
+let electro_tests =
+  [
+    Alcotest.test_case "two overlapping blocks repel" `Quick (fun () ->
+        let region = R.make ~x0:0.0 ~y0:0.0 ~x1:16.0 ~y1:16.0 in
+        let es = ES.create ~region ~nx:32 ~ny:32 in
+        let a = R.of_center ~cx:7.0 ~cy:8.0 ~w:3.0 ~h:3.0 in
+        let b = R.of_center ~cx:9.0 ~cy:8.0 ~w:3.0 ~h:3.0 in
+        ES.compute es [| a; b |];
+        let gax, _ = ES.grad es a in
+        let gbx, _ = ES.grad es b in
+        (* Gradient of energy: moving along -grad reduces overlap, so
+           the left block's gradient points right (+) and vice versa. *)
+        Alcotest.(check bool) "a pushed left" true (gax > 0.0);
+        Alcotest.(check bool) "b pushed right" true (gbx < 0.0));
+    Alcotest.test_case "energy decreases when blocks separate" `Quick
+      (fun () ->
+        let region = R.make ~x0:0.0 ~y0:0.0 ~x1:16.0 ~y1:16.0 in
+        let es = ES.create ~region ~nx:32 ~ny:32 in
+        let a = R.of_center ~cx:8.0 ~cy:8.0 ~w:3.0 ~h:3.0 in
+        let overlapping = [| a; R.of_center ~cx:8.5 ~cy:8.0 ~w:3.0 ~h:3.0 |] in
+        let apart = [| a; R.of_center ~cx:12.5 ~cy:8.0 ~w:3.0 ~h:3.0 |] in
+        ES.compute es overlapping;
+        let e1 = ES.energy es overlapping in
+        ES.compute es apart;
+        let e2 = ES.energy es apart in
+        Alcotest.(check bool) "separated has lower energy" true (e2 < e1));
+    Alcotest.test_case "overflow metric" `Quick (fun () ->
+        let region = R.make ~x0:0.0 ~y0:0.0 ~x1:8.0 ~y1:8.0 in
+        let es = ES.create ~region ~nx:8 ~ny:8 in
+        (* one fully-packed bin: occupancy 1.0 in one bin *)
+        let r = R.make ~x0:0.0 ~y0:0.0 ~x1:1.0 ~y1:1.0 in
+        ES.compute es [| r |];
+        let ov = ES.overflow es ~target:0.5 ~total_area:1.0 in
+        checkf ~eps:1e-9 "overflow" 0.5 ov;
+        let ov2 = ES.overflow es ~target:1.0 ~total_area:1.0 in
+        checkf ~eps:1e-9 "no overflow at target 1" 0.0 ov2);
+  ]
+
+let bell_tests =
+  [
+    Alcotest.test_case "bell kernel is continuous at region joints" `Quick
+      (fun () ->
+        let w = 2.0 and wb = 1.0 in
+        let r1 = (0.5 *. w) +. wb and r2 = (0.5 *. w) +. (2.0 *. wb) in
+        checkf ~eps:1e-9 "joint r1"
+          (Bell.bell ~w ~wb (r1 -. 1e-10))
+          (Bell.bell ~w ~wb (r1 +. 1e-10));
+        checkf ~eps:1e-6 "zero at r2" 0.0 (Bell.bell ~w ~wb r2);
+        checkf ~eps:1e-9 "peak is 1" 1.0 (Bell.bell ~w ~wb 0.0));
+    Alcotest.test_case "bell deriv matches finite differences" `Quick
+      (fun () ->
+        let w = 1.7 and wb = 0.8 in
+        List.iter
+          (fun d ->
+            let fd =
+              (Bell.bell ~w ~wb (d +. 1e-6) -. Bell.bell ~w ~wb (d -. 1e-6))
+              /. 2e-6
+            in
+            if not (close ~rtol:1e-3 ~atol:1e-4 fd (Bell.bell_deriv ~w ~wb d))
+            then
+              Alcotest.failf "bell deriv at %g: fd %g analytic %g" d fd
+                (Bell.bell_deriv ~w ~wb d))
+          [ -1.9; -1.2; -0.3; 0.0; 0.4; 1.1; 1.8; 2.2 ]);
+    Alcotest.test_case "bell density gradient matches finite differences"
+      `Quick (fun () ->
+        let region = R.make ~x0:0.0 ~y0:0.0 ~x1:8.0 ~y1:8.0 in
+        let bell = Bell.create ~region ~nx:8 ~ny:8 ~target:0.2 in
+        let widths = [| 1.5; 2.0; 1.0 |] and heights = [| 1.0; 1.5; 1.0 |] in
+        let xs = [| 3.1; 4.0; 4.6 |] and ys = [| 3.9; 4.2; 3.6 |] in
+        grad_check ~rtol:2e-3 ~atol:1e-5 ~name:"bell"
+          ~value:(fun ~xs ~ys ->
+            let gx = Array.make 3 0.0 and gy = Array.make 3 0.0 in
+            Bell.value_grad bell ~widths ~heights ~xs ~ys ~gx ~gy)
+          ~grad_xy:(fun ~xs ~ys ~gx ~gy ->
+            ignore (Bell.value_grad bell ~widths ~heights ~xs ~ys ~gx ~gy))
+          ~xs ~ys ());
+  ]
+
+let penalty_tests =
+  [
+    Alcotest.test_case "symmetry penalty zero for symmetric placement" `Quick
+      (fun () ->
+        let c = Fixtures.diff_stage () in
+        let cp = CP.create c in
+        let xs = [| 1.0; 3.0; 1.0; 3.0; 2.0; 2.0 |] in
+        let ys = [| 0.5; 0.5; 2.0; 2.0; 3.5; 5.0 |] in
+        let gx = Array.make 6 0.0 and gy = Array.make 6 0.0 in
+        checkf ~eps:1e-9 "zero" 0.0 (CP.symmetry_value_grad cp ~xs ~ys ~gx ~gy));
+    Alcotest.test_case "constraint penalty gradient matches fd" `Quick
+      (fun () ->
+        let c = Fixtures.diff_stage () in
+        let cp = CP.create c in
+        let xs = [| 0.8; 3.4; 1.2; 2.9; 2.3; 2.1 |] in
+        let ys = [| 0.5; 0.8; 2.0; 2.4; 3.5; 5.0 |] in
+        (* NOTE: the ordering hinge is only piecewise smooth; this
+           placement keeps all terms strictly active or inactive. *)
+        grad_check ~name:"penalty"
+          ~value:(fun ~xs ~ys ->
+            let gx = Array.make 6 0.0 and gy = Array.make 6 0.0 in
+            (* axis recomputation makes the value non-smooth w.r.t. the
+               axis; match the analytic treatment by freezing the axis *)
+            CP.symmetry_value_grad cp ~xs ~ys ~gx ~gy
+            +. CP.alignment_value_grad cp ~xs ~ys ~gx ~gy)
+          ~grad_xy:(fun ~xs ~ys ~gx ~gy ->
+            ignore (CP.symmetry_value_grad cp ~xs ~ys ~gx ~gy);
+            ignore (CP.alignment_value_grad cp ~xs ~ys ~gx ~gy))
+          ~xs ~ys ());
+    Alcotest.test_case "ordering penalty activates on violation" `Quick
+      (fun () ->
+        let c = Fixtures.diff_stage () in
+        let cp = CP.create c in
+        (* order chain [0;1] wants 0 left of 1 *)
+        let xs = [| 3.4; 0.8; 1.2; 2.9; 2.3; 2.1 |] in
+        let ys = [| 0.5; 0.8; 2.0; 2.4; 3.5; 5.0 |] in
+        let gx = Array.make 6 0.0 and gy = Array.make 6 0.0 in
+        Alcotest.(check bool) "positive" true
+          (CP.ordering_value_grad cp ~xs ~ys ~gx ~gy > 0.0);
+        Alcotest.(check bool) "pushes 0 left" true (gx.(0) > 0.0));
+    Alcotest.test_case "hard projection enforces symmetry exactly" `Quick
+      (fun () ->
+        let c = Fixtures.diff_stage () in
+        let cp = CP.create c in
+        let xs = [| 0.8; 3.4; 1.2; 2.9; 2.3; 2.1 |] in
+        let ys = [| 0.5; 0.8; 2.0; 2.4; 3.5; 5.0 |] in
+        CP.project_hard cp ~xs ~ys;
+        let gx = Array.make 6 0.0 and gy = Array.make 6 0.0 in
+        checkf ~eps:1e-9 "sym zero" 0.0
+          (CP.symmetry_value_grad cp ~xs ~ys ~gx ~gy);
+        checkf ~eps:1e-9 "align zero" 0.0
+          (CP.alignment_value_grad cp ~xs ~ys ~gx ~gy));
+  ]
+
+let area_tests =
+  [
+    Alcotest.test_case "area term approximates bbox area" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let at = AT.create c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        let l = Netlist.Layout.create c in
+        Array.iteri (fun i x -> Netlist.Layout.set l i ~x ~y:ys.(i)) xs;
+        let exact = Netlist.Layout.area l in
+        let gx = Array.make 6 0.0 and gy = Array.make 6 0.0 in
+        let smooth = AT.value_grad at ~gamma:0.05 ~xs ~ys ~gx ~gy in
+        Alcotest.(check bool) "within 5%" true
+          (abs_float (smooth -. exact) /. exact < 0.05));
+    Alcotest.test_case "area gradient matches finite differences" `Quick
+      (fun () ->
+        let c = Fixtures.diff_stage () in
+        let at = AT.create c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        grad_check ~name:"area"
+          ~value:(fun ~xs ~ys ->
+            let gx = Array.make 6 0.0 and gy = Array.make 6 0.0 in
+            AT.value_grad at ~gamma:0.5 ~xs ~ys ~gx ~gy)
+          ~grad_xy:(fun ~xs ~ys ~gx ~gy ->
+            ignore (AT.value_grad at ~gamma:0.5 ~xs ~ys ~gx ~gy))
+          ~xs ~ys ());
+    Alcotest.test_case "area gradient shrinks the layout" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let at = AT.create c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        let gx = Array.make 6 0.0 and gy = Array.make 6 0.0 in
+        ignore (AT.value_grad at ~gamma:0.2 ~xs ~ys ~gx ~gy);
+        (* leftmost device (index 0) should be pushed right (negative
+           gradient would move it left; shrinking means grad < 0 on the
+           right edge and > 0 ... on the left edge it must be negative
+           direction i.e. gradient points left so descent moves right *)
+        Alcotest.(check bool) "descent moves left device right" true
+          (gx.(0) < 0.0);
+        Alcotest.(check bool) "descent moves right device left" true
+          (gx.(3) > 0.0));
+  ]
+
+let suites =
+  [
+    ("wirelength", wa_tests);
+    ("density.bin_grid", bin_tests);
+    ("density.electrostatic", electro_tests);
+    ("density.bell", bell_tests);
+    ("place_common.penalty", penalty_tests);
+    ("place_common.area", area_tests);
+  ]
+
+(* ---- WPE (well-proximity) extension term ---- *)
+
+module WPE = Place_common.Wpe_term
+
+let wpe_tests =
+  [
+    Alcotest.test_case "wpe gradient matches finite differences" `Quick
+      (fun () ->
+        let c = Fixtures.diff_stage () in
+        let wpe = WPE.create ~d0:0.8 c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        (* devices strictly inside a frozen bbox frame: exclude the
+           extreme devices so the bbox itself does not move under fd *)
+        let value ~xs ~ys =
+          let gx = Array.make 6 0.0 and gy = Array.make 6 0.0 in
+          WPE.value_grad wpe ~xs ~ys ~gx ~gy
+        in
+        let gx = Array.make 6 0.0 and gy = Array.make 6 0.0 in
+        ignore (WPE.value_grad wpe ~xs ~ys ~gx ~gy);
+        (* check interior devices only (bbox-defining ones see the
+           frozen-bbox approximation) *)
+        List.iter
+          (fun i ->
+            let eps = 1e-5 in
+            let x1 = Array.copy xs and x2 = Array.copy xs in
+            x1.(i) <- x1.(i) -. eps;
+            x2.(i) <- x2.(i) +. eps;
+            let fd = (value ~xs:x2 ~ys -. value ~xs:x1 ~ys) /. (2.0 *. eps) in
+            if not (close ~rtol:5e-3 ~atol:1e-5 gx.(i) fd) then
+              Alcotest.failf "wpe gx.(%d): analytic %g fd %g" i gx.(i) fd)
+          [ 4 ])
+    ;
+    Alcotest.test_case "boundary mos pays more than centred mos" `Quick
+      (fun () ->
+        let c = Fixtures.diff_stage () in
+        let wpe = WPE.create ~d0:1.0 c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        let gx = Array.make 6 0.0 and gy = Array.make 6 0.0 in
+        let v1 = WPE.value_grad wpe ~xs ~ys ~gx ~gy in
+        (* pull the tail (index 4) to the centre: penalty decreases *)
+        let xs2 = Array.copy xs and ys2 = Array.copy ys in
+        xs2.(4) <- 2.4;
+        ys2.(4) <- 2.8;
+        let v2 = WPE.value_grad wpe ~xs:xs2 ~ys:ys2 ~gx ~gy in
+        Alcotest.(check bool) "centred cheaper" true (v2 < v1));
+    Alcotest.test_case "caps are exempt" `Quick (fun () ->
+        let c = Fixtures.diff_stage () in
+        let wpe = WPE.create c in
+        let xs, ys = Fixtures.diff_stage_coords () in
+        let gx = Array.make 6 0.0 and gy = Array.make 6 0.0 in
+        ignore (WPE.value_grad wpe ~xs ~ys ~gx ~gy);
+        (* device 5 is the load cap: exactly zero gradient *)
+        Alcotest.(check (float 0.0)) "gx cap" 0.0 gx.(5);
+        Alcotest.(check (float 0.0)) "gy cap" 0.0 gy.(5));
+  ]
+
+let suites = suites @ [ ("place_common.wpe", wpe_tests) ]
