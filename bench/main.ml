@@ -31,8 +31,11 @@ let run_table3 cfg =
   banner "Table III: conventional comparison (SA / prev [11] / ePlace-A)"
     "avg ratios vs ePlace-A: SA 1.11x area, 1.14x HPWL, 55x runtime; \
      [11] 1.25x area, 1.24x HPWL";
-  let t, _ = Experiments.Run.table3 cfg in
-  Experiments.Table_fmt.render Fmt.stdout t
+  let t, results = Experiments.Run.table3 cfg in
+  Experiments.Table_fmt.render Fmt.stdout t;
+  say "@.per-phase runtime breakdown (s):@.";
+  Experiments.Table_fmt.render Fmt.stdout
+    (Experiments.Run.phase_table [ "SA"; "P11"; "eP" ] results)
 
 let run_table4 cfg =
   banner "Table IV: detailed placement only, same GP input"
@@ -54,8 +57,11 @@ let run_table7 cfg =
   banner "Table VII: performance-driven area/HPWL/runtime"
     "avg ratios vs ePlace-AP: SA-perf 1.09x area, 3.09x runtime; \
      perf* 1.14x area, 1.13x HPWL";
-  let t, _ = Experiments.Run.table7 cfg in
-  Experiments.Table_fmt.render Fmt.stdout t
+  let t, results = Experiments.Run.table7 cfg in
+  Experiments.Table_fmt.render Fmt.stdout t;
+  say "@.per-phase runtime breakdown (s; GNN = offline setup):@.";
+  Experiments.Table_fmt.render Fmt.stdout
+    (Experiments.Run.phase_table [ "SAp"; "P11p"; "ePAP" ] results)
 
 let run_fig5 cfg =
   banner "Fig. 5: HPWL-area tradeoff points on CM-OTA1"
@@ -109,8 +115,8 @@ let all_experiments =
 
 let micro () =
   let open Bechamel in
-  let cc_ota = Circuits.Testcases.get "CC-OTA" in
-  let cm_ota1 = Circuits.Testcases.get "CM-OTA1" in
+  let cc_ota = Circuits.Testcases.get_exn "CC-OTA" in
+  let cm_ota1 = Circuits.Testcases.get_exn "CM-OTA1" in
   let gp_layout =
     lazy (Eplace.Global_place.run cc_ota).Eplace.Global_place.layout
   in
@@ -226,7 +232,7 @@ let () =
       List.iter (fun (n, _) -> say "  %s@." n) all_experiments;
       exit 1
     end;
-    let t0 = Unix.gettimeofday () in
+    let t0 = Telemetry.now () in
     List.iter (fun (_, f) -> f cfg) to_run;
-    say "@.total wall time: %.1f s@." (Unix.gettimeofday () -. t0)
+    say "@.total wall time: %.1f s@." (Telemetry.now () -. t0)
   end

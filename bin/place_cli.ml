@@ -4,7 +4,10 @@
      analog-place --circuit CC-OTA --placer eplace
      analog-place -c VCO1 -p sa --moves 200000 --draw
      analog-place -c CM-OTA1 -p eplace --perf
+     analog-place -c CC-OTA -p prev --trace --metrics-out run.jsonl
 *)
+
+module M = Experiments.Methods
 
 let draw_layout ppf l =
   let b = Netlist.Layout.die_bbox l in
@@ -33,11 +36,24 @@ let draw_layout ppf l =
     Fmt.pf ppf "%s@." (String.init cols (fun x -> grid.(y).(x)))
   done
 
-let report circuit layout runtime =
+let report circuit (o : M.outcome) =
+  let layout = o.M.layout in
   Fmt.pr "circuit   : %a@." Netlist.Circuit.pp circuit;
   Fmt.pr "area      : %.1f um^2@." (Netlist.Layout.area layout);
   Fmt.pr "hpwl      : %.1f um@." (Netlist.Layout.hpwl layout);
-  Fmt.pr "runtime   : %.2f s@." runtime;
+  Fmt.pr "runtime   : %.2f s@." o.M.runtime_s;
+  let s = o.M.stats in
+  let other =
+    Float.max 0.0
+      (o.M.runtime_s -. s.M.gp_s -. s.M.dp_s -. s.M.select_s)
+  in
+  Fmt.pr "  gp      : %.2f s@." s.M.gp_s;
+  Fmt.pr "  dp      : %.2f s@." s.M.dp_s;
+  if s.M.select_s > 0.0 then Fmt.pr "  select  : %.2f s@." s.M.select_s;
+  Fmt.pr "  other   : %.2f s@." other;
+  if s.M.gnn_s > 0.0 then
+    Fmt.pr "gnn setup : %.2f s (offline; excluded from runtime)@." s.M.gnn_s;
+  Fmt.pr "iterations: %d (%d objective evals)@." s.M.iterations s.M.f_evals;
   let viol = Netlist.Checks.all layout in
   Fmt.pr "legality  : %s@."
     (if viol = [] then "clean"
@@ -51,36 +67,57 @@ let report circuit layout runtime =
     (fun m -> Fmt.pr "  %a@." Perfsim.Spec.pp_metric m)
     e.Perfsim.Fom.metrics
 
-let run_cmd circuit_name placer perf moves seed draw quick =
-  let circuit =
-    try Circuits.Testcases.get circuit_name
-    with Invalid_argument msg ->
-      Fmt.epr "%s@.known circuits: %s@." msg
-        (String.concat ", " Circuits.Testcases.all_names);
-      exit 1
-  in
-  let m =
-    match (placer, perf) with
-    | "sa", false -> Experiments.Methods.sa ~moves ~seed ()
-    | "sa", true -> Experiments.Methods.sa_perf ~moves ~seed ~quick ()
-    | "prev", false -> Experiments.Methods.prev ()
-    | "prev", true -> Experiments.Methods.prev_perf ~quick ()
-    | "eplace", false -> Experiments.Methods.eplace_a ()
-    | "eplace", true -> Experiments.Methods.eplace_ap ~quick ()
-    | p, _ ->
-        Fmt.epr "unknown placer %s (sa | prev | eplace)@." p;
-        exit 1
-  in
-  Fmt.pr "placing %s with %s%s...@." circuit_name m.Experiments.Methods.method_name
-    (if perf then " (performance-driven)" else "");
-  match m.Experiments.Methods.run circuit with
-  | Some o ->
-      report circuit o.Experiments.Methods.layout o.Experiments.Methods.runtime_s;
-      if draw then draw_layout Fmt.stdout o.Experiments.Methods.layout;
-      0
+let run_cmd circuit_name kind perf moves seed draw quick trace metrics_out =
+  match Circuits.Testcases.get circuit_name with
   | None ->
-      Fmt.epr "placement failed (infeasible constraints)@.";
+      Fmt.epr "unknown circuit %S@.known circuits: %s@." circuit_name
+        (String.concat ", " Circuits.Testcases.all_names);
       1
+  | Some circuit -> (
+      let m =
+        match ((kind : M.kind), perf) with
+        | M.Sa, false -> M.sa ~moves ~seed ()
+        | M.Sa, true -> M.sa_perf ~moves ~seed ~quick ()
+        | M.Prev, false -> M.prev ()
+        | M.Prev, true -> M.prev_perf ~quick ()
+        | M.Eplace, false -> M.eplace_a ()
+        | M.Eplace, true -> M.eplace_ap ~quick ()
+      in
+      (* The jsonl sink streams span records as they close, so it must
+         be installed before the run; the summary sink only reads the
+         collector at flush time and can be swapped in afterwards. *)
+      let metrics_oc =
+        match metrics_out with
+        | None -> None
+        | Some f -> (
+            try Some (open_out f)
+            with Sys_error msg ->
+              Fmt.epr "cannot open metrics file: %s@." msg;
+              exit 1)
+      in
+      Option.iter (fun oc -> Telemetry.set_sink (Telemetry.jsonl oc)) metrics_oc;
+      Fmt.pr "placing %s with %s%s...@." circuit_name m.M.method_name
+        (if perf then " (performance-driven)" else "");
+      let result = m.M.run circuit in
+      Option.iter
+        (fun oc ->
+          Telemetry.flush ();
+          close_out oc;
+          Telemetry.set_sink Telemetry.noop)
+        metrics_oc;
+      if trace then begin
+        Telemetry.set_sink (Telemetry.summary Fmt.stdout);
+        Telemetry.flush ();
+        Telemetry.set_sink Telemetry.noop
+      end;
+      match result with
+      | Some o ->
+          report circuit o;
+          if draw then draw_layout Fmt.stdout o.M.layout;
+          0
+      | None ->
+          Fmt.epr "placement failed (infeasible constraints)@.";
+          1)
 
 open Cmdliner
 
@@ -88,10 +125,13 @@ let circuit_arg =
   Arg.(value & opt string "CC-OTA"
        & info [ "c"; "circuit" ] ~docv:"NAME" ~doc:"Benchmark circuit name.")
 
+let placer_conv =
+  Arg.enum (List.map (fun k -> (M.to_string k, k)) M.all)
+
 let placer_arg =
-  Arg.(value & opt string "eplace"
+  Arg.(value & opt placer_conv M.Eplace
        & info [ "p"; "placer" ] ~docv:"METHOD"
-           ~doc:"Placement method: sa, prev, or eplace.")
+           ~doc:"Placement method: $(b,sa), $(b,prev), or $(b,eplace).")
 
 let perf_arg =
   Arg.(value & flag
@@ -111,12 +151,24 @@ let quick_arg =
   Arg.(value & flag
        & info [ "quick" ] ~doc:"Use the reduced GNN training budget.")
 
+let trace_arg =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Print a telemetry summary (span times, counters) after \
+                 the run.")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Stream telemetry (spans, counters, gauges) to $(docv) \
+                 as JSON lines.")
+
 let cmd =
   let doc = "analog IC placement (reproduction of DATE'22 study)" in
   Cmd.v
     (Cmd.info "analog-place" ~doc)
     Term.(
       const run_cmd $ circuit_arg $ placer_arg $ perf_arg $ moves_arg
-      $ seed_arg $ draw_arg $ quick_arg)
+      $ seed_arg $ draw_arg $ quick_arg $ trace_arg $ metrics_out_arg)
 
 let () = exit (Cmd.eval' cmd)

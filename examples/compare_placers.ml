@@ -7,7 +7,7 @@
 
 let () =
   let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "VGA" in
-  let circuit = Circuits.Testcases.get name in
+  let circuit = Circuits.Testcases.get_exn name in
   Fmt.pr "comparing placers on %a@.@." Netlist.Circuit.pp circuit;
   let methods =
     [ Experiments.Methods.sa ~moves:150_000 ();

@@ -6,7 +6,7 @@
 *)
 
 let () =
-  let circuit = Circuits.Testcases.get "CM-OTA1" in
+  let circuit = Circuits.Testcases.get_exn "CM-OTA1" in
   Fmt.pr "circuit: %a@.@." Netlist.Circuit.pp circuit;
 
   (* 1. train the surrogate (dataset generation + training; cached) *)

@@ -6,7 +6,7 @@
 
 let () =
   (* 1. pick a circuit (CC-OTA: the paper's Table VI testcase) *)
-  let circuit = Circuits.Testcases.get "CC-OTA" in
+  let circuit = Circuits.Testcases.get_exn "CC-OTA" in
   Fmt.pr "circuit: %a@.@." Netlist.Circuit.pp circuit;
 
   (* 2. place it with ePlace-A (global placement + ILP detailed

@@ -8,7 +8,7 @@
 
 let () =
   let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "Comp1" in
-  let circuit = Circuits.Testcases.get name in
+  let circuit = Circuits.Testcases.get_exn name in
   Fmt.pr "placing %a with ePlace-A...@." Netlist.Circuit.pp circuit;
   match Eplace.Eplace_a.place circuit with
   | None -> Fmt.epr "placement failed@."

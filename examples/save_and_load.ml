@@ -5,7 +5,7 @@
 *)
 
 let () =
-  let circuit = Circuits.Testcases.get "Comp1" in
+  let circuit = Circuits.Testcases.get_exn "Comp1" in
   match Eplace.Eplace_a.place circuit with
   | None -> Fmt.epr "placement failed@."
   | Some r ->

@@ -130,8 +130,18 @@ let propose rng st =
       st.islands.(b) <- Island.mirror_x old;
       fun () -> st.islands.(b) <- old
 
+let moves_counter = Telemetry.Counter.make "sa.moves"
+let accepted_counter = Telemetry.Counter.make "sa.accepted"
+let rejected_counter = Telemetry.Counter.make "sa.rejected"
+let evals_counter = Telemetry.Counter.make "sa.evals"
+
 let place ?(params = default_params) (c : Netlist.Circuit.t) =
-  let t_start = Unix.gettimeofday () in
+  let t_start = Telemetry.now () in
+  (* the annealing search is SA's "global placement" phase; the final
+     snapshot normalisation is its (trivial) detailed phase, so the
+     telemetry phase names line up across placer families *)
+  let n_evals, n_accepted, best_cost, best_layout =
+    Telemetry.Span.with_ ~name:"gp" (fun () ->
   let rng = Numerics.Rng.create params.seed in
   let st = make_state rng c in
   (* cost normalisation from the initial state *)
@@ -148,6 +158,7 @@ let place ?(params = default_params) (c : Netlist.Circuit.t) =
   let accepted = ref 0 in
   let cost_of st =
     incr evals;
+    Telemetry.Counter.incr evals_counter;
     cost ctx st
   in
   let current = ref (cost_of st) in
@@ -178,27 +189,34 @@ let place ?(params = default_params) (c : Netlist.Circuit.t) =
     let upto = min params.moves (!total + per_temp) in
     while !total < upto do
       incr total;
+      Telemetry.Counter.incr moves_counter;
       let undo = propose rng st in
       let c' = cost_of st in
       let dc = c' -. !current in
       if dc <= 0.0 || Numerics.Rng.float rng < exp (-.dc /. !temp) then begin
         current := c';
         incr accepted;
+        Telemetry.Counter.incr accepted_counter;
         if c' < !best then begin
           best := c';
           best_snapshot := realize st
         end
       end
-      else undo ()
+      else begin
+        Telemetry.Counter.incr rejected_counter;
+        undo ()
+      end
     done;
     temp := !temp *. params.cooling
   done;
-  let l = !best_snapshot in
-  Netlist.Layout.normalize l;
+  (!evals, !accepted, !best, !best_snapshot))
+  in
+  let l = best_layout in
+  Telemetry.Span.with_ ~name:"dp" (fun () -> Netlist.Layout.normalize l);
   ( l,
     {
-      evals = !evals;
-      accepted = !accepted;
-      runtime_s = Unix.gettimeofday () -. t_start;
-      best_cost = !best;
+      evals = n_evals;
+      accepted = n_accepted;
+      runtime_s = Telemetry.now () -. t_start;
+      best_cost;
     } )

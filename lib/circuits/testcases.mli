@@ -19,7 +19,10 @@ val all_names : string list
 (** The paper's naming: Adder, CC-OTA, Comp1, Comp2, CM-OTA1, CM-OTA2,
     SCF, VGA, VCO1, VCO2. *)
 
-val get : string -> Netlist.Circuit.t
+val get : string -> Netlist.Circuit.t option
+(** [None] for unknown names; see {!all_names} for the registry. *)
+
+val get_exn : string -> Netlist.Circuit.t
 (** @raise Invalid_argument for unknown names. *)
 
 val all : unit -> Netlist.Circuit.t list

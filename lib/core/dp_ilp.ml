@@ -290,15 +290,19 @@ type result = {
 
 let run ?(params = default_params) (c : Netlist.Circuit.t)
     ~(gp : Netlist.Layout.t) =
-  let t_start = Unix.gettimeofday () in
+  let go () =
   let total_area = Netlist.Circuit.total_device_area c in
   let tilde = sqrt (total_area /. params.zeta) in
   let attempt ~all_pairs =
     let seps = plan_separations c ~gp ~all_pairs in
-    match solve_axis params c ~axis:X_axis ~seps ~tilde_other:tilde with
+    let solve name axis =
+      Telemetry.Span.with_ ~name (fun () ->
+          solve_axis params c ~axis ~seps ~tilde_other:tilde)
+    in
+    match solve "dp.axis_x" X_axis with
     | None -> None
     | Some rx -> (
-        match solve_axis params c ~axis:Y_axis ~seps ~tilde_other:tilde with
+        match solve "dp.axis_y" Y_axis with
         | None -> None
         | Some ry -> Some (rx, ry))
   in
@@ -320,8 +324,11 @@ let run ?(params = default_params) (c : Netlist.Circuit.t)
       Some
         {
           layout = l;
-          runtime_s = Unix.gettimeofday () -. t_start;
+          runtime_s = 0.0;  (* patched below from the span measurement *)
           nodes_x = rx.nodes;
           nodes_y = ry.nodes;
           fell_back;
         }
+  in
+  let r, dt = Telemetry.Span.timed ~name:"dp" go in
+  Option.map (fun r -> { r with runtime_s = dt }) r

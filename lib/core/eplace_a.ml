@@ -40,7 +40,7 @@ let default_score l = Netlist.Layout.area l *. Netlist.Layout.hpwl l
 
 let place ?(params = default_params) ?perf ?(score = default_score)
     (c : Netlist.Circuit.t) =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.now () in
   let best = ref None in
   for k = 0 to max 0 (params.restarts - 1) do
     let seed = params.gp.Gp_params.seed + k in
@@ -59,6 +59,6 @@ let place ?(params = default_params) ?perf ?(score = default_score)
           layout = dp_result.Dp_ilp.layout;
           gp_result;
           dp_result;
-          runtime_s = Unix.gettimeofday () -. t0;
+          runtime_s = Telemetry.now () -. t0;
         }
   | None -> None

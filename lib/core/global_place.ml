@@ -73,8 +73,12 @@ let clamp_into ts ~xs ~ys =
     if ys.(i) > r.Geometry.Rect.y1 -. hh then ys.(i) <- r.Geometry.Rect.y1 -. hh
   done
 
+let iters_counter = Telemetry.Counter.make "gp.iterations"
+let fevals_counter = Telemetry.Counter.make "gp.f_evals"
+let overflow_gauge = Telemetry.Gauge.make "gp.overflow"
+
 let run ?(params = Gp_params.default) ?perf (c : Netlist.Circuit.t) =
-  let t_start = Unix.gettimeofday () in
+  let go () =
   let p = params in
   let n = Netlist.Circuit.n_devices c in
   let ts = make_terms p c in
@@ -172,6 +176,7 @@ let run ?(params = Gp_params.default) ?perf (c : Netlist.Circuit.t) =
       else 1.0
   in
   let grad v g =
+    Telemetry.Counter.incr fevals_counter;
     let xs = Array.sub v 0 n and ys = Array.sub v n n in
     clamp_into ts ~xs ~ys;
     let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
@@ -216,10 +221,15 @@ let run ?(params = Gp_params.default) ?perf (c : Netlist.Circuit.t) =
   for i = 0 to n - 1 do
     Netlist.Layout.set layout i ~x:xs.(i) ~y:ys.(i)
   done;
+  Telemetry.Counter.add iters_counter !iters;
+  Telemetry.Gauge.set overflow_gauge !overflow;
   {
     layout;
     iterations = !iters;
     final_overflow = !overflow;
-    runtime_s = Unix.gettimeofday () -. t_start;
+    runtime_s = 0.0;  (* patched below from the span measurement *)
     hpwl_trace = !hpwl_trace;
   }
+  in
+  let r, dt = Telemetry.Span.timed ~name:"gp" go in
+  { r with runtime_s = dt }

@@ -1,10 +1,40 @@
 (* The placement methods compared across the paper's tables, behind one
    interface: conventional and performance-driven variants of simulated
-   annealing, the prior analytical work [11], and ePlace-A/AP. *)
+   annealing, the prior analytical work [11], and ePlace-A/AP.
+
+   Every wrapper resets the telemetry collector before running, so the
+   [stats] carried in each [outcome] (and whatever the installed sink
+   reports) describe exactly one placement run. *)
+
+type kind = Sa | Prev | Eplace
+
+let all = [ Sa; Prev; Eplace ]
+
+let to_string = function Sa -> "sa" | Prev -> "prev" | Eplace -> "eplace"
+
+let of_string = function
+  | "sa" -> Some Sa
+  | "prev" -> Some Prev
+  | "eplace" -> Some Eplace
+  | _ -> None
+
+type stats = {
+  iterations : int;
+  f_evals : int;
+  gp_s : float;
+  dp_s : float;
+  gnn_s : float;
+  select_s : float;
+  ilp_nodes : int;
+  sa_accepted : int;
+  sa_rejected : int;
+  final_overflow : float;
+}
 
 type outcome = {
   layout : Netlist.Layout.t;
   runtime_s : float;
+  stats : stats;
 }
 
 type t = {
@@ -12,58 +42,109 @@ type t = {
   run : Netlist.Circuit.t -> outcome option;
 }
 
+let stats_of_telemetry () =
+  let c name = Telemetry.Counter.value (Telemetry.Counter.make name) in
+  {
+    iterations = c "gp.iterations" + c "sa.moves";
+    f_evals = c "gp.f_evals" + c "sa.evals";
+    gp_s = Telemetry.span_total "gp";
+    dp_s = Telemetry.span_total "dp";
+    gnn_s = Telemetry.span_total "gnn";
+    select_s = Telemetry.span_total "select";
+    ilp_nodes = c "ilp.nodes";
+    sa_accepted = c "sa.accepted";
+    sa_rejected = c "sa.rejected";
+    final_overflow = Telemetry.Gauge.value (Telemetry.Gauge.make "gp.overflow");
+  }
+
+let zero_stats =
+  { iterations = 0; f_evals = 0; gp_s = 0.0; dp_s = 0.0; gnn_s = 0.0;
+    select_s = 0.0; ilp_nodes = 0; sa_accepted = 0; sa_rejected = 0;
+    final_overflow = nan }
+
+(* GNN training generates its layout dataset by running the placers, so
+   their spans and counters accumulate under the "gnn" span. Like the
+   paper's runtime columns, the per-run stats must exclude that offline
+   work: [gnn_setup] snapshots the collector and [instrumented] reports
+   everything else as a delta against it. *)
+let setup_base = ref zero_stats
+
+let sub a b =
+  {
+    iterations = a.iterations - b.iterations;
+    f_evals = a.f_evals - b.f_evals;
+    gp_s = a.gp_s -. b.gp_s;
+    dp_s = a.dp_s -. b.dp_s;
+    gnn_s = a.gnn_s;  (* reported absolute: the offline cost itself *)
+    select_s = a.select_s -. b.select_s;
+    ilp_nodes = a.ilp_nodes - b.ilp_nodes;
+    sa_accepted = a.sa_accepted - b.sa_accepted;
+    sa_rejected = a.sa_rejected - b.sa_rejected;
+    final_overflow = a.final_overflow;  (* last write wins *)
+  }
+
+(* Wrap a raw runner (returning the layout and the paper-comparable
+   wall time) into a method whose outcome carries telemetry stats. *)
+let instrumented ~name raw =
+  {
+    method_name = name;
+    run =
+      (fun c ->
+        Telemetry.reset ();
+        setup_base := zero_stats;
+        Option.map
+          (fun (layout, runtime_s) ->
+            { layout;
+              runtime_s;
+              stats = sub (stats_of_telemetry ()) !setup_base })
+          (raw c));
+  }
+
+let gnn_setup ?quick c =
+  let trained =
+    Telemetry.Span.with_ ~name:"gnn" (fun () -> Gnn_setup.get ?quick c)
+  in
+  setup_base := { (stats_of_telemetry ()) with gnn_s = 0.0 };
+  trained
+
 (* SA gets a move budget reflecting the paper's "practical runtime
    limit" framing: large enough to be well converged. *)
 let sa_default_moves = 4_000_000
 
 let sa ?(moves = sa_default_moves) ?(seed = 1) ?(wl_weight = 1.0)
     ?(area_weight = 1.0) () =
-  {
-    method_name = "SA";
-    run =
-      (fun c ->
-        let params =
-          { Annealing.Sa_placer.default_params with
-            Annealing.Sa_placer.seed; moves; wl_weight; area_weight }
-        in
-        let layout, stats = Annealing.Sa_placer.place ~params c in
-        Some { layout; runtime_s = stats.Annealing.Sa_placer.runtime_s });
-  }
+  instrumented ~name:"SA" (fun c ->
+      let params =
+        { Annealing.Sa_placer.default_params with
+          Annealing.Sa_placer.seed; moves; wl_weight; area_weight }
+      in
+      let layout, stats = Annealing.Sa_placer.place ~params c in
+      Some (layout, stats.Annealing.Sa_placer.runtime_s))
 
 let sa_perf ?(moves = 120_000) ?(seed = 1) ?(alpha = 2.0) ?quick () =
-  {
-    method_name = "SA-perf";
-    run =
-      (fun c ->
-        (* model training happens offline in the paper; exclude it *)
-        let trained = Gnn_setup.get ?quick c in
-        let t0 = Unix.gettimeofday () in
-        let params =
-          { Annealing.Sa_placer.default_params with
-            Annealing.Sa_placer.seed;
-            moves;
-            perf = Some (Gnn_setup.phi_of_layout trained);
-            perf_alpha = alpha;
-          }
-        in
-        let layout, _ = Annealing.Sa_placer.place ~params c in
-        Some { layout; runtime_s = Unix.gettimeofday () -. t0 });
-  }
+  instrumented ~name:"SA-perf" (fun c ->
+      (* model training happens offline in the paper; exclude it *)
+      let trained = gnn_setup ?quick c in
+      let t0 = Telemetry.now () in
+      let params =
+        { Annealing.Sa_placer.default_params with
+          Annealing.Sa_placer.seed;
+          moves;
+          perf = Some (Gnn_setup.phi_of_layout trained);
+          perf_alpha = alpha;
+        }
+      in
+      let layout, _ = Annealing.Sa_placer.place ~params c in
+      Some (layout, Telemetry.now () -. t0))
 
 let prev ?(params = Prevwork.Prev_analytical.default_params) () =
-  {
-    method_name = "Prev[11]";
-    run =
-      (fun c ->
-        match Prevwork.Prev_analytical.place ~params c with
-        | Some r ->
-            Some
-              {
-                layout = r.Prevwork.Prev_analytical.layout;
-                runtime_s = r.Prevwork.Prev_analytical.runtime_s;
-              }
-        | None -> None);
-  }
+  instrumented ~name:"Prev[11]" (fun c ->
+      match Prevwork.Prev_analytical.place ~params c with
+      | Some r ->
+          Some
+            ( r.Prevwork.Prev_analytical.layout,
+              r.Prevwork.Prev_analytical.runtime_s )
+      | None -> None)
 
 (* Candidate selection for the performance-driven analytical methods.
 
@@ -76,124 +157,109 @@ let prev ?(params = Prevwork.Prev_analytical.default_params) () =
    selecting by the trained surrogate alone proved too noisy to rank
    the top candidates in our reproduction. *)
 let select_by_fom ?(slack = 2.0) candidates =
-  match candidates with
-  | [] -> None
-  | _ ->
-      let scored =
-        List.map (fun l -> (Eplace.Eplace_a.default_score l, l)) candidates
-      in
-      let best_conv =
-        List.fold_left (fun m (s, _) -> Float.min m s) infinity scored
-      in
-      let shortlist =
-        List.filter (fun (s, _) -> s <= slack *. best_conv) scored
-      in
-      let best =
-        List.fold_left
-          (fun acc (_, l) ->
-            let f = Perfsim.Fom.fom l in
-            match acc with
-            | Some (f0, _) when f0 >= f -> acc
-            | _ -> Some (f, l))
-          None shortlist
-      in
-      Option.map snd best
+  Telemetry.Span.with_ ~name:"select" (fun () ->
+      match candidates with
+      | [] -> None
+      | _ ->
+          let scored =
+            List.map
+              (fun l -> (Eplace.Eplace_a.default_score l, l))
+              candidates
+          in
+          let best_conv =
+            List.fold_left (fun m (s, _) -> Float.min m s) infinity scored
+          in
+          let shortlist =
+            List.filter (fun (s, _) -> s <= slack *. best_conv) scored
+          in
+          let best =
+            List.fold_left
+              (fun acc (_, l) ->
+                let f = Perfsim.Fom.fom l in
+                match acc with
+                | Some (f0, _) when f0 >= f -> acc
+                | _ -> Some (f, l))
+              None shortlist
+          in
+          Option.map snd best)
 
 let prev_perf ?(params = Prevwork.Prev_analytical.default_params)
     ?(alpha = 60.0) ?quick () =
-  {
-    method_name = "Prev-perf*";
-    run =
-      (fun c ->
-        (* model training happens offline in the paper; exclude it *)
-        let trained = Gnn_setup.get ?quick c in
-        let t0 = Unix.gettimeofday () in
-        let one = { params with Prevwork.Prev_analytical.restarts = 1 } in
-        let candidates =
-          List.concat_map
-            (fun a ->
-              let perf =
-                if a = 0.0 then None
-                else Some (Gnn_setup.phi_grad_hook trained ~alpha:a)
-              in
-              List.filter_map
-                (fun k ->
-                  let gp =
-                    { params.Prevwork.Prev_analytical.gp with
-                      Prevwork.Ntu_gp.seed =
-                        params.Prevwork.Prev_analytical.gp.Prevwork.Ntu_gp.seed
-                        + k }
-                  in
-                  Option.map
-                    (fun (r : Prevwork.Prev_analytical.result) ->
-                      r.Prevwork.Prev_analytical.layout)
-                    (Prevwork.Prev_analytical.place
-                       ~params:{ one with Prevwork.Prev_analytical.gp }
-                       ?perf c))
-                (List.init params.Prevwork.Prev_analytical.restarts Fun.id))
-            [ 0.0; alpha /. 3.0; alpha; 3.0 *. alpha ]
-        in
-        (match select_by_fom candidates with
-        | Some layout ->
-            Some { layout; runtime_s = Unix.gettimeofday () -. t0 }
-        | None -> None));
-  }
+  instrumented ~name:"Prev-perf*" (fun c ->
+      (* model training happens offline in the paper; exclude it *)
+      let trained = gnn_setup ?quick c in
+      let t0 = Telemetry.now () in
+      let one = { params with Prevwork.Prev_analytical.restarts = 1 } in
+      let candidates =
+        List.concat_map
+          (fun a ->
+            let perf =
+              if a = 0.0 then None
+              else Some (Gnn_setup.phi_grad_hook trained ~alpha:a)
+            in
+            List.filter_map
+              (fun k ->
+                let gp =
+                  { params.Prevwork.Prev_analytical.gp with
+                    Prevwork.Ntu_gp.seed =
+                      params.Prevwork.Prev_analytical.gp.Prevwork.Ntu_gp.seed
+                      + k }
+                in
+                Option.map
+                  (fun (r : Prevwork.Prev_analytical.result) ->
+                    r.Prevwork.Prev_analytical.layout)
+                  (Prevwork.Prev_analytical.place
+                     ~params:{ one with Prevwork.Prev_analytical.gp }
+                     ?perf c))
+              (List.init params.Prevwork.Prev_analytical.restarts Fun.id))
+          [ 0.0; alpha /. 3.0; alpha; 3.0 *. alpha ]
+      in
+      match select_by_fom candidates with
+      | Some layout -> Some (layout, Telemetry.now () -. t0)
+      | None -> None)
 
 let eplace_a ?(params = Eplace.Eplace_a.default_params) () =
-  {
-    method_name = "ePlace-A";
-    run =
-      (fun c ->
-        match Eplace.Eplace_a.place ~params c with
-        | Some r ->
-            Some
-              {
-                layout = r.Eplace.Eplace_a.layout;
-                runtime_s = r.Eplace.Eplace_a.runtime_s;
-              }
-        | None -> None);
-  }
+  instrumented ~name:"ePlace-A" (fun c ->
+      match Eplace.Eplace_a.place ~params c with
+      | Some r ->
+          Some (r.Eplace.Eplace_a.layout, r.Eplace.Eplace_a.runtime_s)
+      | None -> None)
 
 (* ePlace-AP ensembles a few Eq.-5 weights; candidates are collected
    per restart seed and selected by the two-stage rule. *)
 let eplace_ap ?(params = Eplace.Eplace_a.default_params) ?(alpha = 60.0)
     ?quick () =
-  {
-    method_name = "ePlace-AP";
-    run =
-      (fun c ->
-        (* model training happens offline in the paper; exclude it *)
-        let trained = Gnn_setup.get ?quick c in
-        let t0 = Unix.gettimeofday () in
-        let one = { params with Eplace.Eplace_a.restarts = 1 } in
-        let candidates =
-          List.concat_map
-            (fun a ->
-              let perf =
-                if a = 0.0 then None
-                else
-                  Some
-                    { Eplace.Global_place.phi_grad =
-                        Gnn_setup.phi_grad_hook trained ~alpha:a }
-              in
-              List.filter_map
-                (fun k ->
-                  let gp =
-                    { params.Eplace.Eplace_a.gp with
-                      Eplace.Gp_params.seed =
-                        params.Eplace.Eplace_a.gp.Eplace.Gp_params.seed + k }
-                  in
-                  Option.map
-                    (fun (r : Eplace.Eplace_a.result) ->
-                      r.Eplace.Eplace_a.layout)
-                    (Eplace.Eplace_a.place
-                       ~params:{ one with Eplace.Eplace_a.gp }
-                       ?perf c))
-                (List.init params.Eplace.Eplace_a.restarts Fun.id))
-            [ 0.0; alpha /. 3.0; alpha; 3.0 *. alpha ]
-        in
-        match select_by_fom candidates with
-        | Some layout ->
-            Some { layout; runtime_s = Unix.gettimeofday () -. t0 }
-        | None -> None);
-  }
+  instrumented ~name:"ePlace-AP" (fun c ->
+      (* model training happens offline in the paper; exclude it *)
+      let trained = gnn_setup ?quick c in
+      let t0 = Telemetry.now () in
+      let one = { params with Eplace.Eplace_a.restarts = 1 } in
+      let candidates =
+        List.concat_map
+          (fun a ->
+            let perf =
+              if a = 0.0 then None
+              else
+                Some
+                  { Eplace.Global_place.phi_grad =
+                      Gnn_setup.phi_grad_hook trained ~alpha:a }
+            in
+            List.filter_map
+              (fun k ->
+                let gp =
+                  { params.Eplace.Eplace_a.gp with
+                    Eplace.Gp_params.seed =
+                      params.Eplace.Eplace_a.gp.Eplace.Gp_params.seed + k }
+                in
+                Option.map
+                  (fun (r : Eplace.Eplace_a.result) ->
+                    r.Eplace.Eplace_a.layout)
+                  (Eplace.Eplace_a.place
+                     ~params:{ one with Eplace.Eplace_a.gp }
+                     ?perf c))
+              (List.init params.Eplace.Eplace_a.restarts Fun.id))
+          [ 0.0; alpha /. 3.0; alpha; 3.0 *. alpha ]
+      in
+      match select_by_fom candidates with
+      | Some layout -> Some (layout, Telemetry.now () -. t0)
+      | None -> None)

@@ -1,6 +1,46 @@
 (** The compared placement methods behind one interface. *)
 
-type outcome = { layout : Netlist.Layout.t; runtime_s : float }
+(** The three placer families of the paper's comparison. Each has a
+    conventional and a performance-driven variant, selected separately
+    (the CLI's [--perf] flag, the [perf] parameters below). *)
+type kind = Sa | Prev | Eplace
+
+val all : kind list
+(** In the paper's column order: SA, prior work [11], ePlace-A. *)
+
+val to_string : kind -> string
+(** ["sa"], ["prev"], ["eplace"] — the CLI spelling. *)
+
+val of_string : string -> kind option
+
+(** Per-run statistics shared by every placer family, populated from
+    the {!Telemetry} collector (counters, gauges and span totals) after
+    each run. *)
+type stats = {
+  iterations : int;
+      (** GP engine iterations: Nesterov steps (ePlace-A), CG
+          iterations (prev [11]) or proposed moves (SA) *)
+  f_evals : int;  (** objective / gradient evaluations *)
+  gp_s : float;  (** total time inside "gp" spans *)
+  dp_s : float;  (** total time inside "dp" spans *)
+  gnn_s : float;
+      (** offline GNN training / setup time; excluded from [runtime_s]
+          as in the paper's reporting *)
+  select_s : float;
+      (** candidate-selection time of the performance-driven variants *)
+  ilp_nodes : int;  (** branch-and-bound LP relaxations solved *)
+  sa_accepted : int;
+  sa_rejected : int;
+  final_overflow : float;  (** GP density overflow; [nan] for SA *)
+}
+
+type outcome = {
+  layout : Netlist.Layout.t;
+  runtime_s : float;
+      (** wall time of the placement run, from the telemetry clock;
+          excludes offline GNN setup (see [stats.gnn_s]) *)
+  stats : stats;
+}
 
 type t = {
   method_name : string;

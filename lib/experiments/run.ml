@@ -33,12 +33,29 @@ let prev_params cfg =
   { Prevwork.Prev_analytical.default_params with
     Prevwork.Prev_analytical.restarts = cfg.restarts }
 
+(* Single construction point from the typed placer selector: every
+   table builds its method list from [Methods.kind], as does the CLI. *)
+let method_of_kind cfg ?(perf = false) (k : Methods.kind) =
+  match (k, perf) with
+  | Methods.Sa, false -> Methods.sa ~moves:cfg.sa_moves ()
+  | Methods.Sa, true ->
+      Methods.sa_perf ~moves:cfg.sa_perf_moves ~alpha:cfg.sa_alpha
+        ~quick:cfg.quick ()
+  | Methods.Prev, false -> Methods.prev ~params:(prev_params cfg) ()
+  | Methods.Prev, true ->
+      Methods.prev_perf ~params:(prev_params cfg) ~alpha:cfg.alpha
+        ~quick:cfg.quick ()
+  | Methods.Eplace, false -> Methods.eplace_a ~params:(eplace_params cfg) ()
+  | Methods.Eplace, true ->
+      Methods.eplace_ap ~params:(eplace_params cfg) ~alpha:cfg.alpha
+        ~quick:cfg.quick ()
+
 (* ---------- Table I: soft vs hard symmetry in GP ---------- *)
 
 let table1 cfg =
   let circuits = [ "CC-OTA"; "Comp2"; "VCO2" ] in
   let run_mode name mode =
-    let c = Circuits.Testcases.get name in
+    let c = Circuits.Testcases.get_exn name in
     let params = eplace_params cfg in
     let params =
       { params with
@@ -75,7 +92,7 @@ let fig2 cfg =
      mask the objective change by shopping for lucky seeds *)
   let seeds = [ 1; 2; 3 ] in
   let run_eta name eta seed =
-    let c = Circuits.Testcases.get name in
+    let c = Circuits.Testcases.get_exn name in
     let params =
       { Eplace.Eplace_a.default_params with
         Eplace.Eplace_a.restarts = 1;
@@ -131,25 +148,55 @@ type method_row = {
   area : float;
   hpwl : float;
   runtime : float;
+  gp_s : float;  (* phase breakdown from the run's telemetry *)
+  dp_s : float;
+  gnn_s : float;
 }
 
 let run_method (m : Methods.t) names =
   List.map
     (fun design ->
-      let c = Circuits.Testcases.get design in
+      let c = Circuits.Testcases.get_exn design in
       match m.Methods.run c with
       | Some o ->
           let area, hpwl = area_hpwl o.Methods.layout in
-          { design; area; hpwl; runtime = o.Methods.runtime_s }
-      | None -> { design; area = nan; hpwl = nan; runtime = nan })
+          let s = o.Methods.stats in
+          { design; area; hpwl; runtime = o.Methods.runtime_s;
+            gp_s = s.Methods.gp_s; dp_s = s.Methods.dp_s;
+            gnn_s = s.Methods.gnn_s }
+      | None ->
+          { design; area = nan; hpwl = nan; runtime = nan; gp_s = nan;
+            dp_s = nan; gnn_s = nan })
     names
 
-let table3 cfg =
-  let methods =
-    [ Methods.sa ~moves:cfg.sa_moves ();
-      Methods.prev ~params:(prev_params cfg) ();
-      Methods.eplace_a ~params:(eplace_params cfg) () ]
+(* Stage-level runtime columns (GP / DP / GNN per method), derived from
+   the same results as the area/HPWL/runtime tables; EXPERIMENTS.md
+   reports these next to the paper's aggregate runtime ratios. *)
+let phase_table method_names (results : method_row list list) =
+  let header =
+    "Design"
+    :: List.concat_map
+         (fun m -> [ m ^ " GP"; m ^ " DP"; m ^ " GNN" ])
+         method_names
   in
+  let rows =
+    match results with
+    | [] -> []
+    | first :: _ ->
+        List.mapi
+          (fun i (r0 : method_row) ->
+            r0.design
+            :: List.concat_map
+                 (fun rows ->
+                   let r = List.nth rows i in
+                   [ TF.f2 r.gp_s; TF.f2 r.dp_s; TF.f2 r.gnn_s ])
+                 results)
+          first
+  in
+  { TF.header; rows }
+
+let table3 cfg =
+  let methods = List.map (method_of_kind cfg) Methods.all in
   let results = List.map (fun m -> run_method m all_circuits) methods in
   let rows =
     List.mapi
@@ -193,7 +240,7 @@ let table4 cfg =
   let rows =
     List.map
       (fun name ->
-        let c = Circuits.Testcases.get name in
+        let c = Circuits.Testcases.get_exn name in
         let gp = (Eplace.Global_place.run c).Eplace.Global_place.layout in
         let prev_res = Prevwork.Lp_stages.run c ~gp in
         let ilp_res = Eplace.Dp_ilp.run c ~gp in
@@ -222,20 +269,14 @@ let fom_of (o : Methods.outcome option) =
 
 let table5 cfg =
   let methods =
-    [ Methods.sa ~moves:cfg.sa_moves ();
-      Methods.sa_perf ~moves:cfg.sa_perf_moves ~alpha:cfg.sa_alpha
-        ~quick:cfg.quick ();
-      Methods.prev ~params:(prev_params cfg) ();
-      Methods.prev_perf ~params:(prev_params cfg) ~alpha:cfg.alpha
-        ~quick:cfg.quick ();
-      Methods.eplace_a ~params:(eplace_params cfg) ();
-      Methods.eplace_ap ~params:(eplace_params cfg) ~alpha:cfg.alpha
-        ~quick:cfg.quick () ]
+    List.concat_map
+      (fun k -> [ method_of_kind cfg k; method_of_kind cfg ~perf:true k ])
+      Methods.all
   in
   let foms =
     List.map
       (fun design ->
-        let c = Circuits.Testcases.get design in
+        let c = Circuits.Testcases.get_exn design in
         (design, List.map (fun (m : Methods.t) -> fom_of (m.Methods.run c)) methods))
       all_circuits
   in
@@ -263,7 +304,7 @@ let table5 cfg =
 (* ---------- Table VI: CC-OTA detailed metrics ---------- *)
 
 let table6 cfg =
-  let c = Circuits.Testcases.get "CC-OTA" in
+  let c = Circuits.Testcases.get_exn "CC-OTA" in
   let conv = (Methods.eplace_a ~params:(eplace_params cfg) ()).Methods.run c in
   let perf =
     (Methods.eplace_ap ~params:(eplace_params cfg) ~alpha:cfg.alpha
@@ -295,14 +336,7 @@ let table6 cfg =
 (* ---------- Table VII: perf-driven area/HPWL/runtime ---------- *)
 
 let table7 cfg =
-  let methods =
-    [ Methods.sa_perf ~moves:cfg.sa_perf_moves ~alpha:cfg.sa_alpha
-        ~quick:cfg.quick ();
-      Methods.prev_perf ~params:(prev_params cfg) ~alpha:cfg.alpha
-        ~quick:cfg.quick ();
-      Methods.eplace_ap ~params:(eplace_params cfg) ~alpha:cfg.alpha
-        ~quick:cfg.quick () ]
-  in
+  let methods = List.map (method_of_kind cfg ~perf:true) Methods.all in
   let results = List.map (fun m -> run_method m all_circuits) methods in
   let rows =
     List.mapi
@@ -344,7 +378,7 @@ type point = { p_method : string; p_x : float; p_y : float }
 
 let fig5 cfg =
   let name = "CM-OTA1" in
-  let c = Circuits.Testcases.get name in
+  let c = Circuits.Testcases.get_exn name in
   let points = ref [] in
   let push m x y = points := { p_method = m; p_x = x; p_y = y } :: !points in
   (* ePlace-A: sweep the area weight eta and the DP area weight mu *)
@@ -416,7 +450,7 @@ let fig5 cfg =
 
 let fig6 cfg =
   let name = "CM-OTA1" in
-  let c = Circuits.Testcases.get name in
+  let c = Circuits.Testcases.get_exn name in
   let points = ref [] in
   let push m a f = points := { p_method = m; p_x = a; p_y = f } :: !points in
   let alphas = if cfg.quick then [ 0.0; 60.0 ] else [ 0.0; 15.0; 60.0; 150.0; 400.0 ] in
@@ -478,7 +512,7 @@ let ablations cfg =
   in
   let base = eplace_params cfg in
   let run name (params : Eplace.Eplace_a.params) =
-    let c = Circuits.Testcases.get name in
+    let c = Circuits.Testcases.get_exn name in
     match Eplace.Eplace_a.place ~params c with
     | Some r ->
         let a, w = area_hpwl r.Eplace.Eplace_a.layout in

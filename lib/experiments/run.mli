@@ -21,9 +21,20 @@ type method_row = {
   area : float;
   hpwl : float;
   runtime : float;
+  gp_s : float;  (** phase breakdown from the run's telemetry *)
+  dp_s : float;
+  gnn_s : float;
 }
 
 val run_method : Methods.t -> string list -> method_row list
+
+val method_of_kind : cfg -> ?perf:bool -> Methods.kind -> Methods.t
+(** The single construction point from the typed placer selector; used
+    by every table and by the CLI. *)
+
+val phase_table : string list -> method_row list list -> Table_fmt.t
+(** Per-method GP/DP/GNN runtime columns for the given results (as
+    returned by {!table3} or {!table7}). *)
 
 val table1 : cfg -> Table_fmt.t
 (** Soft vs hard symmetry constraints in global placement. *)

@@ -22,10 +22,13 @@ let bit_reverse_permute re im =
     j := !j lor !m
   done
 
+let transforms_counter = Telemetry.Counter.make "fft.transforms"
+
 let transform ~inverse re im =
   let n = Array.length re in
   if Array.length im <> n then invalid_arg "Fft: re/im size mismatch";
   if not (is_pow2 n) then invalid_arg "Fft: length must be a power of two";
+  Telemetry.Counter.incr transforms_counter;
   if n > 1 then begin
     bit_reverse_permute re im;
     let sign = if inverse then 1.0 else -1.0 in

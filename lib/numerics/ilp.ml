@@ -21,6 +21,9 @@ let int_tol = 1e-5
 
 let is_integral v = abs_float (v -. Float.round v) <= int_tol
 
+let nodes_counter = Telemetry.Counter.make "ilp.nodes"
+let solves_counter = Telemetry.Counter.make "ilp.solves"
+
 let solve ?(max_nodes = 500) ?(time_limit = 30.0) (p : problem) =
   if Array.length p.kinds <> p.base.Simplex.n_vars then
     invalid_arg "Ilp.solve: kinds size";
@@ -40,7 +43,8 @@ let solve ?(max_nodes = 500) ?(time_limit = 30.0) (p : problem) =
           binary_bounds @ extra @ p.base.Simplex.constraints;
       }
   in
-  let t_start = Unix.gettimeofday () in
+  Telemetry.Counter.incr solves_counter;
+  let t_start = Telemetry.now () in
   let incumbent = ref None in
   let incumbent_obj = ref infinity in
   let nodes = ref 0 in
@@ -54,7 +58,7 @@ let solve ?(max_nodes = 500) ?(time_limit = 30.0) (p : problem) =
         stack := rest;
         if
           !nodes >= max_nodes
-          || Unix.gettimeofday () -. t_start > time_limit
+          || Telemetry.now () -. t_start > time_limit
         then begin
           truncated := true;
           stack := []
@@ -116,6 +120,7 @@ let solve ?(max_nodes = 500) ?(time_limit = 30.0) (p : problem) =
               end
         end
   done;
+  Telemetry.Counter.add nodes_counter !nodes;
   match !incumbent with
   | Some sol ->
       let x = Array.copy sol.Simplex.x in

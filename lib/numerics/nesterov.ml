@@ -17,6 +17,8 @@ type t = {
   mutable iter : int;
 }
 
+let steps_counter = Telemetry.Counter.make "nesterov.steps"
+
 let lipschitz_alpha ~u1 ~g1 ~u0 ~g0 ~fallback =
   let du = Vec.dist u1 u0 and dg = Vec.dist g1 g0 in
   if dg > 1e-30 && du > 1e-30 then du /. dg else fallback
@@ -62,6 +64,7 @@ let iteration t = t.iter
 let steplength t = t.alpha
 
 let step t =
+  Telemetry.Counter.incr steps_counter;
   let a_next = 0.5 *. (1.0 +. sqrt ((4.0 *. t.a *. t.a) +. 1.0)) in
   let coef = (t.a -. 1.0) /. a_next in
   let v_new = Array.make t.dim 0.0 in

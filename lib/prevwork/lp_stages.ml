@@ -153,16 +153,20 @@ type result = { layout : Netlist.Layout.t; runtime_s : float }
 let run ?(params = default_params) (c : Netlist.Circuit.t)
     ~(gp : Netlist.Layout.t) =
   ignore params.zeta;
-  let t0 = Unix.gettimeofday () in
+  let go () =
   let attempt ~all_pairs =
     let seps = SP.plan c ~gp ~all_pairs in
     let axis_flow axis =
-      match solve_axis c ~axis ~seps ~stage:Area_stage with
+      match
+        Telemetry.Span.with_ ~name:"dp.area_stage" (fun () ->
+            solve_axis c ~axis ~seps ~stage:Area_stage)
+      with
       | None -> None
       | Some (_, extent) -> (
           match
-            solve_axis c ~axis ~seps
-              ~stage:(Wirelength_stage (extent +. 1e-6))
+            Telemetry.Span.with_ ~name:"dp.wl_stage" (fun () ->
+                solve_axis c ~axis ~seps
+                  ~stage:(Wirelength_stage (extent +. 1e-6)))
           with
           | None -> None
           | Some (coords, _) -> Some coords)
@@ -187,4 +191,7 @@ let run ?(params = default_params) (c : Netlist.Circuit.t)
         Netlist.Layout.set l i ~x:xs.(i) ~y:ys.(i)
       done;
       Netlist.Layout.normalize l;
-      Some { layout = l; runtime_s = Unix.gettimeofday () -. t0 }
+      Some { layout = l; runtime_s = 0.0 }
+  in
+  let r, dt = Telemetry.Span.timed ~name:"dp" go in
+  Option.map (fun r -> { r with runtime_s = dt }) r

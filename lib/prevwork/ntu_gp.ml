@@ -38,8 +38,11 @@ type result = {
   f_evals : int;
 }
 
+let iters_counter = Telemetry.Counter.make "gp.iterations"
+let fevals_counter = Telemetry.Counter.make "gp.f_evals"
+
 let run ?(params = default) ?perf (c : Netlist.Circuit.t) =
-  let t0 = Unix.gettimeofday () in
+  let go () =
   let p = params in
   let n = Netlist.Circuit.n_devices c in
   let total_area = Netlist.Circuit.total_device_area c in
@@ -79,6 +82,7 @@ let run ?(params = default) ?perf (c : Netlist.Circuit.t) =
   in
   let objective v =
     incr f_evals;
+    Telemetry.Counter.incr fevals_counter;
     let xs = Array.sub v 0 n and ys = Array.sub v n n in
     clamp xs ys;
     let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
@@ -118,9 +122,10 @@ let run ?(params = default) ?perf (c : Netlist.Circuit.t) =
   in
   let x = ref (Array.copy v0) in
   for _stage = 1 to p.stages do
-    let x', _stats =
+    let x', stats =
       Numerics.Cg.minimize ~max_iter:p.iters_per_stage ~f:objective ~x0:!x ()
     in
+    Telemetry.Counter.add iters_counter stats.Numerics.Cg.iterations;
     x := x';
     beta := !beta *. p.beta_growth
   done;
@@ -130,4 +135,7 @@ let run ?(params = default) ?perf (c : Netlist.Circuit.t) =
   for i = 0 to n - 1 do
     Netlist.Layout.set layout i ~x:xs.(i) ~y:ys.(i)
   done;
-  { layout; runtime_s = Unix.gettimeofday () -. t0; f_evals = !f_evals }
+  { layout; runtime_s = 0.0; f_evals = !f_evals }
+  in
+  let r, dt = Telemetry.Span.timed ~name:"gp" go in
+  { r with runtime_s = dt }

@@ -41,7 +41,7 @@ let default_score l = Netlist.Layout.area l *. Netlist.Layout.hpwl l
 
 let place ?(params = default_params) ?perf ?(score = default_score)
     (c : Netlist.Circuit.t) =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.now () in
   let best = ref None in
   for k = 0 to max 0 (params.restarts - 1) do
     match place_once params ?perf c ~seed:(params.gp.Ntu_gp.seed + k) with
@@ -58,6 +58,6 @@ let place ?(params = default_params) ?perf ?(score = default_score)
         {
           layout = lp_result.Lp_stages.layout;
           gp_result;
-          runtime_s = Unix.gettimeofday () -. t0;
+          runtime_s = Telemetry.now () -. t0;
         }
   | None -> None

@@ -1,0 +1,207 @@
+(* One global collector; single-threaded like the rest of the repo.
+   Spans cost two clock reads and one hashtable update, counters a
+   field increment, so the placers keep them on unconditionally and the
+   sink decides whether anything is emitted. *)
+
+let now () = Unix.gettimeofday ()
+
+(* ----- counters and gauges (interned handles) ----- *)
+
+module Counter = struct
+  type t = { c_name : string; mutable c_value : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; c_value = 0 } in
+        Hashtbl.add registry name c;
+        c
+
+  let incr c = c.c_value <- c.c_value + 1
+  let add c n = c.c_value <- c.c_value + n
+  let value c = c.c_value
+  let name c = c.c_name
+end
+
+module Gauge = struct
+  type t = { g_name : string; mutable g_value : float }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some g -> g
+    | None ->
+        let g = { g_name = name; g_value = nan } in
+        Hashtbl.add registry name g;
+        g
+
+  let set g v = g.g_value <- v
+  let value g = g.g_value
+  let name g = g.g_name
+end
+
+type span = {
+  path : string list;
+  span_name : string;
+  t_start : float;
+  dur_s : float;
+}
+
+(* ----- sinks ----- *)
+
+type report = {
+  r_spans : (string * int * float) list;  (* name, count, total_s *)
+  r_counters : (string * int) list;
+  r_gauges : (string * float) list;
+}
+
+type sink = { on_span : span -> unit; on_flush : report -> unit }
+
+let noop = { on_span = ignore; on_flush = ignore }
+
+let summary ppf =
+  let on_flush r =
+    Fmt.pf ppf "@.-- telemetry ----------------------------------------@.";
+    if r.r_spans <> [] then begin
+      Fmt.pf ppf "%-28s %8s %12s@." "span" "count" "total(s)";
+      List.iter
+        (fun (name, count, total) ->
+          Fmt.pf ppf "%-28s %8d %12.4f@." name count total)
+        r.r_spans
+    end;
+    List.iter
+      (fun (name, v) -> Fmt.pf ppf "%-28s %21d@." name v)
+      r.r_counters;
+    List.iter
+      (fun (name, v) ->
+        if not (Float.is_nan v) then Fmt.pf ppf "%-28s %21.6g@." name v)
+      r.r_gauges;
+    Fmt.pf ppf "-----------------------------------------------------@."
+  in
+  { on_span = ignore; on_flush }
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jsonl oc =
+  let on_span s =
+    let path =
+      String.concat ","
+        (List.map (fun p -> Printf.sprintf "\"%s\"" (json_escape p)) s.path)
+    in
+    Printf.fprintf oc
+      "{\"type\":\"span\",\"name\":\"%s\",\"path\":[%s],\"t_start\":%.6f,\"dur_s\":%.6f}\n"
+      (json_escape s.span_name) path s.t_start s.dur_s
+  in
+  let on_flush r =
+    List.iter
+      (fun (name, v) ->
+        Printf.fprintf oc "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%d}\n"
+          (json_escape name) v)
+      r.r_counters;
+    List.iter
+      (fun (name, v) ->
+        if not (Float.is_nan v) then
+          Printf.fprintf oc
+            "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%.6g}\n"
+            (json_escape name) v)
+      r.r_gauges;
+    flush oc
+  in
+  { on_span; on_flush }
+
+let current_sink = ref noop
+let set_sink s = current_sink := s
+
+(* ----- the collector ----- *)
+
+type agg = { mutable a_count : int; mutable a_total : float }
+
+let span_aggs : (string, agg) Hashtbl.t = Hashtbl.create 32
+let finished : span list ref = ref []
+let stack : string list ref = ref []  (* innermost first *)
+
+let reset () =
+  Hashtbl.reset span_aggs;
+  finished := [];
+  Hashtbl.iter (fun _ c -> c.Counter.c_value <- 0) Counter.registry;
+  Hashtbl.iter (fun _ g -> g.Gauge.g_value <- nan) Gauge.registry
+
+module Span = struct
+  let record name t_start dur_s path =
+    (match Hashtbl.find_opt span_aggs name with
+    | Some a ->
+        a.a_count <- a.a_count + 1;
+        a.a_total <- a.a_total +. dur_s
+    | None -> Hashtbl.add span_aggs name { a_count = 1; a_total = dur_s });
+    let s = { path; span_name = name; t_start; dur_s } in
+    finished := s :: !finished;
+    !current_sink.on_span s
+
+  let timed ~name f =
+    let path = List.rev !stack in
+    stack := name :: !stack;
+    let t0 = now () in
+    let finish () =
+      let dur = now () -. t0 in
+      stack := (match !stack with _ :: tl -> tl | [] -> []);
+      record name t0 dur path;
+      dur
+    in
+    match f () with
+    | r -> (r, finish ())
+    | exception e ->
+        ignore (finish ());
+        raise e
+
+  let with_ ~name f = fst (timed ~name f)
+end
+
+let span_total name =
+  match Hashtbl.find_opt span_aggs name with
+  | Some a -> a.a_total
+  | None -> 0.0
+
+let span_count name =
+  match Hashtbl.find_opt span_aggs name with
+  | Some a -> a.a_count
+  | None -> 0
+
+let spans () = List.rev !finished
+
+let sorted_by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let counters () =
+  Hashtbl.fold (fun k c acc -> (k, c.Counter.c_value) :: acc) Counter.registry
+    []
+  |> sorted_by_name
+
+let gauges () =
+  Hashtbl.fold (fun k g acc -> (k, g.Gauge.g_value) :: acc) Gauge.registry []
+  |> sorted_by_name
+
+let flush () =
+  let r_spans =
+    Hashtbl.fold
+      (fun name a acc -> (name, a.a_count, a.a_total) :: acc)
+      span_aggs []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  !current_sink.on_flush
+    { r_spans; r_counters = counters (); r_gauges = gauges () }

@@ -76,7 +76,7 @@ let island_tests =
     Alcotest.test_case "every device in exactly one island" `Quick (fun () ->
         List.iter
           (fun name ->
-            let c = Circuits.Testcases.get name in
+            let c = Circuits.Testcases.get_exn name in
             let islands = Is.decompose c in
             let seen = Array.make (Netlist.Circuit.n_devices c) 0 in
             List.iter
@@ -144,7 +144,7 @@ let sa_tests =
     Alcotest.test_case "sa output is legal on every testcase" `Slow (fun () ->
         List.iter
           (fun name ->
-            let c = Circuits.Testcases.get name in
+            let c = Circuits.Testcases.get_exn name in
             let params =
               { Annealing.Sa_placer.default_params with
                 Annealing.Sa_placer.moves = 10_000 }
@@ -168,7 +168,7 @@ let sa_tests =
         Alcotest.(check (float 1e-12)) "same hpwl" (Netlist.Layout.hpwl l1)
           (Netlist.Layout.hpwl l2));
     Alcotest.test_case "more moves do not hurt quality much" `Slow (fun () ->
-        let c = Circuits.Testcases.get "Comp1" in
+        let c = Circuits.Testcases.get_exn "Comp1" in
         let run moves =
           let params =
             { Annealing.Sa_placer.default_params with

@@ -7,7 +7,7 @@ let ilp_tests =
   [
     Alcotest.test_case "ilp dp satisfies symmetry to solver precision"
       `Quick (fun () ->
-        let c = Circuits.Testcases.get "CC-OTA" in
+        let c = Circuits.Testcases.get_exn "CC-OTA" in
         let gp = (Eplace.Global_place.run c).Eplace.Global_place.layout in
         match Eplace.Dp_ilp.run c ~gp with
         | None -> Alcotest.fail "dp infeasible"
@@ -32,7 +32,7 @@ let ilp_tests =
               c.Netlist.Circuit.constraints.CS.sym_groups);
     Alcotest.test_case "ilp dp respects ordering chains exactly" `Quick
       (fun () ->
-        let c = Circuits.Testcases.get "CM-OTA1" in
+        let c = Circuits.Testcases.get_exn "CM-OTA1" in
         let gp = (Eplace.Global_place.run c).Eplace.Global_place.layout in
         match Eplace.Dp_ilp.run c ~gp with
         | None -> Alcotest.fail "dp infeasible"
@@ -42,7 +42,7 @@ let ilp_tests =
                  (Netlist.Checks.ordering_violations r.Eplace.Dp_ilp.layout)));
     Alcotest.test_case "second dp pass never increases the score" `Quick
       (fun () ->
-        let c = Circuits.Testcases.get "VGA" in
+        let c = Circuits.Testcases.get_exn "VGA" in
         let gp = (Eplace.Global_place.run c).Eplace.Global_place.layout in
         match Eplace.Dp_ilp.run c ~gp with
         | None -> Alcotest.fail "dp infeasible"
@@ -61,7 +61,7 @@ let ilp_tests =
 let lp_tests =
   [
     Alcotest.test_case "two-stage lp is legal and compact" `Quick (fun () ->
-        let c = Circuits.Testcases.get "Comp1" in
+        let c = Circuits.Testcases.get_exn "Comp1" in
         let gp = (Eplace.Global_place.run c).Eplace.Global_place.layout in
         match Prevwork.Lp_stages.run c ~gp with
         | None -> Alcotest.fail "lp infeasible"
@@ -75,7 +75,7 @@ let lp_tests =
               <= 4.0 *. Netlist.Circuit.total_device_area c));
     Alcotest.test_case "no-flip flow keeps identity orientations" `Quick
       (fun () ->
-        let c = Circuits.Testcases.get "Comp1" in
+        let c = Circuits.Testcases.get_exn "Comp1" in
         let gp = (Eplace.Global_place.run c).Eplace.Global_place.layout in
         match Prevwork.Lp_stages.run c ~gp with
         | None -> Alcotest.fail "lp infeasible"
@@ -91,7 +91,7 @@ let lp_tests =
            with a pure-area objective would allow: check the extent cap
            by comparing against the ILP (joint) result's area on the
            same input: stage-1-first should be at most as large *)
-        let c = Circuits.Testcases.get "VCO1" in
+        let c = Circuits.Testcases.get_exn "VCO1" in
         let gp = (Eplace.Global_place.run c).Eplace.Global_place.layout in
         match (Prevwork.Lp_stages.run c ~gp, Eplace.Dp_ilp.run c ~gp) with
         | Some lp, Some ilp ->

@@ -27,7 +27,7 @@ let setup_tests =
   [
     Alcotest.test_case "layout generation produces legal-ish samples" `Quick
       (fun () ->
-        let c = Circuits.Testcases.get "Adder" in
+        let c = Circuits.Testcases.get_exn "Adder" in
         let sizes =
           { GS.n_random = 20; n_spread = 5; n_sa = 2; n_analytic = 0 }
         in
@@ -40,7 +40,7 @@ let setup_tests =
               Alcotest.failf "random packing %d overlaps" i)
           layouts);
     Alcotest.test_case "training produces a usable model" `Slow (fun () ->
-        let c = Circuits.Testcases.get "Adder" in
+        let c = Circuits.Testcases.get_exn "Adder" in
         let sizes =
           { GS.n_random = 60; n_spread = 20; n_sa = 8; n_analytic = 2 }
         in
@@ -57,7 +57,7 @@ let method_tests =
   [
     Alcotest.test_case "method wrappers run and produce legal layouts" `Slow
       (fun () ->
-        let c = Circuits.Testcases.get "CC-OTA" in
+        let c = Circuits.Testcases.get_exn "CC-OTA" in
         let fast_eplace =
           { Eplace.Eplace_a.default_params with
             Eplace.Eplace_a.restarts = 1; dp_passes = 1 }
@@ -98,7 +98,7 @@ let shape_tests =
   [
     Alcotest.test_case "lse smoothing is worse than wa inside eplace-a"
       `Slow (fun () ->
-        let c = Circuits.Testcases.get "CC-OTA" in
+        let c = Circuits.Testcases.get_exn "CC-OTA" in
         let run smoothing =
           let params =
             { Eplace.Eplace_a.default_params with
@@ -115,7 +115,7 @@ let shape_tests =
           (run Eplace.Gp_params.Wa <= 1.02 *. run Eplace.Gp_params.Lse));
     Alcotest.test_case "analytical beats converged SA on hpwl (CC-OTA)"
       `Slow (fun () ->
-        let c = Circuits.Testcases.get "CC-OTA" in
+        let c = Circuits.Testcases.get_exn "CC-OTA" in
         let sa = Me.sa ~moves:150_000 () in
         let ep = Me.eplace_a () in
         match (sa.Me.run c, ep.Me.run c) with

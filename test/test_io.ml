@@ -19,7 +19,7 @@ let roundtrip_tests =
     Alcotest.test_case "all testcases round-trip" `Quick (fun () ->
         List.iter
           (fun name ->
-            let c = Circuits.Testcases.get name in
+            let c = Circuits.Testcases.get_exn name in
             let text = IO.circuit_to_string c in
             let c2 = IO.parse_circuit text in
             Alcotest.(check string)

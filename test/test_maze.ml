@@ -80,7 +80,7 @@ let tests =
           (Printf.sprintf "overflow cells %d" r.Mz.overflow_cells)
           true (r.Mz.overflow_cells < 40));
     Alcotest.test_case "routes a real placed testcase" `Slow (fun () ->
-        let c = Circuits.Testcases.get "CC-OTA" in
+        let c = Circuits.Testcases.get_exn "CC-OTA" in
         let params =
           { Annealing.Sa_placer.default_params with
             Annealing.Sa_placer.moves = 8000 }

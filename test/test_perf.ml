@@ -161,7 +161,7 @@ let fom_tests =
   [
     Alcotest.test_case "fom improves with a tighter placement" `Quick
       (fun () ->
-        let c = Circuits.Testcases.get "CC-OTA" in
+        let c = Circuits.Testcases.get_exn "CC-OTA" in
         let params =
           { Annealing.Sa_placer.default_params with
             Annealing.Sa_placer.moves = 15000 }
@@ -180,7 +180,7 @@ let fom_tests =
       (fun () ->
         List.iter
           (fun name ->
-            let c = Circuits.Testcases.get name in
+            let c = Circuits.Testcases.get_exn name in
             let params =
               { Annealing.Sa_placer.default_params with
                 Annealing.Sa_placer.moves = 8000 }

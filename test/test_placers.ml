@@ -10,7 +10,7 @@ let placer_tests =
       (fun () ->
         List.iter
           (fun name ->
-            let c = Circuits.Testcases.get name in
+            let c = Circuits.Testcases.get_exn name in
             let params =
               { Eplace.Eplace_a.default_params with
                 Eplace.Eplace_a.restarts = 1; dp_passes = 1 }
@@ -28,7 +28,7 @@ let placer_tests =
       (fun () ->
         List.iter
           (fun name ->
-            let c = Circuits.Testcases.get name in
+            let c = Circuits.Testcases.get_exn name in
             let params =
               { Prevwork.Prev_analytical.default_params with
                 Prevwork.Prev_analytical.restarts = 1; passes = 1 }
@@ -43,7 +43,7 @@ let placer_tests =
                   Alcotest.failf "%s: %d violations" name (List.length viol))
           Circuits.Testcases.all_names);
     Alcotest.test_case "eplace-a is deterministic" `Quick (fun () ->
-        let c = Circuits.Testcases.get "CC-OTA" in
+        let c = Circuits.Testcases.get_exn "CC-OTA" in
         let params =
           { Eplace.Eplace_a.default_params with
             Eplace.Eplace_a.restarts = 1; dp_passes = 1 }
@@ -57,7 +57,7 @@ let placer_tests =
         | _ -> Alcotest.fail "placement failed");
     Alcotest.test_case "gp overflow decreases towards threshold" `Quick
       (fun () ->
-        let c = Circuits.Testcases.get "CC-OTA" in
+        let c = Circuits.Testcases.get_exn "CC-OTA" in
         let r = Eplace.Global_place.run c in
         Alcotest.(check bool) "converged reasonably" true
           (r.Eplace.Global_place.final_overflow < 0.25));
@@ -65,7 +65,7 @@ let placer_tests =
       (fun () ->
         (* the paper's Table I claim, checked as a weak inequality on
            the product to tolerate run-to-run noise *)
-        let c = Circuits.Testcases.get "Comp2" in
+        let c = Circuits.Testcases.get_exn "Comp2" in
         let run mode =
           let params =
             { Eplace.Eplace_a.default_params with
@@ -81,7 +81,7 @@ let placer_tests =
         Alcotest.(check bool) "soft <= hard * 1.05" true
           (run Eplace.Gp_params.Soft <= 1.05 *. run Eplace.Gp_params.Hard));
     Alcotest.test_case "flipping does not hurt wirelength" `Quick (fun () ->
-        let c = Circuits.Testcases.get "Comp1" in
+        let c = Circuits.Testcases.get_exn "Comp1" in
         let gp = (Eplace.Global_place.run c).Eplace.Global_place.layout in
         let run flip =
           let params = { Eplace.Dp_ilp.default_params with Eplace.Dp_ilp.flip } in
@@ -97,7 +97,7 @@ let sep_plan_tests =
   [
     Alcotest.test_case "every pair separated exactly once (all_pairs)" `Quick
       (fun () ->
-        let c = Circuits.Testcases.get "CM-OTA1" in
+        let c = Circuits.Testcases.get_exn "CM-OTA1" in
         let gp = (Eplace.Global_place.run c).Eplace.Global_place.layout in
         let seps = SPl.plan c ~gp ~all_pairs:true in
         let n = Netlist.Circuit.n_devices c in
@@ -118,7 +118,7 @@ let sep_plan_tests =
           (List.length seps < n * (n - 1) / 2));
     Alcotest.test_case "separation graph is acyclic per axis" `Quick
       (fun () ->
-        let c = Circuits.Testcases.get "Comp2" in
+        let c = Circuits.Testcases.get_exn "Comp2" in
         let gp = (Eplace.Global_place.run c).Eplace.Global_place.layout in
         let seps = SPl.plan c ~gp ~all_pairs:true in
         let n = Netlist.Circuit.n_devices c in
@@ -151,7 +151,7 @@ let circuits_tests =
       `Quick (fun () ->
         List.iter
           (fun name ->
-            let c = Circuits.Testcases.get name in
+            let c = Circuits.Testcases.get_exn name in
             let n = Netlist.Circuit.n_devices c in
             if n < 10 || n > 60 then
               Alcotest.failf "%s has %d devices" name n;
@@ -163,13 +163,18 @@ let circuits_tests =
     Alcotest.test_case "registry names round-trip" `Quick (fun () ->
         List.iter
           (fun name ->
-            let c = Circuits.Testcases.get name in
+            let c = Circuits.Testcases.get_exn name in
             Alcotest.(check string) "name" name c.Netlist.Circuit.name)
           Circuits.Testcases.all_names);
-    Alcotest.test_case "unknown circuit raises" `Quick (fun () ->
+    Alcotest.test_case "unknown circuit: get is None, get_exn raises" `Quick
+      (fun () ->
+        Alcotest.(check bool) "get None" true
+          (Circuits.Testcases.get "nope" = None);
+        Alcotest.(check bool) "get Some" true
+          (Circuits.Testcases.get "CC-OTA" <> None);
         let raised =
           try
-            ignore (Circuits.Testcases.get "nope");
+            ignore (Circuits.Testcases.get_exn "nope");
             false
           with Invalid_argument _ -> true
         in
@@ -178,7 +183,7 @@ let circuits_tests =
       (fun () ->
         List.iter
           (fun name ->
-            let c = Circuits.Testcases.get name in
+            let c = Circuits.Testcases.get_exn name in
             (* evaluating any layout exercises every meta key the class
                model reads; missing keys raise *)
             let l = Netlist.Layout.create c in

@@ -140,7 +140,7 @@ let prop_island_packing_legal =
   Q.Test.make ~name:"random island packings are legal" ~count:60
     Q.Gen.(int_range 0 100000)
     (fun seed ->
-      let c = Circuits.Testcases.get "CC-OTA" in
+      let c = Circuits.Testcases.get_exn "CC-OTA" in
       let rng = Numerics.Rng.create seed in
       let islands = Array.of_list (Annealing.Island.decompose c) in
       let sp = Annealing.Seqpair.random rng (Array.length islands) in
@@ -168,7 +168,7 @@ let prop_fom_monotone_spread =
   Q.Test.make ~name:"FOM does not improve under uniform spreading" ~count:25
     Q.Gen.(pair (int_range 0 10000) (float_range 1.3 2.5))
     (fun (seed, factor) ->
-      let c = Circuits.Testcases.get "CC-OTA" in
+      let c = Circuits.Testcases.get_exn "CC-OTA" in
       let rng = Numerics.Rng.create seed in
       let islands = Array.of_list (Annealing.Island.decompose c) in
       let sp = Annealing.Seqpair.random rng (Array.length islands) in
