@@ -6,6 +6,8 @@
      main.exe                 run all tables and figures (full budgets)
      main.exe --quick         trimmed budgets (smoke run)
      main.exe table3 fig5     run a subset
+     main.exe --jobs N        domains for the parallel fan-outs
+                              (default: Domain.recommended_domain_count)
      main.exe --micro         run the Bechamel kernel benchmarks
 *)
 
@@ -213,6 +215,26 @@ let micro () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* consume "--jobs N" before the experiment-name scan so the count is
+     not mistaken for an experiment *)
+  let jobs = ref (Domain.recommended_domain_count ()) in
+  let rec strip_jobs = function
+    | "--jobs" :: n :: tl -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            jobs := j;
+            strip_jobs tl
+        | Some _ | None ->
+            Fmt.epr "--jobs expects a positive integer@.";
+            exit 1)
+    | [ "--jobs" ] ->
+        Fmt.epr "--jobs expects a positive integer@.";
+        exit 1
+    | a :: tl -> a :: strip_jobs tl
+    | [] -> []
+  in
+  let args = strip_jobs args in
+  Pool.set_default_jobs !jobs;
   let quick = List.mem "--quick" args in
   let micro_mode = List.mem "--micro" args in
   let wanted =
@@ -232,6 +254,7 @@ let () =
       List.iter (fun (n, _) -> say "  %s@." n) all_experiments;
       exit 1
     end;
+    say "jobs: %d@." !jobs;
     let t0 = Telemetry.now () in
     List.iter (fun (_, f) -> f cfg) to_run;
     say "@.total wall time: %.1f s@." (Telemetry.now () -. t0)

@@ -5,6 +5,7 @@
      analog-place -c VCO1 -p sa --moves 200000 --draw
      analog-place -c CM-OTA1 -p eplace --perf
      analog-place -c CC-OTA -p prev --trace --metrics-out run.jsonl
+     analog-place -c Comp1 -p sa --restarts 8 --jobs 4
 *)
 
 module M = Experiments.Methods
@@ -67,7 +68,9 @@ let report circuit (o : M.outcome) =
     (fun m -> Fmt.pr "  %a@." Perfsim.Spec.pp_metric m)
     e.Perfsim.Fom.metrics
 
-let run_cmd circuit_name kind perf moves seed draw quick trace metrics_out =
+let run_cmd circuit_name kind perf moves seed restarts jobs draw quick trace
+    metrics_out =
+  Pool.set_default_jobs jobs;
   match Circuits.Testcases.get circuit_name with
   | None ->
       Fmt.epr "unknown circuit %S@.known circuits: %s@." circuit_name
@@ -76,8 +79,8 @@ let run_cmd circuit_name kind perf moves seed draw quick trace metrics_out =
   | Some circuit -> (
       let m =
         match ((kind : M.kind), perf) with
-        | M.Sa, false -> M.sa ~moves ~seed ()
-        | M.Sa, true -> M.sa_perf ~moves ~seed ~quick ()
+        | M.Sa, false -> M.sa ~moves ~seed ~restarts ()
+        | M.Sa, true -> M.sa_perf ~moves ~seed ~restarts ~quick ()
         | M.Prev, false -> M.prev ()
         | M.Prev, true -> M.prev_perf ~quick ()
         | M.Eplace, false -> M.eplace_a ()
@@ -144,6 +147,19 @@ let moves_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
 
+let restarts_arg =
+  Arg.(value & opt int 1
+       & info [ "restarts" ] ~docv:"N"
+           ~doc:"Independent SA restarts (run in parallel; best wins).")
+
+let jobs_arg =
+  Arg.(value & opt int (Domain.recommended_domain_count ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for parallel fan-outs (SA restarts, GNN \
+                 dataset generation). Defaults to the recommended domain \
+                 count; $(b,--jobs 1) forces serial execution. Results \
+                 are identical for any value, by construction.")
+
 let draw_arg =
   Arg.(value & flag & info [ "draw" ] ~doc:"Print an ASCII floorplan.")
 
@@ -169,6 +185,7 @@ let cmd =
     (Cmd.info "analog-place" ~doc)
     Term.(
       const run_cmd $ circuit_arg $ placer_arg $ perf_arg $ moves_arg
-      $ seed_arg $ draw_arg $ quick_arg $ trace_arg $ metrics_out_arg)
+      $ seed_arg $ restarts_arg $ jobs_arg $ draw_arg $ quick_arg $ trace_arg
+      $ metrics_out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,9 +6,10 @@
 
 type params = {
   seed : int;
+  restarts : int;  (* independent anneals; the best final cost wins *)
   area_weight : float;
   wl_weight : float;
-  moves : int;  (* total proposed moves *)
+  moves : int;  (* total proposed moves, per restart *)
   cooling : float;
   accept0 : float;  (* target initial acceptance probability *)
   order_penalty : float;
@@ -19,6 +20,7 @@ type params = {
 let default_params =
   {
     seed = 1;
+    restarts = 1;
     area_weight = 1.0;
     wl_weight = 1.0;
     moves = 60_000;
@@ -135,14 +137,12 @@ let accepted_counter = Telemetry.Counter.make "sa.accepted"
 let rejected_counter = Telemetry.Counter.make "sa.rejected"
 let evals_counter = Telemetry.Counter.make "sa.evals"
 
-let place ?(params = default_params) (c : Netlist.Circuit.t) =
-  let t_start = Telemetry.now () in
-  (* the annealing search is SA's "global placement" phase; the final
-     snapshot normalisation is its (trivial) detailed phase, so the
-     telemetry phase names line up across placer families *)
-  let n_evals, n_accepted, best_cost, best_layout =
-    Telemetry.Span.with_ ~name:"gp" (fun () ->
-  let rng = Numerics.Rng.create params.seed in
+(* One full annealing run on its own random stream. The search is SA's
+   "global placement" phase; the final snapshot normalisation is its
+   (trivial) detailed phase, so the telemetry phase names line up
+   across placer families. *)
+let anneal ~params ~rng (c : Netlist.Circuit.t) =
+  Telemetry.Span.with_ ~name:"gp" (fun () ->
   let st = make_state rng c in
   (* cost normalisation from the initial state *)
   let l0 = realize st in
@@ -210,13 +210,41 @@ let place ?(params = default_params) (c : Netlist.Circuit.t) =
     temp := !temp *. params.cooling
   done;
   (!evals, !accepted, !best, !best_snapshot))
+
+let place ?(params = default_params) (c : Netlist.Circuit.t) =
+  let t_start = Telemetry.now () in
+  let runs =
+    if params.restarts <= 1 then
+      (* single restart keeps the historical stream: the seed feeds the
+         anneal directly, with no split in between *)
+      [| anneal ~params ~rng:(Numerics.Rng.create params.seed) c |]
+    else begin
+      let master = Numerics.Rng.create params.seed in
+      let rngs = Numerics.Rng.split_n master params.restarts in
+      Pool.map (Pool.default ()) (fun rng -> anneal ~params ~rng c) rngs
+    end
+  in
+  (* best final cost wins; ties break to the lowest restart index, so
+     the winner does not depend on scheduling *)
+  let best = ref runs.(0) in
+  Array.iter
+    (fun r ->
+      let _, _, cost, _ = r and _, _, best_cost, _ = !best in
+      if cost < best_cost then best := r)
+    runs;
+  let _, _, best_cost, best_layout = !best in
+  let total_evals =
+    Array.fold_left (fun acc (e, _, _, _) -> acc + e) 0 runs
+  in
+  let total_accepted =
+    Array.fold_left (fun acc (_, a, _, _) -> acc + a) 0 runs
   in
   let l = best_layout in
   Telemetry.Span.with_ ~name:"dp" (fun () -> Netlist.Layout.normalize l);
   ( l,
     {
-      evals = n_evals;
-      accepted = n_accepted;
+      evals = total_evals;
+      accepted = total_accepted;
       runtime_s = Telemetry.now () -. t_start;
       best_cost;
     } )

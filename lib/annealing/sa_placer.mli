@@ -4,9 +4,14 @@
 
 type params = {
   seed : int;
+  restarts : int;
+      (** independent anneals, each on its own [Rng.split] stream, run
+          in parallel on the default {!Pool}; the best final cost wins
+          (ties break to the lowest restart index). [1] — the default —
+          reproduces the historical single-stream behaviour exactly. *)
   area_weight : float;
   wl_weight : float;
-  moves : int;  (** total proposed moves (runtime knob) *)
+  moves : int;  (** total proposed moves per restart (runtime knob) *)
   cooling : float;
   accept0 : float;  (** target initial acceptance probability *)
   order_penalty : float;
@@ -18,9 +23,9 @@ type params = {
 val default_params : params
 
 type stats = {
-  evals : int;
-  accepted : int;
-  runtime_s : float;
+  evals : int;  (** summed over restarts *)
+  accepted : int;  (** summed over restarts *)
+  runtime_s : float;  (** wall time of the whole (parallel) run *)
   best_cost : float;
 }
 

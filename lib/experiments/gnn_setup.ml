@@ -56,47 +56,86 @@ let default_sizes =
 
 let quick_sizes = { n_random = 140; n_spread = 40; n_sa = 56; n_analytic = 20 }
 
+(* One dataset sample, fully described up front: the master RNG draws
+   every per-sample stream and parameter serially (in a fixed order)
+   before the fan-out, so the generated dataset is identical whatever
+   the worker count. *)
+type sample_spec =
+  | Random_pack of Numerics.Rng.t
+  | Spread of Numerics.Rng.t * float  (* child stream, spread factor *)
+  | Sa_sample of { sa_seed : int; wl_weight : float; area_weight : float }
+  | Analytic of { gp_seed : int; eta : float; tau : float }
+
+(* [Array.init] does not promise an application order, and the closures
+   below consume the master RNG, so tabulate explicitly left-to-right. *)
+let init_ordered n f =
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      a.(i) <- f i
+    done;
+    a
+  end
+
 let generate_layouts ?(sizes = default_sizes) ~seed (c : Netlist.Circuit.t) =
   let rng = Numerics.Rng.create seed in
   let islands = Array.of_list (Annealing.Island.decompose c) in
-  let layouts = ref [] in
-  for _ = 1 to sizes.n_random do
-    layouts := random_packing rng c islands :: !layouts
-  done;
-  for _ = 1 to sizes.n_spread do
-    let l = random_packing rng c islands in
-    let f = Numerics.Rng.uniform rng ~lo:1.15 ~hi:2.2 in
-    layouts := spread_layout rng l f :: !layouts
-  done;
-  for k = 1 to sizes.n_sa do
-    let params =
-      { Annealing.Sa_placer.default_params with
-        Annealing.Sa_placer.seed = seed + (7 * k);
-        moves = 3000;
-        wl_weight = Numerics.Rng.uniform rng ~lo:0.4 ~hi:2.2;
-        area_weight = Numerics.Rng.uniform rng ~lo:0.4 ~hi:2.2;
-      }
-    in
-    let l, _ = Annealing.Sa_placer.place ~params c in
-    layouts := l :: !layouts
-  done;
-  for k = 1 to sizes.n_analytic do
-    let gp =
-      { Eplace.Gp_params.default with
-        Eplace.Gp_params.seed = seed + (13 * k);
-        eta = Numerics.Rng.uniform rng ~lo:0.02 ~hi:0.5;
-        tau = Numerics.Rng.uniform rng ~lo:0.5 ~hi:4.0;
-      }
-    in
-    let params =
-      { Eplace.Eplace_a.default_params with
-        Eplace.Eplace_a.gp; restarts = 1; dp_passes = 1 }
-    in
-    match Eplace.Eplace_a.place ~params c with
-    | Some r -> layouts := r.Eplace.Eplace_a.layout :: !layouts
-    | None -> ()
-  done;
-  !layouts
+  let specs =
+    Array.concat
+      [
+        Array.map
+          (fun r -> Random_pack r)
+          (Numerics.Rng.split_n rng sizes.n_random);
+        init_ordered sizes.n_spread (fun _ ->
+            let child = Numerics.Rng.split rng in
+            let f = Numerics.Rng.uniform rng ~lo:1.15 ~hi:2.2 in
+            Spread (child, f));
+        init_ordered sizes.n_sa (fun k ->
+            Sa_sample
+              {
+                sa_seed = seed + (7 * (k + 1));
+                wl_weight = Numerics.Rng.uniform rng ~lo:0.4 ~hi:2.2;
+                area_weight = Numerics.Rng.uniform rng ~lo:0.4 ~hi:2.2;
+              });
+        init_ordered sizes.n_analytic (fun k ->
+            Analytic
+              {
+                gp_seed = seed + (13 * (k + 1));
+                eta = Numerics.Rng.uniform rng ~lo:0.02 ~hi:0.5;
+                tau = Numerics.Rng.uniform rng ~lo:0.5 ~hi:4.0;
+              });
+      ]
+  in
+  let build = function
+    | Random_pack r -> Some (random_packing r c islands)
+    | Spread (r, f) -> Some (spread_layout r (random_packing r c islands) f)
+    | Sa_sample { sa_seed; wl_weight; area_weight } ->
+        let params =
+          { Annealing.Sa_placer.default_params with
+            Annealing.Sa_placer.seed = sa_seed;
+            moves = 3000;
+            wl_weight;
+            area_weight;
+          }
+        in
+        let l, _ = Annealing.Sa_placer.place ~params c in
+        Some l
+    | Analytic { gp_seed; eta; tau } -> (
+        let gp =
+          { Eplace.Gp_params.default with
+            Eplace.Gp_params.seed = gp_seed; eta; tau }
+        in
+        let params =
+          { Eplace.Eplace_a.default_params with
+            Eplace.Eplace_a.gp; restarts = 1; dp_passes = 1 }
+        in
+        match Eplace.Eplace_a.place ~params c with
+        | Some r -> Some r.Eplace.Eplace_a.layout
+        | None -> None)
+  in
+  Pool.map (Pool.default ()) build specs
+  |> Array.to_list |> List.filter_map Fun.id
 
 let percentile xs p =
   let a = Array.of_list xs in
@@ -107,7 +146,9 @@ let percentile xs p =
 let train_for ?(sizes = default_sizes) ?(epochs = 150) ?(seed = 424242)
     (c : Netlist.Circuit.t) =
   let layouts = generate_layouts ~sizes ~seed c in
-  let foms = List.map Perfsim.Fom.fom layouts in
+  (* labelling routes and extracts every sample — the most expensive
+     part of dataset generation, and pure per layout *)
+  let foms = Pool.map_list (Pool.default ()) Perfsim.Fom.fom layouts in
   (* The reported threshold marks the top 15% as "satisfactory" (the
      paper's binary framing), but training uses soft targets scaled
      over the whole FOM range: binary labels saturate in the
@@ -135,18 +176,37 @@ let train_for ?(sizes = default_sizes) ?(epochs = 150) ?(seed = 424242)
   let train_stats = Gnn.Train.train ~epochs ~rng model samples in
   { enc; model; threshold; train_stats; n_samples = List.length samples }
 
-(* process-wide cache, keyed by circuit name and a quick/full flag *)
+(* Process-wide cache, keyed by circuit name and a quick/full flag.
+   The mutex covers only the table accesses: training runs unlocked
+   (it may itself fan out on the pool), and because [train_for] is
+   deterministic per key, two domains racing on a miss converge on
+   identical values — the first insert wins. *)
 let cache : (string, trained) Hashtbl.t = Hashtbl.create 16
+let cache_lock = Mutex.create ()
+
+let cache_find key =
+  Mutex.lock cache_lock;
+  let r = Hashtbl.find_opt cache key in
+  Mutex.unlock cache_lock;
+  r
 
 let get ?(quick = false) (c : Netlist.Circuit.t) =
   let key = c.Netlist.Circuit.name ^ if quick then "/q" else "/f" in
-  match Hashtbl.find_opt cache key with
+  match cache_find key with
   | Some t -> t
   | None ->
       let sizes = if quick then quick_sizes else default_sizes in
       let epochs = if quick then 80 else 150 in
       let t = train_for ~sizes ~epochs c in
-      Hashtbl.add cache key t;
+      Mutex.lock cache_lock;
+      let t =
+        match Hashtbl.find_opt cache key with
+        | Some existing -> existing
+        | None ->
+            Hashtbl.add cache key t;
+            t
+      in
+      Mutex.unlock cache_lock;
       t
 
 (* ---- placer-facing hooks ---- *)

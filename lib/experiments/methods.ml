@@ -66,8 +66,10 @@ let zero_stats =
    their spans and counters accumulate under the "gnn" span. Like the
    paper's runtime columns, the per-run stats must exclude that offline
    work: [gnn_setup] snapshots the collector and [instrumented] reports
-   everything else as a delta against it. *)
-let setup_base = ref zero_stats
+   everything else as a delta against it. Domain-local, like the
+   telemetry collector it snapshots, so concurrent method runs under
+   the pool each keep their own baseline. *)
+let setup_base : stats Domain.DLS.key = Domain.DLS.new_key (fun () -> zero_stats)
 
 let sub a b =
   {
@@ -91,12 +93,13 @@ let instrumented ~name raw =
     run =
       (fun c ->
         Telemetry.reset ();
-        setup_base := zero_stats;
+        Domain.DLS.set setup_base zero_stats;
         Option.map
           (fun (layout, runtime_s) ->
             { layout;
               runtime_s;
-              stats = sub (stats_of_telemetry ()) !setup_base })
+              stats =
+                sub (stats_of_telemetry ()) (Domain.DLS.get setup_base) })
           (raw c));
   }
 
@@ -104,24 +107,25 @@ let gnn_setup ?quick c =
   let trained =
     Telemetry.Span.with_ ~name:"gnn" (fun () -> Gnn_setup.get ?quick c)
   in
-  setup_base := { (stats_of_telemetry ()) with gnn_s = 0.0 };
+  Domain.DLS.set setup_base { (stats_of_telemetry ()) with gnn_s = 0.0 };
   trained
 
 (* SA gets a move budget reflecting the paper's "practical runtime
    limit" framing: large enough to be well converged. *)
 let sa_default_moves = 4_000_000
 
-let sa ?(moves = sa_default_moves) ?(seed = 1) ?(wl_weight = 1.0)
-    ?(area_weight = 1.0) () =
+let sa ?(moves = sa_default_moves) ?(seed = 1) ?(restarts = 1)
+    ?(wl_weight = 1.0) ?(area_weight = 1.0) () =
   instrumented ~name:"SA" (fun c ->
       let params =
         { Annealing.Sa_placer.default_params with
-          Annealing.Sa_placer.seed; moves; wl_weight; area_weight }
+          Annealing.Sa_placer.seed; restarts; moves; wl_weight; area_weight }
       in
       let layout, stats = Annealing.Sa_placer.place ~params c in
       Some (layout, stats.Annealing.Sa_placer.runtime_s))
 
-let sa_perf ?(moves = 120_000) ?(seed = 1) ?(alpha = 2.0) ?quick () =
+let sa_perf ?(moves = 120_000) ?(seed = 1) ?(restarts = 1) ?(alpha = 2.0)
+    ?quick () =
   instrumented ~name:"SA-perf" (fun c ->
       (* model training happens offline in the paper; exclude it *)
       let trained = gnn_setup ?quick c in
@@ -129,6 +133,7 @@ let sa_perf ?(moves = 120_000) ?(seed = 1) ?(alpha = 2.0) ?quick () =
       let params =
         { Annealing.Sa_placer.default_params with
           Annealing.Sa_placer.seed;
+          restarts;
           moves;
           perf = Some (Gnn_setup.phi_of_layout trained);
           perf_alpha = alpha;

@@ -50,11 +50,15 @@ type t = {
 val sa_default_moves : int
 
 val sa :
-  ?moves:int -> ?seed:int -> ?wl_weight:float -> ?area_weight:float -> unit ->
-  t
-(** Conventional simulated annealing at a converged move budget. *)
+  ?moves:int -> ?seed:int -> ?restarts:int -> ?wl_weight:float ->
+  ?area_weight:float -> unit -> t
+(** Conventional simulated annealing at a converged move budget.
+    [restarts > 1] runs independent anneals in parallel on the default
+    pool and keeps the best final cost. *)
 
-val sa_perf : ?moves:int -> ?seed:int -> ?alpha:float -> ?quick:bool -> unit -> t
+val sa_perf :
+  ?moves:int -> ?seed:int -> ?restarts:int -> ?alpha:float -> ?quick:bool ->
+  unit -> t
 (** Performance-driven SA [19]: GNN inference inside the cost. *)
 
 val prev : ?params:Prevwork.Prev_analytical.params -> unit -> t

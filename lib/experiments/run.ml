@@ -153,8 +153,12 @@ type method_row = {
   gnn_s : float;
 }
 
+(* The per-table hot fan-out: one independent placement per circuit,
+   spread over the default pool. Area/HPWL columns are deterministic
+   for a fixed seed whatever the worker count (see Pool's determinism
+   contract); only the runtime columns vary with scheduling. *)
 let run_method (m : Methods.t) names =
-  List.map
+  Pool.map_list (Pool.default ())
     (fun design ->
       let c = Circuits.Testcases.get_exn design in
       match m.Methods.run c with

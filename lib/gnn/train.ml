@@ -20,16 +20,37 @@ let bce phi y =
   let p = Float.max eps (Float.min (1.0 -. eps) phi) in
   -.((y *. log p) +. ((1.0 -. y) *. log (1.0 -. p)))
 
+(* Full-dataset inference, once per epoch: fanned out over the default
+   pool in fixed-size chunks. The chunking (not the worker count)
+   decides the float summation order, so the loss is deterministic for
+   any [--jobs]. *)
+let eval_chunk = 64
+
 let evaluate model samples =
-  let loss = ref 0.0 and correct = ref 0 in
-  List.iter
-    (fun s ->
-      let p = Model.predict model s.enc ~xs:s.xs ~ys:s.ys in
-      loss := !loss +. bce p s.label;
-      if (p > 0.5) = (s.label > 0.5) then incr correct)
-    samples;
-  let n = float_of_int (List.length samples) in
-  (!loss /. n, float_of_int !correct /. n)
+  let arr = Array.of_list samples in
+  let n = Array.length arr in
+  let n_chunks = (n + eval_chunk - 1) / eval_chunk in
+  let parts =
+    Pool.map (Pool.default ())
+      (fun ci ->
+        let hi = min n ((ci * eval_chunk) + eval_chunk) in
+        let loss = ref 0.0 and correct = ref 0 in
+        for i = ci * eval_chunk to hi - 1 do
+          let s = arr.(i) in
+          let p = Model.predict model s.enc ~xs:s.xs ~ys:s.ys in
+          loss := !loss +. bce p s.label;
+          if (p > 0.5) = (s.label > 0.5) then incr correct
+        done;
+        (!loss, !correct))
+      (Array.init n_chunks Fun.id)
+  in
+  let loss, correct =
+    Array.fold_left
+      (fun (l, c) (dl, dc) -> (l +. dl, c + dc))
+      (0.0, 0) parts
+  in
+  let nf = float_of_int n in
+  (loss /. nf, float_of_int correct /. nf)
 
 let train ?(epochs = 120) ?(batch = 16) ?(lr = 3e-3) ~rng model samples =
   let samples = Array.of_list samples in

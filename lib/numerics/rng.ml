@@ -55,3 +55,13 @@ let shuffle t a =
   done
 
 let split t = create (Int64.to_int (next_int64 t))
+
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  (* left-to-right, so child [i] is a function of (parent seed, i) only:
+     the contract parallel fan-outs rely on *)
+  let children = Array.make n t in
+  for i = 0 to n - 1 do
+    children.(i) <- split t
+  done;
+  children

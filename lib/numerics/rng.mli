@@ -25,4 +25,13 @@ val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
 
 val split : t -> t
-(** Independent child stream. *)
+(** Independent child stream: the child is seeded from the parent's
+    next output, so repeated splits give distinct, uncorrelated
+    streams and advance the parent deterministically. *)
+
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] child streams, split left-to-right — child [i]
+    depends only on the parent's state and [i], never on who consumes
+    which stream. This is the fan-out seeding used by parallel
+    restarts and dataset generation: pre-split serially, then hand one
+    stream to each task. *)

@@ -1,0 +1,69 @@
+(* Chase-Lev with both ends as seq-cst atomics and a fixed-size
+   circular buffer. The buffer cells themselves are plain (word-sized
+   option pointers, so no tearing): a thief only dereferences a cell
+   after observing [bottom] past it — the atomic read synchronises with
+   the owner's write — and only keeps it after winning the CAS on
+   [top]. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a option array;
+  mask : int;
+}
+
+let create ~capacity =
+  let cap =
+    let rec up n = if n >= capacity then n else up (2 * n) in
+    up 1
+  in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Array.make cap None;
+    mask = cap - 1;
+  }
+
+let push q v =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  if b - t > q.mask then failwith "Ws_deque.push: full";
+  q.buf.(b land q.mask) <- Some v;
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* already empty; restore the canonical empty state *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else if b > t then begin
+    let v = q.buf.(b land q.mask) in
+    q.buf.(b land q.mask) <- None;
+    v
+  end
+  else begin
+    (* last element: race the thieves for it *)
+    let won = Atomic.compare_and_set q.top t (t + 1) in
+    Atomic.set q.bottom (t + 1);
+    if won then begin
+      let v = q.buf.(b land q.mask) in
+      q.buf.(b land q.mask) <- None;
+      v
+    end
+    else None
+  end
+
+let rec steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let v = q.buf.(t land q.mask) in
+    if Atomic.compare_and_set q.top t (t + 1) then v else steal q
+  end
+
+let is_empty q = Atomic.get q.top >= Atomic.get q.bottom

@@ -1,0 +1,32 @@
+(** Chase-Lev work-stealing deque over a fixed-capacity circular
+    buffer.
+
+    One domain owns the deque and works on its bottom end ({!push},
+    {!pop}); any other domain may {!steal} from the top. All indices
+    are sequentially-consistent atomics, which is what makes the
+    three-way race on the last element (owner pop vs. two thieves)
+    resolve through the single CAS on [top].
+
+    The capacity is fixed at creation: the pool sizes each deque to its
+    batch, so the push-full case is a programming error, not a resize
+    path (growing the buffer under concurrent steals is the one subtle
+    part of Chase-Lev, and nothing here needs it). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Capacity is rounded up to a power of two, minimum 1. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only. @raise Failure when the deque holds [capacity]
+    elements. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed element, [None] when
+    empty. *)
+
+val steal : 'a t -> 'a option
+(** Any domain: take the oldest element. Retries internally on a lost
+    race; [None] means the deque was observed empty. *)
+
+val is_empty : 'a t -> bool

@@ -1,48 +1,62 @@
-(* One global collector; single-threaded like the rest of the repo.
-   Spans cost two clock reads and one hashtable update, counters a
-   field increment, so the placers keep them on unconditionally and the
-   sink decides whether anything is emitted. *)
+(* Domain-safe collector: every domain records into its own collector
+   (held in domain-local storage), so placers running under the domain
+   pool never contend or race. [capture] runs a thunk against a fresh
+   collector and returns what it recorded; [merge] folds a snapshot
+   into the calling domain's collector — the pool merges worker
+   snapshots in task order at join, which makes the merged aggregates
+   (and the sink output) independent of scheduling.
+
+   Spans cost two clock reads and one hashtable update, counters an
+   array increment behind a DLS lookup, so the placers keep them on
+   unconditionally and the sink decides whether anything is emitted. *)
 
 let now () = Unix.gettimeofday ()
 
-(* ----- counters and gauges (interned handles) ----- *)
+(* ----- interned handles -----
 
-module Counter = struct
-  type t = { c_name : string; mutable c_value : int }
+   Handles are global and immutable: a name is interned once (under a
+   mutex, so any domain may mint handles) and maps to a small integer
+   id. Values live in the per-domain collector, indexed by id. *)
 
-  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+let registry_lock = Mutex.create ()
 
-  let make name =
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
+type registry = {
+  mutable names : string array;  (* id -> name; first [n_ids] are live *)
+  mutable n_ids : int;
+  index : (string, int) Hashtbl.t;
+}
+
+let new_registry () =
+  { names = Array.make 16 ""; n_ids = 0; index = Hashtbl.create 32 }
+
+let intern r name =
+  Mutex.lock registry_lock;
+  let id =
+    match Hashtbl.find_opt r.index name with
+    | Some id -> id
     | None ->
-        let c = { c_name = name; c_value = 0 } in
-        Hashtbl.add registry name c;
-        c
+        let id = r.n_ids in
+        if id >= Array.length r.names then begin
+          let bigger = Array.make (2 * Array.length r.names) "" in
+          Array.blit r.names 0 bigger 0 id;
+          r.names <- bigger
+        end;
+        r.names.(id) <- name;
+        r.n_ids <- id + 1;
+        Hashtbl.add r.index name id;
+        id
+  in
+  Mutex.unlock registry_lock;
+  id
 
-  let incr c = c.c_value <- c.c_value + 1
-  let add c n = c.c_value <- c.c_value + n
-  let value c = c.c_value
-  let name c = c.c_name
-end
+let registry_entries r =
+  Mutex.lock registry_lock;
+  let l = Array.to_list (Array.sub r.names 0 r.n_ids) in
+  Mutex.unlock registry_lock;
+  l
 
-module Gauge = struct
-  type t = { g_name : string; mutable g_value : float }
-
-  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
-
-  let make name =
-    match Hashtbl.find_opt registry name with
-    | Some g -> g
-    | None ->
-        let g = { g_name = name; g_value = nan } in
-        Hashtbl.add registry name g;
-        g
-
-  let set g v = g.g_value <- v
-  let value g = g.g_value
-  let name g = g.g_name
-end
+let counter_registry = new_registry ()
+let gauge_registry = new_registry ()
 
 type span = {
   path : string list;
@@ -126,42 +140,123 @@ let jsonl oc =
   in
   { on_span; on_flush }
 
-let current_sink = ref noop
-let set_sink s = current_sink := s
-
-(* ----- the collector ----- *)
+(* ----- the per-domain collector ----- *)
 
 type agg = { mutable a_count : int; mutable a_total : float }
 
-let span_aggs : (string, agg) Hashtbl.t = Hashtbl.create 32
-let finished : span list ref = ref []
-let stack : string list ref = ref []  (* innermost first *)
+type collector = {
+  mutable c_counters : int array;  (* by counter id *)
+  mutable c_gauges : float array;  (* by gauge id; nan = unset *)
+  c_span_aggs : (string, agg) Hashtbl.t;
+  mutable c_finished : span list;  (* newest first *)
+  mutable c_stack : string list;  (* innermost first *)
+  mutable c_sink : sink;
+}
+
+let new_collector () =
+  {
+    c_counters = [||];
+    c_gauges = [||];
+    c_span_aggs = Hashtbl.create 32;
+    c_finished = [];
+    c_stack = [];
+    c_sink = noop;
+  }
+
+let collector_key : collector Domain.DLS.key =
+  Domain.DLS.new_key new_collector
+
+let cur () = Domain.DLS.get collector_key
+
+let counter_slot col id =
+  let a = col.c_counters in
+  if id < Array.length a then a
+  else begin
+    let bigger = Array.make (max 16 (2 * (id + 1))) 0 in
+    Array.blit a 0 bigger 0 (Array.length a);
+    col.c_counters <- bigger;
+    bigger
+  end
+
+let gauge_slot col id =
+  let a = col.c_gauges in
+  if id < Array.length a then a
+  else begin
+    let bigger = Array.make (max 16 (2 * (id + 1))) nan in
+    Array.blit a 0 bigger 0 (Array.length a);
+    col.c_gauges <- bigger;
+    bigger
+  end
+
+module Counter = struct
+  type t = { c_id : int; c_name : string }
+
+  let make name = { c_id = intern counter_registry name; c_name = name }
+
+  let add c n =
+    let col = cur () in
+    let a = counter_slot col c.c_id in
+    a.(c.c_id) <- a.(c.c_id) + n
+
+  let incr c = add c 1
+
+  let value c =
+    let a = (cur ()).c_counters in
+    if c.c_id < Array.length a then a.(c.c_id) else 0
+
+  let name c = c.c_name
+end
+
+module Gauge = struct
+  type t = { g_id : int; g_name : string }
+
+  let make name = { g_id = intern gauge_registry name; g_name = name }
+
+  let set g v =
+    let col = cur () in
+    let a = gauge_slot col g.g_id in
+    a.(g.g_id) <- v
+
+  let value g =
+    let a = (cur ()).c_gauges in
+    if g.g_id < Array.length a then a.(g.g_id) else nan
+
+  let name g = g.g_name
+end
+
+let set_sink s = (cur ()).c_sink <- s
 
 let reset () =
-  Hashtbl.reset span_aggs;
-  finished := [];
-  Hashtbl.iter (fun _ c -> c.Counter.c_value <- 0) Counter.registry;
-  Hashtbl.iter (fun _ g -> g.Gauge.g_value <- nan) Gauge.registry
+  let col = cur () in
+  Hashtbl.reset col.c_span_aggs;
+  col.c_finished <- [];
+  col.c_stack <- [];
+  Array.fill col.c_counters 0 (Array.length col.c_counters) 0;
+  Array.fill col.c_gauges 0 (Array.length col.c_gauges) nan
 
 module Span = struct
-  let record name t_start dur_s path =
-    (match Hashtbl.find_opt span_aggs name with
+  let record col name t_start dur_s path =
+    (match Hashtbl.find_opt col.c_span_aggs name with
     | Some a ->
         a.a_count <- a.a_count + 1;
         a.a_total <- a.a_total +. dur_s
-    | None -> Hashtbl.add span_aggs name { a_count = 1; a_total = dur_s });
+    | None -> Hashtbl.add col.c_span_aggs name { a_count = 1; a_total = dur_s });
     let s = { path; span_name = name; t_start; dur_s } in
-    finished := s :: !finished;
-    !current_sink.on_span s
+    col.c_finished <- s :: col.c_finished;
+    col.c_sink.on_span s
 
   let timed ~name f =
-    let path = List.rev !stack in
-    stack := name :: !stack;
+    let col = cur () in
+    let path = List.rev col.c_stack in
+    col.c_stack <- name :: col.c_stack;
     let t0 = now () in
     let finish () =
       let dur = now () -. t0 in
-      stack := (match !stack with _ :: tl -> tl | [] -> []);
-      record name t0 dur path;
+      (* re-read the collector: [capture] may not swap it mid-span, but
+         being defensive here costs one DLS load *)
+      let col = cur () in
+      col.c_stack <- (match col.c_stack with _ :: tl -> tl | [] -> []);
+      record col name t0 dur path;
       dur
     in
     match f () with
@@ -174,34 +269,89 @@ module Span = struct
 end
 
 let span_total name =
-  match Hashtbl.find_opt span_aggs name with
+  match Hashtbl.find_opt (cur ()).c_span_aggs name with
   | Some a -> a.a_total
   | None -> 0.0
 
 let span_count name =
-  match Hashtbl.find_opt span_aggs name with
+  match Hashtbl.find_opt (cur ()).c_span_aggs name with
   | Some a -> a.a_count
   | None -> 0
 
-let spans () = List.rev !finished
+let spans () = List.rev (cur ()).c_finished
 
 let sorted_by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l
 
 let counters () =
-  Hashtbl.fold (fun k c acc -> (k, c.Counter.c_value) :: acc) Counter.registry
-    []
+  List.map
+    (fun name -> (name, Counter.value (Counter.make name)))
+    (registry_entries counter_registry)
   |> sorted_by_name
 
 let gauges () =
-  Hashtbl.fold (fun k g acc -> (k, g.Gauge.g_value) :: acc) Gauge.registry []
+  List.map
+    (fun name -> (name, Gauge.value (Gauge.make name)))
+    (registry_entries gauge_registry)
   |> sorted_by_name
 
 let flush () =
+  let col = cur () in
   let r_spans =
     Hashtbl.fold
       (fun name a acc -> (name, a.a_count, a.a_total) :: acc)
-      span_aggs []
+      col.c_span_aggs []
     |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
   in
-  !current_sink.on_flush
+  col.c_sink.on_flush
     { r_spans; r_counters = counters (); r_gauges = gauges () }
+
+(* ----- capture / merge (the pool's join protocol) ----- *)
+
+type snapshot = collector
+
+let capture f =
+  let parent = cur () in
+  let fresh = new_collector () in
+  Domain.DLS.set collector_key fresh;
+  match f () with
+  | r ->
+      Domain.DLS.set collector_key parent;
+      (r, fresh)
+  | exception e ->
+      Domain.DLS.set collector_key parent;
+      raise e
+
+let merge snap =
+  let col = cur () in
+  Array.iteri
+    (fun id v ->
+      if v <> 0 then begin
+        let a = counter_slot col id in
+        a.(id) <- a.(id) + v
+      end)
+    snap.c_counters;
+  Array.iteri
+    (fun id v ->
+      if not (Float.is_nan v) then begin
+        let a = gauge_slot col id in
+        a.(id) <- v
+      end)
+    snap.c_gauges;
+  Hashtbl.iter
+    (fun name (a : agg) ->
+      match Hashtbl.find_opt col.c_span_aggs name with
+      | Some dst ->
+          dst.a_count <- dst.a_count + a.a_count;
+          dst.a_total <- dst.a_total +. a.a_total
+      | None ->
+          Hashtbl.add col.c_span_aggs name
+            { a_count = a.a_count; a_total = a.a_total })
+    snap.c_span_aggs;
+  (* replay the captured spans through the parent's sink, oldest first,
+     so a jsonl trace of a parallel run is ordered by task, not by
+     scheduling accident *)
+  List.iter
+    (fun s ->
+      col.c_finished <- s :: col.c_finished;
+      col.c_sink.on_span s)
+    (List.rev snap.c_finished)

@@ -1,12 +1,17 @@
 (** Runtime telemetry for the placer families: hierarchical spans,
     monotonic counters, float gauges, and pluggable sinks.
 
-    One global collector accumulates per-run aggregates (span totals by
-    name, counter and gauge values) and a trace of finished spans.
-    Collection is always on and cheap — a span costs two clock reads
-    and one hash-table update — so every [runtime_s] field in the repo
-    can be derived from this module's single clock source. Output is
-    controlled by the installed sink: the default {!noop} sink emits
+    One collector {e per domain} accumulates per-run aggregates (span
+    totals by name, counter and gauge values) and a trace of finished
+    spans; handles ([Counter.t], [Gauge.t]) are interned globally and
+    can be shared freely across domains, but the values they address
+    are domain-local, so concurrent placer runs never race. The domain
+    pool stitches the per-domain views back together with {!capture}
+    and {!merge}. Collection is always on and cheap — a span costs two
+    clock reads and one hash-table update — so every [runtime_s] field
+    in the repo can be derived from this module's single clock source.
+    Output is controlled by the installed sink (also domain-local; a
+    fresh domain starts with {!noop}): the default {!noop} sink emits
     nothing, {!summary} pretty-prints an aggregate report on {!flush},
     and {!jsonl} streams one JSON object per span (plus counters and
     gauges on {!flush}) for the bench harness. *)
@@ -95,3 +100,27 @@ val gauges : unit -> (string * float) list
 
 val flush : unit -> unit
 (** Emit the aggregate report through the installed sink. *)
+
+(** {1 Parallel runs}
+
+    The join protocol used by [Pool]: a worker runs each task under
+    {!capture}, and the caller {!merge}s the returned snapshots in task
+    order, so the merged collector state — and anything the sink emits
+    — is identical whether the tasks ran serially or were stolen by
+    other domains. *)
+
+type snapshot
+(** Everything one {!capture} recorded: span aggregates and trace,
+    counter and gauge values. *)
+
+val capture : (unit -> 'a) -> 'a * snapshot
+(** Run the thunk against a fresh, empty collector (with a {!noop}
+    sink) and return what it recorded; the calling domain's collector
+    is untouched and restored afterwards, even on raise (the partial
+    snapshot of a raising thunk is discarded). *)
+
+val merge : snapshot -> unit
+(** Fold a snapshot into the current domain's collector: counters add,
+    span aggregates add, gauges are last-write-wins (unset gauges do
+    not overwrite), and the captured spans are appended to the trace
+    and replayed, oldest first, through the current sink. *)

@@ -51,6 +51,68 @@ let rng_tests =
         let sorted = Array.copy a in
         Array.sort compare sorted;
         Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted);
+    Alcotest.test_case "split_n fan-out: distinct, uncorrelated children"
+      `Quick (fun () ->
+        (* the pool's seeding discipline: 1000-way fan-out from one
+           master, each child must look like an independent stream *)
+        let n = 1000 in
+        let kids = R.split_n (R.create 2022) n in
+        let firsts = Array.map R.float kids in
+        let seconds = Array.map R.float kids in
+        (* no seed collisions across the fan-out *)
+        let tbl = Hashtbl.create n in
+        Array.iter
+          (fun f ->
+            Alcotest.(check bool) "first draws collide" false
+              (Hashtbl.mem tbl f);
+            Hashtbl.add tbl f ())
+          firsts;
+        (* correlation helper over paired samples *)
+        let corr xs ys =
+          let m = float_of_int (Array.length xs) in
+          let mean a = Array.fold_left ( +. ) 0.0 a /. m in
+          let mx = mean xs and my = mean ys in
+          let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+          Array.iteri
+            (fun i x ->
+              let dx = x -. mx and dy = ys.(i) -. my in
+              sxy := !sxy +. (dx *. dy);
+              sxx := !sxx +. (dx *. dx);
+              syy := !syy +. (dy *. dy))
+            xs;
+          !sxy /. sqrt (!sxx *. !syy)
+        in
+        (* adjacent children (the streams handed to neighbouring
+           parallel tasks) must not track each other *)
+        let shifted = Array.init n (fun i -> firsts.((i + 1) mod n)) in
+        Alcotest.(check bool) "adjacent children uncorrelated" true
+          (abs_float (corr firsts shifted) < 0.1);
+        (* within one child, successive draws must not track either *)
+        Alcotest.(check bool) "first/second draws uncorrelated" true
+          (abs_float (corr firsts seconds) < 0.1);
+        (* aggregate uniformity of the fan-out's first draws *)
+        let mean = Array.fold_left ( +. ) 0.0 firsts /. float_of_int n in
+        Alcotest.(check bool) "mean near 0.5" true
+          (abs_float (mean -. 0.5) < 0.05);
+        let bins = Array.make 10 0 in
+        Array.iter
+          (fun f ->
+            let b = min 9 (int_of_float (f *. 10.0)) in
+            bins.(b) <- bins.(b) + 1)
+          firsts;
+        Array.iteri
+          (fun b cnt ->
+            Alcotest.(check bool)
+              (Printf.sprintf "bin %d populated evenly" b)
+              true
+              (cnt > 50 && cnt < 150))
+          bins;
+        (* the fan-out itself is deterministic: same master seed, same
+           children, left to right *)
+        let again = Array.map R.float (R.split_n (R.create 2022) n) in
+        Alcotest.(check bool) "reproducible" true (again = firsts);
+        Alcotest.(check int) "split_n 0 is empty" 0
+          (Array.length (R.split_n (R.create 1) 0)));
   ]
 
 let fft_tests =
