@@ -8,6 +8,8 @@
      main.exe table3 fig5     run a subset
      main.exe --jobs N        domains for the parallel fan-outs
                               (default: Domain.recommended_domain_count)
+     main.exe --check-eval N  SA debug: cross-check the incremental cost
+                              engine every N evaluations (0 = off)
      main.exe --micro         run the Bechamel kernel benchmarks
 *)
 
@@ -235,6 +237,24 @@ let () =
   in
   let args = strip_jobs args in
   Pool.set_default_jobs !jobs;
+  (* "--check-eval N" follows the same pattern: SA debug cross-check *)
+  let check_eval = ref 0 in
+  let rec strip_check_eval = function
+    | "--check-eval" :: n :: tl -> (
+        match int_of_string_opt n with
+        | Some k when k >= 0 ->
+            check_eval := k;
+            strip_check_eval tl
+        | Some _ | None ->
+            Fmt.epr "--check-eval expects a non-negative integer@.";
+            exit 1)
+    | [ "--check-eval" ] ->
+        Fmt.epr "--check-eval expects a non-negative integer@.";
+        exit 1
+    | a :: tl -> a :: strip_check_eval tl
+    | [] -> []
+  in
+  let args = strip_check_eval args in
   let quick = List.mem "--quick" args in
   let micro_mode = List.mem "--micro" args in
   let wanted =
@@ -245,6 +265,7 @@ let () =
     let cfg =
       if quick then Experiments.Run.quick_cfg else Experiments.Run.default_cfg
     in
+    let cfg = { cfg with Experiments.Run.check_eval = !check_eval } in
     let to_run =
       if wanted = [] then all_experiments
       else List.filter (fun (name, _) -> List.mem name wanted) all_experiments

@@ -55,6 +55,8 @@ let report circuit (o : M.outcome) =
   if s.M.gnn_s > 0.0 then
     Fmt.pr "gnn setup : %.2f s (offline; excluded from runtime)@." s.M.gnn_s;
   Fmt.pr "iterations: %d (%d objective evals)@." s.M.iterations s.M.f_evals;
+  if not (Float.is_nan s.M.sa_best_cost) then
+    Fmt.pr "sa cost   : %.6f (best annealing cost)@." s.M.sa_best_cost;
   let viol = Netlist.Checks.all layout in
   Fmt.pr "legality  : %s@."
     (if viol = [] then "clean"
@@ -68,8 +70,8 @@ let report circuit (o : M.outcome) =
     (fun m -> Fmt.pr "  %a@." Perfsim.Spec.pp_metric m)
     e.Perfsim.Fom.metrics
 
-let run_cmd circuit_name kind perf moves seed restarts jobs draw quick trace
-    metrics_out =
+let run_cmd circuit_name kind perf moves seed restarts check_eval jobs draw
+    quick trace metrics_out =
   Pool.set_default_jobs jobs;
   match Circuits.Testcases.get circuit_name with
   | None ->
@@ -79,8 +81,9 @@ let run_cmd circuit_name kind perf moves seed restarts jobs draw quick trace
   | Some circuit -> (
       let m =
         match ((kind : M.kind), perf) with
-        | M.Sa, false -> M.sa ~moves ~seed ~restarts ()
-        | M.Sa, true -> M.sa_perf ~moves ~seed ~restarts ~quick ()
+        | M.Sa, false -> M.sa ~moves ~seed ~restarts ~check_every:check_eval ()
+        | M.Sa, true ->
+            M.sa_perf ~moves ~seed ~restarts ~check_every:check_eval ~quick ()
         | M.Prev, false -> M.prev ()
         | M.Prev, true -> M.prev_perf ~quick ()
         | M.Eplace, false -> M.eplace_a ()
@@ -147,6 +150,13 @@ let moves_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
 
+let check_eval_arg =
+  Arg.(value & opt int 0
+       & info [ "check-eval" ] ~docv:"N"
+           ~doc:"SA debug mode: cross-check the incremental cost engine \
+                 against a full recomputation every $(docv) evaluations \
+                 and abort on any bit-level mismatch. 0 disables.")
+
 let restarts_arg =
   Arg.(value & opt int 1
        & info [ "restarts" ] ~docv:"N"
@@ -185,7 +195,7 @@ let cmd =
     (Cmd.info "analog-place" ~doc)
     Term.(
       const run_cmd $ circuit_arg $ placer_arg $ perf_arg $ moves_arg
-      $ seed_arg $ restarts_arg $ jobs_arg $ draw_arg $ quick_arg $ trace_arg
-      $ metrics_out_arg)
+      $ seed_arg $ restarts_arg $ check_eval_arg $ jobs_arg $ draw_arg
+      $ quick_arg $ trace_arg $ metrics_out_arg)
 
 let () = exit (Cmd.eval' cmd)

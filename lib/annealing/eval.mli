@@ -1,0 +1,97 @@
+(** Incremental cost engine for the sequence-pair annealer.
+
+    The engine owns a mutable position arena (a {!Netlist.Layout.t}
+    whose arrays are updated in place) and a per-net HPWL cache keyed
+    off the {!Netlist.Netview} device→net incidence index. Each
+    {!cost} call repacks the sequence pair with the O(n log n)
+    {!Seqpair.pack_into} into reusable scratch, rewrites only the
+    islands whose packed position (or content) changed, and
+    re-evaluates only the nets incident to those islands; the total is
+    re-summed from the cache in net-id order.
+
+    {b Bit-equality contract}: every number the engine produces —
+    per-move cost, accepted snapshots, the final layout — is
+    bit-identical to the historical full recomputation
+    (quadratic {!Seqpair.pack} + fresh layout + {!Netlist.Layout.hpwl}),
+    because maxima are order-insensitive, unchanged per-net spans are
+    cached verbatim, and the cache is re-summed in the same net order
+    the full fold uses. [check_every] turns on a debug cross-check that
+    asserts this invariant against {!full_cost} at runtime.
+
+    Telemetry: [sa.cache_hits] counts active nets served from the
+    cache, [sa.full_repacks] counts from-scratch evaluations (the
+    constructor's initial one and every debug cross-check). *)
+
+(** Annealer search state: rigid symmetry islands floorplanned by a
+    sequence pair. [widths]/[heights] are per-island and stay in sync
+    with [islands] (mirroring preserves sizes). *)
+type state = {
+  circuit : Netlist.Circuit.t;
+  mutable islands : Island.t array;
+  sp : Seqpair.t;
+  widths : float array;
+  heights : float array;
+}
+
+val make_state : Numerics.Rng.t -> Netlist.Circuit.t -> state
+(** Decompose into islands and draw a random initial sequence pair. *)
+
+(** The cost blend: normalised area + HPWL, soft ordering penalty, and
+    the optional GNN surrogate of the performance-driven variant. *)
+type objective = {
+  area_weight : float;
+  wl_weight : float;
+  order_penalty : float;
+  perf : (Netlist.Layout.t -> float) option;
+  perf_alpha : float;
+}
+
+type t
+
+exception Check_failed of string
+(** Raised by the [check_every] debug mode when the incremental cost
+    disagrees with the from-scratch recomputation. *)
+
+val make : ?check_every:int -> objective -> state -> t
+(** Build the engine and evaluate the initial configuration once (a
+    full repack), capturing the cost normalisation (initial area, HPWL
+    and die span) exactly as the historical annealer did.
+    [check_every = n > 0] cross-checks {!cost} against {!full_cost}
+    every [n] evaluations and raises {!Check_failed} on any mismatch;
+    [0] (the default) disables the check. *)
+
+val state : t -> state
+val objective : t -> objective
+
+val propose : t -> Numerics.Rng.t -> unit
+(** Apply one random move (sequence-pair swap / insert or island
+    mirror) to the state, remembering how to undo it. Draws exactly the
+    random variates the historical annealer drew. *)
+
+val commit : t -> unit
+(** Accept the pending move (forgets the undo). *)
+
+val revert : t -> unit
+(** Undo the pending move. The caches are {e not} rolled back — they
+    describe the last evaluated configuration and reconverge on the
+    next {!cost} — so revert is O(islands). *)
+
+val cost : t -> float
+(** Evaluate the current state incrementally. *)
+
+val full_cost : t -> float
+(** The same cost recomputed from scratch through the reference path
+    (quadratic pack, fresh layout, {!Netlist.Layout.hpwl}); bypasses
+    and leaves untouched every cache. Exposed for the debug cross-check
+    and the property tests. *)
+
+val snapshot : t -> Netlist.Layout.t
+(** Immutable copy of the arena at the last evaluated configuration —
+    the layout the historical [realize] would have built. *)
+
+val flush_counters : t -> unit
+(** Publish the cache hits accumulated since the last flush to the
+    [sa.cache_hits] telemetry counter. The engine batches them locally
+    so the per-move path stays free of collector traffic; call this
+    once per anneal (on the domain that ran it, so the pool's
+    merge-in-task-order contract applies as usual). *)

@@ -2,7 +2,9 @@
    the representative of the classical approach the paper compares
    against. The cost blends normalised area and HPWL (plus an optional
    GNN performance term for the performance-driven variant [19]), with
-   a soft penalty for ordering chains across islands. *)
+   a soft penalty for ordering chains across islands. All evaluation
+   goes through the incremental {!Eval} engine; this module only owns
+   the schedule (temperature, acceptance, restarts). *)
 
 type params = {
   seed : int;
@@ -15,6 +17,7 @@ type params = {
   order_penalty : float;
   perf : (Netlist.Layout.t -> float) option;
   perf_alpha : float;
+  check_every : int;  (* cross-check incremental cost every N evals *)
 }
 
 let default_params =
@@ -29,113 +32,23 @@ let default_params =
     order_penalty = 40.0;
     perf = None;
     perf_alpha = 0.0;
+    check_every = 0;
   }
-
-type stats = {
-  evals : int;
-  accepted : int;
-  runtime_s : float;
-  best_cost : float;
-}
-
-type state = {
-  circuit : Netlist.Circuit.t;
-  mutable islands : Island.t array;
-  sp : Seqpair.t;
-  widths : float array;  (* per island, kept in sync with islands *)
-  heights : float array;
-}
-
-let make_state rng c =
-  let islands = Array.of_list (Island.decompose c) in
-  let n = Array.length islands in
-  {
-    circuit = c;
-    islands;
-    sp = Seqpair.random rng n;
-    widths = Array.map (fun (i : Island.t) -> i.Island.w) islands;
-    heights = Array.map (fun (i : Island.t) -> i.Island.h) islands;
-  }
-
-(* Realise the current state as a device-level layout. *)
-let realize st =
-  let xs, ys = Seqpair.pack st.sp ~widths:st.widths ~heights:st.heights in
-  let l = Netlist.Layout.create st.circuit in
-  Array.iteri
-    (fun b (isl : Island.t) ->
-      List.iter
-        (fun (p : Island.placed_dev) ->
-          Netlist.Layout.set l p.Island.dev
-            ~x:(xs.(b) +. p.Island.dx)
-            ~y:(ys.(b) +. p.Island.dy);
-          Netlist.Layout.set_orient l p.Island.dev p.Island.orient)
-        isl.Island.devices)
-    st.islands;
-  l
-
-let order_violation_cost l =
-  List.fold_left
-    (fun acc v ->
-      match v with
-      | Netlist.Checks.Ordering { gap; _ } -> acc +. Float.max 0.0 (-.gap)
-      | Netlist.Checks.Overlap _ | Netlist.Checks.Symmetry _
-      | Netlist.Checks.Alignment _ -> acc)
-    0.0
-    (Netlist.Checks.ordering_violations l)
-
-type cost_ctx = {
-  params : params;
-  area0 : float;
-  hpwl0 : float;
-  span0 : float;
-}
-
-let cost ctx st =
-  let l = realize st in
-  let area = Netlist.Layout.area l in
-  let hpwl = Netlist.Layout.hpwl l in
-  let base =
-    (ctx.params.area_weight *. (area /. ctx.area0))
-    +. (ctx.params.wl_weight *. (hpwl /. ctx.hpwl0))
-    +. (ctx.params.order_penalty *. (order_violation_cost l /. ctx.span0))
-  in
-  match ctx.params.perf with
-  | None -> base
-  | Some phi -> base +. (ctx.params.perf_alpha *. phi l)
-
-(* Propose a random move; returns an undo closure. *)
-let propose rng st =
-  let n = Array.length st.islands in
-  match Numerics.Rng.int rng 5 with
-  | 0 ->
-      let saved = Array.copy st.sp.Seqpair.pos in
-      Seqpair.move_swap_pos st.sp rng;
-      fun () -> Array.blit saved 0 st.sp.Seqpair.pos 0 n
-  | 1 ->
-      let saved = Array.copy st.sp.Seqpair.neg in
-      Seqpair.move_swap_neg st.sp rng;
-      fun () -> Array.blit saved 0 st.sp.Seqpair.neg 0 n
-  | 2 ->
-      let sp = Array.copy st.sp.Seqpair.pos in
-      let sn = Array.copy st.sp.Seqpair.neg in
-      Seqpair.move_swap_both st.sp rng;
-      fun () ->
-        Array.blit sp 0 st.sp.Seqpair.pos 0 n;
-        Array.blit sn 0 st.sp.Seqpair.neg 0 n
-  | 3 ->
-      let saved = Array.copy st.sp.Seqpair.pos in
-      Seqpair.move_insert st.sp rng;
-      fun () -> Array.blit saved 0 st.sp.Seqpair.pos 0 n
-  | _ ->
-      let b = Numerics.Rng.int rng n in
-      let old = st.islands.(b) in
-      st.islands.(b) <- Island.mirror_x old;
-      fun () -> st.islands.(b) <- old
 
 let moves_counter = Telemetry.Counter.make "sa.moves"
 let accepted_counter = Telemetry.Counter.make "sa.accepted"
 let rejected_counter = Telemetry.Counter.make "sa.rejected"
 let evals_counter = Telemetry.Counter.make "sa.evals"
+let best_cost_gauge = Telemetry.Gauge.make "sa.best_cost"
+
+let objective_of_params (p : params) : Eval.objective =
+  {
+    Eval.area_weight = p.area_weight;
+    wl_weight = p.wl_weight;
+    order_penalty = p.order_penalty;
+    perf = p.perf;
+    perf_alpha = p.perf_alpha;
+  }
 
 (* One full annealing run on its own random stream. The search is SA's
    "global placement" phase; the final snapshot normalisation is its
@@ -143,76 +56,72 @@ let evals_counter = Telemetry.Counter.make "sa.evals"
    across placer families. *)
 let anneal ~params ~rng (c : Netlist.Circuit.t) =
   Telemetry.Span.with_ ~name:"gp" (fun () ->
-  let st = make_state rng c in
-  (* cost normalisation from the initial state *)
-  let l0 = realize st in
-  let area0 = Float.max 1e-9 (Netlist.Layout.area l0) in
-  let hpwl0 = Float.max 1e-9 (Netlist.Layout.hpwl l0) in
-  let b0 = Netlist.Layout.die_bbox l0 in
-  let span0 =
-    Float.max 1.0
-      (Float.max (Geometry.Rect.width b0) (Geometry.Rect.height b0))
+  let st = Eval.make_state rng c in
+  let eng =
+    Eval.make ~check_every:params.check_every (objective_of_params params) st
   in
-  let ctx = { params; area0; hpwl0; span0 } in
-  let evals = ref 0 in
-  let accepted = ref 0 in
-  let cost_of st =
-    incr evals;
-    Telemetry.Counter.incr evals_counter;
-    cost ctx st
+  (* counters are batched locally and published once per anneal: the
+     totals the collector merges are identical, and the per-move path
+     stays free of collector lookups *)
+  let n_evals = ref 0 and n_accepted = ref 0 and n_rejected = ref 0 in
+  let cost_of () =
+    incr n_evals;
+    Eval.cost eng
   in
-  let current = ref (cost_of st) in
+  let current = ref (cost_of ()) in
   let best = ref !current in
-  let best_snapshot = ref (realize st) in
+  let best_snapshot = ref (Eval.snapshot eng) in
   (* initial temperature from average uphill delta over a probe walk *)
   let probe = 40 in
   let uphill = ref 0.0 and n_up = ref 0 in
   for _ = 1 to probe do
-    let undo = propose rng st in
-    let c' = cost_of st in
+    Eval.propose eng rng;
+    let c' = cost_of () in
     if c' > !current then begin
       uphill := !uphill +. (c' -. !current);
       incr n_up
     end;
-    undo ()
+    Eval.revert eng
   done;
   let t0 =
     let avg = if !n_up = 0 then 0.05 else !uphill /. float_of_int !n_up in
     -.avg /. log params.accept0
   in
   let temp = ref (Float.max 1e-6 t0) in
-  let per_temp =
-    max 60 (14 * Array.length st.islands * Array.length st.islands)
-  in
+  let n_islands = Array.length (Eval.state eng).Eval.islands in
+  let per_temp = max 60 (14 * n_islands * n_islands) in
   let total = ref 0 in
   while !total < params.moves do
     let upto = min params.moves (!total + per_temp) in
     while !total < upto do
       incr total;
-      Telemetry.Counter.incr moves_counter;
-      let undo = propose rng st in
-      let c' = cost_of st in
+      Eval.propose eng rng;
+      let c' = cost_of () in
       let dc = c' -. !current in
       if dc <= 0.0 || Numerics.Rng.float rng < exp (-.dc /. !temp) then begin
         current := c';
-        incr accepted;
-        Telemetry.Counter.incr accepted_counter;
+        Eval.commit eng;
+        incr n_accepted;
         if c' < !best then begin
           best := c';
-          best_snapshot := realize st
+          best_snapshot := Eval.snapshot eng
         end
       end
       else begin
-        Telemetry.Counter.incr rejected_counter;
-        undo ()
+        incr n_rejected;
+        Eval.revert eng
       end
     done;
     temp := !temp *. params.cooling
   done;
-  (!evals, !accepted, !best, !best_snapshot))
+  Telemetry.Counter.add moves_counter !total;
+  Telemetry.Counter.add evals_counter !n_evals;
+  Telemetry.Counter.add accepted_counter !n_accepted;
+  Telemetry.Counter.add rejected_counter !n_rejected;
+  Eval.flush_counters eng;
+  (!best, !best_snapshot))
 
 let place ?(params = default_params) (c : Netlist.Circuit.t) =
-  let t_start = Telemetry.now () in
   let runs =
     if params.restarts <= 1 then
       (* single restart keeps the historical stream: the seed feeds the
@@ -229,22 +138,11 @@ let place ?(params = default_params) (c : Netlist.Circuit.t) =
   let best = ref runs.(0) in
   Array.iter
     (fun r ->
-      let _, _, cost, _ = r and _, _, best_cost, _ = !best in
+      let cost, _ = r and best_cost, _ = !best in
       if cost < best_cost then best := r)
     runs;
-  let _, _, best_cost, best_layout = !best in
-  let total_evals =
-    Array.fold_left (fun acc (e, _, _, _) -> acc + e) 0 runs
-  in
-  let total_accepted =
-    Array.fold_left (fun acc (_, a, _, _) -> acc + a) 0 runs
-  in
-  let l = best_layout in
-  Telemetry.Span.with_ ~name:"dp" (fun () -> Netlist.Layout.normalize l);
-  ( l,
-    {
-      evals = total_evals;
-      accepted = total_accepted;
-      runtime_s = Telemetry.now () -. t_start;
-      best_cost;
-    } )
+  let best_cost, best_layout = !best in
+  Telemetry.Gauge.set best_cost_gauge best_cost;
+  Telemetry.Span.with_ ~name:"dp" (fun () ->
+      Netlist.Layout.normalize best_layout);
+  (best_layout, best_cost)

@@ -1,6 +1,12 @@
 (** Simulated-annealing analog placer (symmetry islands + sequence
     pair): the classical baseline of the paper's comparison, in both
-    its conventional and performance-driven [19] forms. *)
+    its conventional and performance-driven [19] forms.
+
+    Every cost evaluation goes through the incremental {!Eval} engine;
+    this module owns the annealing schedule, acceptance and restart
+    fan-out. Progress is reported through telemetry: counters
+    [sa.moves], [sa.accepted], [sa.rejected], [sa.evals],
+    [sa.cache_hits], [sa.full_repacks] and gauge [sa.best_cost]. *)
 
 type params = {
   seed : int;
@@ -18,18 +24,15 @@ type params = {
   perf : (Netlist.Layout.t -> float) option;
       (** GNN surrogate Phi for the performance-driven variant *)
   perf_alpha : float;
+  check_every : int;
+      (** debug: cross-check the incremental cost against a full
+          recomputation every N evaluations ({!Eval.Check_failed} on
+          mismatch); [0] — the default — disables the check *)
 }
 
 val default_params : params
 
-type stats = {
-  evals : int;  (** summed over restarts *)
-  accepted : int;  (** summed over restarts *)
-  runtime_s : float;  (** wall time of the whole (parallel) run *)
-  best_cost : float;
-}
-
-val place : ?params:params -> Netlist.Circuit.t -> Netlist.Layout.t * stats
-(** Returns the best layout found (normalised to the origin). Symmetry
-    and alignment hold by construction; ordering chains are enforced by
-    penalty. *)
+val place : ?params:params -> Netlist.Circuit.t -> Netlist.Layout.t * float
+(** Returns the best layout found (normalised to the origin) and its
+    cost. Symmetry and alignment hold by construction; ordering chains
+    are enforced by penalty. *)

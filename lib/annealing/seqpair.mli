@@ -10,8 +10,23 @@ val n_blocks : t -> int
 
 val pack : t -> widths:float array -> heights:float array ->
   float array * float array
-(** Lower-left block coordinates of the packed floorplan.
+(** Lower-left block coordinates of the packed floorplan, by the direct
+    O(n{^2}) longest-path evaluation — the allocation-heavy reference
+    that [pack_into] is cross-checked against.
     @raise Invalid_argument on size mismatch. *)
+
+type packer
+(** Reusable scratch (inverse permutation, Fenwick tree) for the
+    O(n log n) packer, sized for a fixed block count. *)
+
+val packer : int -> packer
+
+val pack_into :
+  packer -> t -> widths:float array -> heights:float array ->
+  xs:float array -> ys:float array -> unit
+(** Longest-weighted-subsequence packing into caller-owned buffers;
+    allocation-free and bit-identical to {!pack}.
+    @raise Invalid_argument on any size mismatch with the packer. *)
 
 val move_swap_pos : t -> Numerics.Rng.t -> unit
 val move_swap_neg : t -> Numerics.Rng.t -> unit

@@ -71,10 +71,10 @@ let solve_axis (p : params) (c : Netlist.Circuit.t) ~(axis : axis)
     | Y_axis -> pq.Netlist.Device.oy
   in
   (* flip variables only where they can matter *)
-  let nets_of = Netlist.Circuit.nets_of_device c in
+  let view = Netlist.Netview.of_circuit c in
   let needs_flip i =
     p.flip <> Flip_off
-    && List.exists
+    && Array.exists
          (fun e ->
            Netlist.Net.degree (Netlist.Circuit.net c e) >= 2
            && Array.exists
@@ -83,7 +83,7 @@ let solve_axis (p : params) (c : Netlist.Circuit.t) ~(axis : axis)
                   && abs_float (pin_off i t.Netlist.Net.pin -. (0.5 *. size i))
                      > 1e-9)
                 (Netlist.Circuit.net c e).Netlist.Net.terminals)
-         nets_of.(i)
+         (Netlist.Netview.nets_of_device view i)
   in
   let fvar = Array.make n (-1) in
   let n_flip = ref 0 in

@@ -28,6 +28,7 @@ type stats = {
   ilp_nodes : int;
   sa_accepted : int;
   sa_rejected : int;
+  sa_best_cost : float;
   final_overflow : float;
 }
 
@@ -54,13 +55,15 @@ let stats_of_telemetry () =
     ilp_nodes = c "ilp.nodes";
     sa_accepted = c "sa.accepted";
     sa_rejected = c "sa.rejected";
+    sa_best_cost =
+      Telemetry.Gauge.value (Telemetry.Gauge.make "sa.best_cost");
     final_overflow = Telemetry.Gauge.value (Telemetry.Gauge.make "gp.overflow");
   }
 
 let zero_stats =
   { iterations = 0; f_evals = 0; gp_s = 0.0; dp_s = 0.0; gnn_s = 0.0;
     select_s = 0.0; ilp_nodes = 0; sa_accepted = 0; sa_rejected = 0;
-    final_overflow = nan }
+    sa_best_cost = nan; final_overflow = nan }
 
 (* GNN training generates its layout dataset by running the placers, so
    their spans and counters accumulate under the "gnn" span. Like the
@@ -82,6 +85,7 @@ let sub a b =
     ilp_nodes = a.ilp_nodes - b.ilp_nodes;
     sa_accepted = a.sa_accepted - b.sa_accepted;
     sa_rejected = a.sa_rejected - b.sa_rejected;
+    sa_best_cost = a.sa_best_cost;  (* gauge: last write wins *)
     final_overflow = a.final_overflow;  (* last write wins *)
   }
 
@@ -115,17 +119,19 @@ let gnn_setup ?quick c =
 let sa_default_moves = 4_000_000
 
 let sa ?(moves = sa_default_moves) ?(seed = 1) ?(restarts = 1)
-    ?(wl_weight = 1.0) ?(area_weight = 1.0) () =
+    ?(wl_weight = 1.0) ?(area_weight = 1.0) ?(check_every = 0) () =
   instrumented ~name:"SA" (fun c ->
+      let t0 = Telemetry.now () in
       let params =
         { Annealing.Sa_placer.default_params with
-          Annealing.Sa_placer.seed; restarts; moves; wl_weight; area_weight }
+          Annealing.Sa_placer.seed; restarts; moves; wl_weight; area_weight;
+          check_every }
       in
-      let layout, stats = Annealing.Sa_placer.place ~params c in
-      Some (layout, stats.Annealing.Sa_placer.runtime_s))
+      let layout, _best_cost = Annealing.Sa_placer.place ~params c in
+      Some (layout, Telemetry.now () -. t0))
 
 let sa_perf ?(moves = 120_000) ?(seed = 1) ?(restarts = 1) ?(alpha = 2.0)
-    ?quick () =
+    ?(check_every = 0) ?quick () =
   instrumented ~name:"SA-perf" (fun c ->
       (* model training happens offline in the paper; exclude it *)
       let trained = gnn_setup ?quick c in
@@ -137,6 +143,7 @@ let sa_perf ?(moves = 120_000) ?(seed = 1) ?(restarts = 1) ?(alpha = 2.0)
           moves;
           perf = Some (Gnn_setup.phi_of_layout trained);
           perf_alpha = alpha;
+          check_every;
         }
       in
       let layout, _ = Annealing.Sa_placer.place ~params c in

@@ -31,6 +31,8 @@ type stats = {
   ilp_nodes : int;  (** branch-and-bound LP relaxations solved *)
   sa_accepted : int;
   sa_rejected : int;
+  sa_best_cost : float;
+      (** best annealing cost across restarts; [nan] for non-SA *)
   final_overflow : float;  (** GP density overflow; [nan] for SA *)
 }
 
@@ -51,14 +53,16 @@ val sa_default_moves : int
 
 val sa :
   ?moves:int -> ?seed:int -> ?restarts:int -> ?wl_weight:float ->
-  ?area_weight:float -> unit -> t
+  ?area_weight:float -> ?check_every:int -> unit -> t
 (** Conventional simulated annealing at a converged move budget.
     [restarts > 1] runs independent anneals in parallel on the default
-    pool and keeps the best final cost. *)
+    pool and keeps the best final cost. [check_every > 0] cross-checks
+    the incremental cost engine against a full recomputation every N
+    evaluations. *)
 
 val sa_perf :
-  ?moves:int -> ?seed:int -> ?restarts:int -> ?alpha:float -> ?quick:bool ->
-  unit -> t
+  ?moves:int -> ?seed:int -> ?restarts:int -> ?alpha:float ->
+  ?check_every:int -> ?quick:bool -> unit -> t
 (** Performance-driven SA [19]: GNN inference inside the cost. *)
 
 val prev : ?params:Prevwork.Prev_analytical.params -> unit -> t

@@ -12,15 +12,17 @@ type cfg = {
   restarts : int;
   alpha : float;  (* Eq. 5 weight for the analytical perf term *)
   sa_alpha : float;
+  check_eval : int;  (* SA: cross-check incremental cost every N evals *)
 }
 
 let default_cfg =
   { quick = false; sa_moves = Methods.sa_default_moves;
-    sa_perf_moves = 120_000; restarts = 5; alpha = 60.0; sa_alpha = 2.0 }
+    sa_perf_moves = 120_000; restarts = 5; alpha = 60.0; sa_alpha = 2.0;
+    check_eval = 0 }
 
 let quick_cfg =
   { quick = true; sa_moves = 40_000; sa_perf_moves = 15_000; restarts = 2;
-    alpha = 60.0; sa_alpha = 2.0 }
+    alpha = 60.0; sa_alpha = 2.0; check_eval = 0 }
 
 let all_circuits = Circuits.Testcases.all_names
 
@@ -37,10 +39,11 @@ let prev_params cfg =
    table builds its method list from [Methods.kind], as does the CLI. *)
 let method_of_kind cfg ?(perf = false) (k : Methods.kind) =
   match (k, perf) with
-  | Methods.Sa, false -> Methods.sa ~moves:cfg.sa_moves ()
+  | Methods.Sa, false ->
+      Methods.sa ~moves:cfg.sa_moves ~check_every:cfg.check_eval ()
   | Methods.Sa, true ->
       Methods.sa_perf ~moves:cfg.sa_perf_moves ~alpha:cfg.sa_alpha
-        ~quick:cfg.quick ()
+        ~check_every:cfg.check_eval ~quick:cfg.quick ()
   | Methods.Prev, false -> Methods.prev ~params:(prev_params cfg) ()
   | Methods.Prev, true ->
       Methods.prev_perf ~params:(prev_params cfg) ~alpha:cfg.alpha

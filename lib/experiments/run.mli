@@ -9,6 +9,9 @@ type cfg = {
   restarts : int;
   alpha : float;  (** Eq. 5 weight for the analytical performance term *)
   sa_alpha : float;
+  check_eval : int;
+      (** SA debug: cross-check the incremental cost engine against a
+          full recomputation every N evaluations (0 disables) *)
 }
 
 val default_cfg : cfg

@@ -58,15 +58,6 @@ let meta_value ?default c key =
       | None ->
           invalid_arg (Fmt.str "Circuit.meta_value %s: missing key %s" c.name key))
 
-(* Device -> nets incidence, computed once per traversal. *)
-let nets_of_device c =
-  let inc = Array.make (n_devices c) [] in
-  Array.iter
-    (fun (e : Net.t) ->
-      List.iter (fun d -> inc.(d) <- e.Net.id :: inc.(d)) (Net.devices e))
-    c.nets;
-  Array.map List.rev inc
-
 let pp ppf c =
   Fmt.pf ppf "%s: %d devices, %d nets, %d sym groups" c.name (n_devices c)
     (n_nets c)

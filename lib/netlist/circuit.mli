@@ -29,7 +29,6 @@ val total_device_area : t -> float
 val meta_value : ?default:float -> t -> string -> float
 (** Lookup in [meta]. @raise Invalid_argument if absent and no default. *)
 
-val nets_of_device : t -> int list array
-(** For each device, the ids of nets incident to it. *)
-
 val pp : Format.formatter -> t -> unit
+(** Device/net incidence lives in {!Netview}, the typed index shared by
+    every consumer that walks the hypergraph. *)

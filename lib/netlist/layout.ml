@@ -83,9 +83,14 @@ let net_hpwl l e =
   let b = net_bbox l e in
   Geometry.Rect.width b +. Geometry.Rect.height b
 
+(* Single-pin nets have zero span and weightless nets zero contribution
+   by definition: skip both instead of paying the bbox fold. Numerically
+   identical to folding them (they would add +0.0). *)
 let hpwl l =
   Array.fold_left
-    (fun acc e -> acc +. (e.Net.weight *. net_hpwl l e))
+    (fun acc e ->
+      if e.Net.weight <= 0.0 || Net.degree e <= 1 then acc
+      else acc +. (e.Net.weight *. net_hpwl l e))
     0.0 l.circuit.Circuit.nets
 
 (* Shift all devices so the die bounding box has its lower-left at the

@@ -1,7 +1,9 @@
 (* Flattened net view for gradient computation: terminal positions are
    device centres plus fixed pin offsets (orientation is frozen during
    global placement, matching the paper: flipping is decided later by
-   the ILP detailed placement). *)
+   the ILP detailed placement). The hypergraph structure comes from the
+   shared Netlist.Netview incidence index; this module only adds the
+   per-terminal offset flattening the smoothed gradients iterate. *)
 
 type net = {
   weight : float;
@@ -12,17 +14,17 @@ type net = {
 
 type t = { nets : net array; n_devices : int }
 
-let of_circuit ?orients (c : Netlist.Circuit.t) =
-  let n = Netlist.Circuit.n_devices c in
+let of_view ?orients (view : Netlist.Netview.t) =
+  let c = Netlist.Netview.circuit view in
   let orient i =
     match orients with
     | None -> Geometry.Orient.identity
     | Some o -> o.(i)
   in
   let nets =
-    Array.map
-      (fun (e : Netlist.Net.t) ->
-        let k = Array.length e.Netlist.Net.terminals in
+    Array.init (Netlist.Netview.n_nets view) (fun e_id ->
+        let e = Netlist.Circuit.net c e_id in
+        let k = Netlist.Netview.degree view e_id in
         let devs = Array.make k 0 in
         let offx = Array.make k 0.0 in
         let offy = Array.make k 0.0 in
@@ -38,9 +40,11 @@ let of_circuit ?orients (c : Netlist.Circuit.t) =
             offy.(t) <- oy -. (0.5 *. d.Netlist.Device.h))
           e.Netlist.Net.terminals;
         { weight = e.Netlist.Net.weight; devs; offx; offy })
-      c.Netlist.Circuit.nets
   in
-  { nets; n_devices = n }
+  { nets; n_devices = Netlist.Netview.n_devices view }
+
+let of_circuit ?orients (c : Netlist.Circuit.t) =
+  of_view ?orients (Netlist.Netview.of_circuit c)
 
 (* Exact weighted HPWL on centre coordinates. *)
 let hpwl t ~xs ~ys =

@@ -2,7 +2,8 @@
 
     Terminal positions are device centres plus frozen pin offsets;
     orientation changes are the detailed placer's job, so global
-    placement treats offsets as constants. *)
+    placement treats offsets as constants. The hypergraph structure
+    comes from the shared {!Netlist.Netview} incidence index. *)
 
 type net = {
   weight : float;
@@ -13,7 +14,11 @@ type net = {
 
 type t = { nets : net array; n_devices : int }
 
+val of_view : ?orients:Geometry.Orient.t array -> Netlist.Netview.t -> t
+(** Flatten the indexed hypergraph for gradient iteration. *)
+
 val of_circuit : ?orients:Geometry.Orient.t array -> Netlist.Circuit.t -> t
+(** [of_view] over a freshly built {!Netlist.Netview.of_circuit}. *)
 
 val hpwl : t -> xs:float array -> ys:float array -> float
 (** Exact weighted HPWL at centre coordinates [xs], [ys]. *)

@@ -83,9 +83,10 @@ let circuit_tests =
     Alcotest.test_case "total device area" `Quick (fun () ->
         check_f "area" 8.0 (C.total_device_area (fixture ())));
     Alcotest.test_case "nets_of_device incidence" `Quick (fun () ->
-        let inc = C.nets_of_device (fixture ()) in
-        Alcotest.(check (list int)) "m0" [ 0; 1 ] inc.(0);
-        Alcotest.(check (list int)) "c3" [ 1 ] inc.(3));
+        let view = Netlist.Netview.of_circuit (fixture ()) in
+        let inc i = Array.to_list (Netlist.Netview.nets_of_device view i) in
+        Alcotest.(check (list int)) "m0" [ 0; 1 ] (inc 0);
+        Alcotest.(check (list int)) "c3" [ 1 ] (inc 3));
     Alcotest.test_case "matched pairs" `Quick (fun () ->
         Alcotest.(check (list (pair int int))) "pairs" [ (0, 1) ]
           (CS.matched_pairs (fixture ()).C.constraints));
