@@ -207,12 +207,12 @@ let micro () =
     (fun test ->
       let results = benchmark test in
       let stats = analyze results in
-      Hashtbl.iter
-        (fun name ols ->
-          match Analyze.OLS.estimates ols with
-          | Some [ t ] -> say "%-28s %12.0f ns/run@." name t
-          | Some _ | None -> say "%-28s (no estimate)@." name)
-        stats)
+      Hashtbl.to_seq stats |> List.of_seq
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (name, ols) ->
+             match Analyze.OLS.estimates ols with
+             | Some [ t ] -> say "%-28s %12.0f ns/run@." name t
+             | Some _ | None -> say "%-28s (no estimate)@." name))
     tests
 
 let () =

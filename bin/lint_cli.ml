@@ -1,0 +1,35 @@
+(* placer-lint driver: scan .cmt trees, print diagnostics, exit
+   nonzero on any unsuppressed finding. Wired to `dune build @lint`,
+   which runs it from the build-context root over lib/, bin/ and
+   bench/ after everything has compiled. *)
+
+let usage = "lint_cli [--root DIR] PATH...\n\
+             Scans PATH... (directories or .cmt files) and reports\n\
+             determinism/parallel-safety findings as file:line:col [RULE]."
+
+let () =
+  let root = ref "." in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--root",
+        Arg.Set_string root,
+        "DIR directory the .cmt-recorded source paths resolve against \
+         (workspace root; used to read suppression comments)" );
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let paths = List.rev !paths in
+  if paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let findings, n_units = Lint.run ~root:!root paths in
+  List.iter (fun f -> print_endline (Lint.to_string f)) findings;
+  match findings with
+  | [] ->
+      Printf.printf "placer-lint: %d compilation units clean\n" n_units
+  | fs ->
+      Printf.printf "placer-lint: %d finding(s) in %d compilation units\n"
+        (List.length fs) n_units;
+      exit 1

@@ -59,8 +59,9 @@ let report circuit (o : M.outcome) =
     Fmt.pr "sa cost   : %.6f (best annealing cost)@." s.M.sa_best_cost;
   let viol = Netlist.Checks.all layout in
   Fmt.pr "legality  : %s@."
-    (if viol = [] then "clean"
-     else Fmt.str "%d violations" (List.length viol));
+    (match viol with
+     | [] -> "clean"
+     | _ :: _ -> Fmt.str "%d violations" (List.length viol));
   List.iteri
     (fun i v -> if i < 5 then Fmt.pr "  %a@." Netlist.Checks.pp_violation v)
     viol;

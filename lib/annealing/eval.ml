@@ -172,8 +172,8 @@ let refresh t =
   for b = 0 to n - 1 do
     if
       t.force_dirty.(b)
-      || t.new_xs.(b) <> t.cur_xs.(b)
-      || t.new_ys.(b) <> t.cur_ys.(b)
+      || not (Float.equal t.new_xs.(b) t.cur_xs.(b))
+      || not (Float.equal t.new_ys.(b) t.cur_ys.(b))
     then begin
       t.force_dirty.(b) <- false;
       t.cur_xs.(b) <- t.new_xs.(b);

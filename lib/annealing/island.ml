@@ -189,22 +189,22 @@ let decompose (c : Netlist.Circuit.t) =
     (fun (p : CS.align_pair) ->
       if (not in_sym.(p.CS.a)) && not in_sym.(p.CS.b) then union p.CS.a p.CS.b)
     cs.CS.aligns;
-  let clusters = Hashtbl.create 8 in
-  for d = 0 to n - 1 do
+  (* bucket free devices by union-find root, indexed by root id: the
+     resulting islands enumerate in ascending device order, independent
+     of any hash order (filling from n-1 down keeps each member list
+     ascending without a sort) *)
+  let members = Array.make (max n 1) [] in
+  for d = n - 1 downto 0 do
     if not in_sym.(d) then begin
       let r = find d in
-      let existing =
-        Option.value (Hashtbl.find_opt clusters r) ~default:[]
-      in
-      Hashtbl.replace clusters r (d :: existing)
+      members.(r) <- d :: members.(r)
     end
   done;
   let free_islands =
-    Hashtbl.fold
-      (fun _ devs acc ->
-        match devs with
-        | [ d ] -> of_free_device c d :: acc
-        | ds -> of_align_row c (List.sort compare ds) :: acc)
-      clusters []
+    Array.to_list members
+    |> List.concat_map (function
+         | [] -> []
+         | [ d ] -> [ of_free_device c d ]
+         | ds -> [ of_align_row c ds ])
   in
   sym_islands @ free_islands

@@ -84,7 +84,7 @@ let connect ?(weight = 1.0) ?(critical = false) b ~net terms =
   List.iter
     (fun (dev, pin_name) -> lst := (dev, pin_index b dev pin_name) :: !lst)
     terms;
-  if weight <> 1.0 || critical then
+  if (not (Float.equal weight 1.0)) || critical then
     if not (List.mem_assoc net b.net_attrs) then
       b.net_attrs <- (net, (weight, critical)) :: b.net_attrs
 

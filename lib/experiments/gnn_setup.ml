@@ -176,38 +176,71 @@ let train_for ?(sizes = default_sizes) ?(epochs = 150) ?(seed = 424242)
   let train_stats = Gnn.Train.train ~epochs ~rng model samples in
   { enc; model; threshold; train_stats; n_samples = List.length samples }
 
-(* Process-wide cache, keyed by circuit name and a quick/full flag.
-   The mutex covers only the table accesses: training runs unlocked
-   (it may itself fan out on the pool), and because [train_for] is
-   deterministic per key, two domains racing on a miss converge on
-   identical values — the first insert wins. *)
+(* Process-wide cache, keyed by circuit name, a quick/full flag and a
+   fingerprint of any non-default training configuration.
+
+   Parallel safety: [cache_lock] serialises every access to both
+   tables. The first caller to miss on a key registers an in-flight
+   condition and trains with the lock released (training may itself
+   fan out on the pool — nested pool maps run inline, so no worker is
+   parked while it trains); concurrent callers for the same key wait
+   on the condition instead of duplicating the training run. Every
+   caller therefore shares the one physically-equal [trained] value.
+   If the trainer raises, it withdraws the in-flight entry and wakes
+   the waiters, one of which becomes the new trainer. *)
+(* placer-lint: allow D4 deliberate process-wide model cache; cache_lock serialises every access *)
 let cache : (string, trained) Hashtbl.t = Hashtbl.create 16
+(* placer-lint: allow D4 in-flight training dedup table, guarded by cache_lock *)
+let in_flight : (string, Condition.t) Hashtbl.t = Hashtbl.create 4
 let cache_lock = Mutex.create ()
 
-let cache_find key =
-  Mutex.lock cache_lock;
-  let r = Hashtbl.find_opt cache key in
-  Mutex.unlock cache_lock;
-  r
-
-let get ?(quick = false) (c : Netlist.Circuit.t) =
-  let key = c.Netlist.Circuit.name ^ if quick then "/q" else "/f" in
-  match cache_find key with
-  | Some t -> t
-  | None ->
-      let sizes = if quick then quick_sizes else default_sizes in
-      let epochs = if quick then 80 else 150 in
-      let t = train_for ~sizes ~epochs c in
-      Mutex.lock cache_lock;
-      let t =
-        match Hashtbl.find_opt cache key with
-        | Some existing -> existing
-        | None ->
-            Hashtbl.add cache key t;
-            t
-      in
-      Mutex.unlock cache_lock;
-      t
+let get ?sizes ?epochs ?(quick = false) (c : Netlist.Circuit.t) =
+  let default_sz = if quick then quick_sizes else default_sizes in
+  let default_ep = if quick then 80 else 150 in
+  let custom = Option.is_some sizes || Option.is_some epochs in
+  let sizes = Option.value sizes ~default:default_sz in
+  let epochs = Option.value epochs ~default:default_ep in
+  let key =
+    c.Netlist.Circuit.name
+    ^ (if quick then "/q" else "/f")
+    ^
+    if custom then
+      Printf.sprintf "/n%d-%d-%d-%d-e%d" sizes.n_random sizes.n_spread
+        sizes.n_sa sizes.n_analytic epochs
+    else ""
+  in
+  let rec obtain () =
+    Mutex.lock cache_lock;
+    match Hashtbl.find_opt cache key with
+    | Some t ->
+        Mutex.unlock cache_lock;
+        t
+    | None -> (
+        match Hashtbl.find_opt in_flight key with
+        | Some cond ->
+            Condition.wait cond cache_lock;
+            Mutex.unlock cache_lock;
+            obtain ()
+        | None -> (
+            let cond = Condition.create () in
+            Hashtbl.replace in_flight key cond;
+            Mutex.unlock cache_lock;
+            let finish res =
+              Mutex.lock cache_lock;
+              Option.iter (fun t -> Hashtbl.replace cache key t) res;
+              Hashtbl.remove in_flight key;
+              Condition.broadcast cond;
+              Mutex.unlock cache_lock
+            in
+            match train_for ~sizes ~epochs c with
+            | t ->
+                finish (Some t);
+                t
+            | exception e ->
+                finish None;
+                raise e))
+  in
+  obtain ()
 
 (* ---- placer-facing hooks ---- *)
 

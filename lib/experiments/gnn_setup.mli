@@ -29,7 +29,9 @@ val train_for :
   ?sizes:dataset_sizes -> ?epochs:int -> ?seed:int -> Netlist.Circuit.t ->
   trained
 
-val get : ?quick:bool -> Netlist.Circuit.t -> trained
+val get :
+  ?sizes:dataset_sizes -> ?epochs:int -> ?quick:bool ->
+  Netlist.Circuit.t -> trained
 (** Cached per circuit name within the process. *)
 
 val phi_of_layout : trained -> Netlist.Layout.t -> float

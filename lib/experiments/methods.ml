@@ -206,7 +206,7 @@ let prev_perf ?(params = Prevwork.Prev_analytical.default_params)
         List.concat_map
           (fun a ->
             let perf =
-              if a = 0.0 then None
+              if Float.equal a 0.0 then None
               else Some (Gnn_setup.phi_grad_hook trained ~alpha:a)
             in
             List.filter_map
@@ -250,7 +250,7 @@ let eplace_ap ?(params = Eplace.Eplace_a.default_params) ?(alpha = 60.0)
         List.concat_map
           (fun a ->
             let perf =
-              if a = 0.0 then None
+              if Float.equal a 0.0 then None
               else
                 Some
                   { Eplace.Global_place.phi_grad =

@@ -464,7 +464,7 @@ let fig6 cfg =
   List.iter
     (fun alpha ->
       let m =
-        if alpha = 0.0 then Methods.eplace_a ~params:(eplace_params cfg) ()
+        if Float.equal alpha 0.0 then Methods.eplace_a ~params:(eplace_params cfg) ()
         else
           Methods.eplace_ap ~params:(eplace_params cfg) ~alpha ~quick:cfg.quick ()
       in
@@ -478,7 +478,7 @@ let fig6 cfg =
   List.iter
     (fun alpha ->
       let m =
-        if alpha = 0.0 then Methods.prev ~params:(prev_params cfg) ()
+        if Float.equal alpha 0.0 then Methods.prev ~params:(prev_params cfg) ()
         else
           Methods.prev_perf ~params:(prev_params cfg) ~alpha ~quick:cfg.quick ()
       in
@@ -493,7 +493,7 @@ let fig6 cfg =
   List.iter
     (fun alpha ->
       let m =
-        if alpha = 0.0 then Methods.sa ~moves:cfg.sa_moves ()
+        if Float.equal alpha 0.0 then Methods.sa ~moves:cfg.sa_moves ()
         else
           Methods.sa_perf ~moves:cfg.sa_perf_moves ~alpha ~quick:cfg.quick ()
       in

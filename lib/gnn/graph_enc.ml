@@ -139,7 +139,7 @@ let backprop_positions t ~dx ~ctx ~gx ~gy ~scale =
     du.(i) <- du.(i) +. M.get dx i col_x;
     dv.(i) <- dv.(i) +. M.get dx i col_y;
     let gsx = M.get dx i col_sx and gsy = M.get dx i col_sy in
-    if gsx <> 0.0 || gsy <> 0.0 then
+    if (not (Float.equal gsx 0.0)) || not (Float.equal gsy 0.0) then
       for j = 0 to n - 1 do
         if j <> i then begin
           let w = M.get t.ahat i j in
@@ -156,7 +156,7 @@ let backprop_positions t ~dx ~ctx ~gx ~gy ~scale =
     if t.partner.(i) >= 0 then begin
       let p = t.partner.(i) in
       let gpd = M.get dx i col_pd in
-      if gpd <> 0.0 then begin
+      if not (Float.equal gpd 0.0) then begin
         let sx = sign (xc.(i) -. xc.(p)) and sy = sign (yc.(i) -. yc.(p)) in
         du.(i) <- du.(i) +. (gpd *. sx);
         du.(p) <- du.(p) -. (gpd *. sx);

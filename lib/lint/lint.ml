@@ -1,0 +1,630 @@
+(* placer-lint: determinism and parallel-safety rules over .cmt files.
+
+   The repo's headline reproducibility claims — parallel runs match
+   serial runs bit for bit, the incremental SA engine matches the full
+   recompute exactly — are one stray [Unix.gettimeofday], one
+   [Stdlib.Random] draw, one hash-order [Hashtbl.fold] or one shared
+   mutable global away from silently breaking. This pass loads the
+   typed trees dune already produces (no ppx, no reparse) and checks
+   the rules with real type information: F1 in particular fires on the
+   *instantiated* type of a polymorphic comparison, which a textual
+   grep cannot see.
+
+   Two passes over the loaded units: pass 1 harvests every type
+   declaration into a table (record/variant component types, plus a
+   "has a mutable field" bit), so pass 2 can decide whether a named
+   type contains floats or mutable state across compilation-unit
+   boundaries without reconstructing typing environments. *)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type rule = D1 | D2 | D3 | D4 | F1 | H1 | Bad_suppress
+
+let rule_name = function
+  | D1 -> "D1"
+  | D2 -> "D2"
+  | D3 -> "D3"
+  | D4 -> "D4"
+  | F1 -> "F1"
+  | H1 -> "H1"
+  | Bad_suppress -> "SUPPRESS"
+
+let rule_of_string = function
+  | "D1" -> Some D1
+  | "D2" -> Some D2
+  | "D3" -> Some D3
+  | "D4" -> Some D4
+  | "F1" -> Some F1
+  | "H1" -> Some H1
+  | _ -> None
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  message : string;
+}
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col (rule_name f.rule)
+    f.message
+
+(* ----- sanctioned locations -----
+
+   The rules are repo policy, so the allowlist lives with them:
+   telemetry owns the clock, Rng owns randomness, the pool owns its
+   documented process-wide singletons. Everything else goes through a
+   per-site suppression comment that must state a reason. *)
+
+let allowed_by_path rule file =
+  match rule with
+  | D1 -> String.starts_with ~prefix:"lib/telemetry/" file
+  | D2 -> String.equal file "lib/numerics/rng.ml"
+  | D4 -> String.starts_with ~prefix:"lib/pool/" file
+  | D3 | F1 | H1 | Bad_suppress -> false
+
+let pos_of (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol + 1)
+
+(* ----- pass 1: the type-declaration table ----- *)
+
+type decl_entry = {
+  d_unit : string;  (* compilation unit that declared it *)
+  d_components : Types.type_expr list;
+  d_mutable : bool;  (* record (possibly inline) with a mutable field *)
+}
+
+(* "Annealing__Island" and "Annealing.Island" both occur as path
+   prefixes depending on whether a use goes through the dune wrapper
+   alias, so every declaration is registered under both spellings. *)
+let dedouble s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && s.[!i] = '_' && s.[!i + 1] = '_' then begin
+      Buffer.add_char b '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let register_decl tbl ~unit_name ~mods (d : Typedtree.type_declaration) =
+  let labels_info labels =
+    ( List.map (fun (l : Typedtree.label_declaration) -> l.ld_type.ctyp_type)
+        labels,
+      List.exists
+        (fun (l : Typedtree.label_declaration) ->
+          l.ld_mutable = Asttypes.Mutable)
+        labels )
+  in
+  let components, is_mutable =
+    match d.typ_kind with
+    | Ttype_record labels -> labels_info labels
+    | Ttype_variant constrs ->
+        List.fold_left
+          (fun (acc, m) (c : Typedtree.constructor_declaration) ->
+            match c.cd_args with
+            | Cstr_tuple ctys ->
+                ( acc
+                  @ List.map
+                      (fun (ct : Typedtree.core_type) -> ct.ctyp_type)
+                      ctys,
+                  m )
+            | Cstr_record labels ->
+                let tys, lm = labels_info labels in
+                (acc @ tys, m || lm))
+          ([], false) constrs
+    | Ttype_abstract | Ttype_open -> (
+        ( (match d.typ_manifest with
+          | Some ct -> [ ct.ctyp_type ]
+          | None -> []),
+          false ))
+  in
+  let entry = { d_unit = unit_name; d_components = components; d_mutable = is_mutable } in
+  let local = String.concat "." (mods @ [ d.typ_name.txt ]) in
+  let qualified = unit_name ^ "." ^ local in
+  tbl := SMap.add qualified entry !tbl;
+  tbl := SMap.add (dedouble qualified) entry !tbl
+
+let rec collect_decls_str tbl ~unit_name ~mods (str : Typedtree.structure) =
+  List.iter (collect_decls_item tbl ~unit_name ~mods) str.str_items
+
+and collect_decls_item tbl ~unit_name ~mods (it : Typedtree.structure_item) =
+  match it.str_desc with
+  | Tstr_type (_, decls) ->
+      List.iter (register_decl tbl ~unit_name ~mods) decls
+  | Tstr_module mb -> collect_decls_mb tbl ~unit_name ~mods mb
+  | Tstr_recmodule mbs ->
+      List.iter (collect_decls_mb tbl ~unit_name ~mods) mbs
+  | Tstr_include incl ->
+      collect_decls_mod tbl ~unit_name ~mods incl.incl_mod
+  | _ -> ()
+
+and collect_decls_mb tbl ~unit_name ~mods (mb : Typedtree.module_binding) =
+  match mb.mb_name.txt with
+  | Some name ->
+      collect_decls_mod tbl ~unit_name ~mods:(mods @ [ name ]) mb.mb_expr
+  | None -> ()
+
+and collect_decls_mod tbl ~unit_name ~mods (me : Typedtree.module_expr) =
+  match me.mod_desc with
+  | Tmod_structure s -> collect_decls_str tbl ~unit_name ~mods s
+  | Tmod_constraint (me, _, _, _) -> collect_decls_mod tbl ~unit_name ~mods me
+  | _ -> ()
+
+(* ----- type predicates ----- *)
+
+let lookup_decl tbl ~unit_name name =
+  match SMap.find_opt (unit_name ^ "." ^ name) tbl with
+  | Some _ as r -> r
+  | None -> (
+      match SMap.find_opt name tbl with
+      | Some _ as r -> r
+      | None -> SMap.find_opt (dedouble name) tbl)
+
+let name_matches name candidates =
+  List.exists
+    (fun c -> String.equal name c || String.ends_with ~suffix:("." ^ c) name)
+    candidates
+
+(* Walk a type expression, resolving named constructors through the
+   declaration table; [stop] cuts recursion at types whose contents are
+   sanctioned (mutexes, DLS keys), [base] is the hit predicate, and
+   [use_decl_mut] additionally counts records with mutable fields. *)
+let type_has tbl ~unit_name ~base ~stop ~use_decl_mut ty0 =
+  let rec go ~unit_name visited ty =
+    match Types.get_desc ty with
+    | Types.Tconstr (p, args, _) ->
+        let n = Path.name p in
+        if stop n then false
+        else if base n then true
+        else
+          let via_decl =
+            match lookup_decl tbl ~unit_name n with
+            | Some e when not (SSet.mem n visited) ->
+                let visited = SSet.add n visited in
+                (use_decl_mut && e.d_mutable)
+                || List.exists
+                     (go ~unit_name:e.d_unit visited)
+                     e.d_components
+            | _ -> false
+          in
+          via_decl || List.exists (go ~unit_name visited) args
+    | Types.Ttuple ts -> List.exists (go ~unit_name visited) ts
+    | Types.Tpoly (t, _) -> go ~unit_name visited t
+    | _ -> false
+  in
+  go ~unit_name SSet.empty ty0
+
+let float_base n =
+  String.equal n "float" || String.equal n "floatarray"
+  || name_matches n [ "Float.t" ]
+
+let contains_float tbl ~unit_name ty =
+  type_has tbl ~unit_name ~base:float_base
+    ~stop:(fun _ -> false)
+    ~use_decl_mut:false ty
+
+let mutable_base n =
+  String.equal n "array" || String.equal n "bytes"
+  || String.equal n "floatarray" || String.equal n "ref"
+  || name_matches n
+       [
+         "ref"; "Hashtbl.t"; "Buffer.t"; "Bytes.t"; "Atomic.t"; "Queue.t";
+         "Stack.t"; "Weak.t";
+       ]
+
+let mutable_stop n =
+  name_matches n
+    [
+      "Mutex.t"; "Condition.t"; "Semaphore.Counting.t"; "Semaphore.Binary.t";
+      "Domain.DLS.key";
+    ]
+
+let contains_mutable tbl ~unit_name ty =
+  type_has tbl ~unit_name ~base:mutable_base ~stop:mutable_stop
+    ~use_decl_mut:true ty
+
+(* ----- suppression comments -----
+
+   "placer-lint: allow <rule> <reason>" in a comment on the offending
+   line or the line directly above it. The reason is mandatory: a
+   suppression is a written-down design decision, not an off switch. *)
+
+type supp = { s_line : int; s_rule : string; s_reason : string }
+
+let find_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec at i =
+    if i + m > n then None
+    else if String.sub line i m = sub then Some i
+    else at (i + 1)
+  in
+  at 0
+
+(* A rule id is uppercase alphanumeric starting with a letter. Prose
+   that merely mentions the tool name, or the tag inside a string
+   literal, never has "allow" + a rule-shaped token after it, so it is
+   ignored rather than reported. *)
+let rule_shaped s =
+  String.length s > 0
+  && (match s.[0] with 'A' .. 'Z' -> true | _ -> false)
+  && String.for_all
+       (function 'A' .. 'Z' | '0' .. '9' -> true | _ -> false)
+       s
+
+let parse_suppressions text =
+  let supps = ref [] in
+  let lineno = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         incr lineno;
+         match find_sub line "placer-lint:" with
+         | None -> ()
+         | Some i ->
+             let rest =
+               String.trim
+                 (String.sub line
+                    (i + String.length "placer-lint:")
+                    (String.length line - i - String.length "placer-lint:"))
+             in
+             if String.starts_with ~prefix:"allow " rest then begin
+               let rest =
+                 String.trim (String.sub rest 6 (String.length rest - 6))
+               in
+               let rule_txt, tail =
+                 match String.index_opt rest ' ' with
+                 | Some j ->
+                     ( String.sub rest 0 j,
+                       String.sub rest (j + 1) (String.length rest - j - 1)
+                     )
+                 | None -> (rest, "")
+               in
+               let rule_txt =
+                 match find_sub rule_txt "*)" with
+                 | Some j -> String.trim (String.sub rule_txt 0 j)
+                 | None -> rule_txt
+               in
+               let reason =
+                 match find_sub tail "*)" with
+                 | Some j -> String.trim (String.sub tail 0 j)
+                 | None -> String.trim tail
+               in
+               if rule_shaped rule_txt then
+                 supps :=
+                   { s_line = !lineno; s_rule = rule_txt; s_reason = reason }
+                   :: !supps
+             end);
+  List.rev !supps
+
+(* ----- pass 2: the rules ----- *)
+
+let d1_names =
+  [ "Unix.gettimeofday"; "Unix.time"; "Unix.times"; "Sys.time";
+    "Stdlib.Sys.time" ]
+
+let d3_names =
+  [
+    "Hashtbl.iter"; "Stdlib.Hashtbl.iter"; "Hashtbl.fold";
+    "Stdlib.Hashtbl.fold"; "Hashtbl.hash"; "Stdlib.Hashtbl.hash";
+  ]
+
+let f1_names = [ "Stdlib.="; "Stdlib.<>"; "Stdlib.compare" ]
+
+let h1_names = [ "Obj.magic"; "Stdlib.Obj.magic" ]
+
+let is_d2_name n =
+  String.equal n "Random"
+  || String.starts_with ~prefix:"Random." n
+  || String.equal n "Stdlib.Random"
+  || String.starts_with ~prefix:"Stdlib.Random." n
+
+let d4_creator_names =
+  [
+    "ref"; "Stdlib.ref"; "Hashtbl.create"; "Stdlib.Hashtbl.create";
+    "Array.make"; "Array.init"; "Array.create_float"; "Stdlib.Array.make";
+    "Stdlib.Array.init"; "Stdlib.Array.create_float"; "Bytes.create";
+    "Stdlib.Bytes.create"; "Buffer.create"; "Stdlib.Buffer.create";
+    "Atomic.make"; "Stdlib.Atomic.make"; "Queue.create";
+    "Stdlib.Queue.create"; "Stack.create"; "Stdlib.Stack.create";
+  ]
+
+let printed_type ty =
+  match Format.asprintf "%a" Printtyp.type_expr ty with
+  | s -> s
+  (* placer-lint: allow H1 Printtyp is diagnostic-only; any printer failure must degrade to a placeholder *)
+  | exception _ -> "<type>"
+
+(* Does evaluating this module-level right-hand side allocate mutable
+   state?  Creators under a lambda allocate per call, so the walk does
+   not descend into functions. *)
+let expr_creates_mutable (e0 : Typedtree.expression) =
+  let found = ref false in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          if not !found then
+            match e.exp_desc with
+            | Texp_function _ -> ()
+            | Texp_array _ -> found := true
+            | Texp_record { fields; _ }
+              when Array.exists
+                     (fun ((ld : Types.label_description), _) ->
+                       ld.lbl_mut = Asttypes.Mutable)
+                     fields ->
+                found := true
+            | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _)
+              when List.mem (Path.name p) d4_creator_names ->
+                found := true
+            | _ -> Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.expr it e0;
+  !found
+
+(* A handler that binds a name ([with e -> ... raise e]) is a
+   deliberate decision and stays legal; only the anonymous swallow-all
+   [with _ ->] (and its [match ... with exception _] spelling) fires. *)
+let catch_all_pattern (p : Typedtree.pattern) =
+  match p.pat_desc with Tpat_any -> true | _ -> false
+
+let rec exn_catch_all_loc
+    (p : Typedtree.computation Typedtree.general_pattern) =
+  match p.pat_desc with
+  | Typedtree.Tpat_exception v -> (
+      match v.pat_desc with
+      | Typedtree.Tpat_any -> Some v.pat_loc
+      | _ -> None)
+  | Typedtree.Tpat_or (a, b, _) -> (
+      match exn_catch_all_loc a with
+      | Some _ as r -> r
+      | None -> exn_catch_all_loc b)
+  | _ -> None
+
+let check_expressions ~tbl ~unit_name emit (str : Typedtree.structure) =
+  let check_ident (e : Typedtree.expression) n =
+    let loc = e.exp_loc in
+    if List.mem n d1_names then
+      emit loc D1
+        (Printf.sprintf
+           "wall-clock read %s outside lib/telemetry; route timing through \
+            Telemetry spans"
+           n)
+    else if is_d2_name n then
+      emit loc D2
+        (Printf.sprintf
+           "%s is process-global; draw from an explicit Numerics.Rng stream"
+           n)
+    else if List.mem n d3_names then
+      emit loc D3
+        (Printf.sprintf
+           "%s visits entries in hash order; harvest the keys, sort, then \
+            iterate"
+           n)
+    else if List.mem n h1_names then
+      emit loc H1 "Obj.magic defeats the type system"
+    else if List.mem n f1_names then
+      match Types.get_desc e.exp_type with
+      | Types.Tarrow (_, t1, _, _) when contains_float tbl ~unit_name t1 ->
+          emit loc F1
+            (Printf.sprintf
+               "polymorphic %s instantiated at %s (contains float); use \
+                Float.equal / Float.compare or a typed comparator"
+               (match String.rindex_opt n '.' with
+               | Some i -> String.sub n (i + 1) (String.length n - i - 1)
+               | None -> n)
+               (printed_type t1))
+      | _ -> ()
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          (match e.exp_desc with
+          | Texp_ident (p, _, _) -> check_ident e (Path.name p)
+          | Texp_try (_, cases) ->
+              List.iter
+                (fun (c : Typedtree.value Typedtree.case) ->
+                  if catch_all_pattern c.c_lhs && Option.is_none c.c_guard
+                  then
+                    emit c.c_lhs.pat_loc H1
+                      "catch-all exception handler; match the exceptions you \
+                       mean (a swallowed Out_of_memory or Stack_overflow \
+                       hides real failures)")
+                cases
+          | Texp_match (_, cases, _) ->
+              List.iter
+                (fun (c : Typedtree.computation Typedtree.case) ->
+                  match exn_catch_all_loc c.c_lhs with
+                  | Some loc when Option.is_none c.c_guard ->
+                      emit loc H1
+                        "catch-all exception handler; match the exceptions \
+                         you mean (a swallowed Out_of_memory or \
+                         Stack_overflow hides real failures)"
+                  | _ -> ())
+                cases
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.structure it str
+
+(* D4: mutable state bound at module level (including inside nested
+   modules — those are just as global). Functor bodies are skipped:
+   their bindings are per-application. *)
+let rec check_d4_str ~tbl ~unit_name emit (str : Typedtree.structure) =
+  List.iter (check_d4_item ~tbl ~unit_name emit) str.str_items
+
+and check_d4_item ~tbl ~unit_name emit (it : Typedtree.structure_item) =
+  match it.str_desc with
+  | Tstr_value (_, vbs) ->
+      List.iter
+        (fun (vb : Typedtree.value_binding) ->
+          let name =
+            match vb.vb_pat.pat_desc with
+            | Tpat_var (id, _) -> Some (Ident.name id)
+            | Tpat_alias (_, id, _) -> Some (Ident.name id)
+            | _ -> None
+          in
+          (* the creator scan (which also catches closures capturing a
+             fresh ref) only applies to named bindings: a [let () = ...]
+             entry point allocates plenty of local state that never
+             outlives it, and anything it does persist is caught at the
+             binding that stores it *)
+          if
+            contains_mutable tbl ~unit_name vb.vb_expr.exp_type
+            || (Option.is_some name && expr_creates_mutable vb.vb_expr)
+          then
+            let name = Option.value name ~default:"_" in
+            emit vb.vb_pat.pat_loc D4
+              (Printf.sprintf
+                 "module-level mutable binding '%s' is shared by every pool \
+                  domain; make it function-local, domain-local (Domain.DLS), \
+                  or guard it with a documented mutex and suppress with the \
+                  reason"
+                 name))
+        vbs
+  | Tstr_module mb -> check_d4_mb ~tbl ~unit_name emit mb
+  | Tstr_recmodule mbs -> List.iter (check_d4_mb ~tbl ~unit_name emit) mbs
+  | Tstr_include incl -> check_d4_mod ~tbl ~unit_name emit incl.incl_mod
+  | _ -> ()
+
+and check_d4_mb ~tbl ~unit_name emit (mb : Typedtree.module_binding) =
+  check_d4_mod ~tbl ~unit_name emit mb.mb_expr
+
+and check_d4_mod ~tbl ~unit_name emit (me : Typedtree.module_expr) =
+  match me.mod_desc with
+  | Tmod_structure s -> check_d4_str ~tbl ~unit_name emit s
+  | Tmod_constraint (me, _, _, _) -> check_d4_mod ~tbl ~unit_name emit me
+  | _ -> ()
+
+(* ----- driver ----- *)
+
+type unit_info = {
+  u_file : string;
+  u_name : string;
+  u_str : Typedtree.structure;
+}
+
+let load_unit path =
+  match Cmt_format.read_cmt path with
+  | { cmt_annots = Implementation str; cmt_sourcefile; cmt_modname; _ } ->
+      let file = Option.value cmt_sourcefile ~default:path in
+      (* dune-generated wrapper aliases, named "*.ml-gen", carry no
+         checkable code and no source to read suppressions from *)
+      if String.ends_with ~suffix:"-gen" file then None
+      else Some { u_file = file; u_name = cmt_modname; u_str = str }
+  | _ -> None
+  (* placer-lint: allow H1 a foreign or truncated .cmt must be skipped, whatever the loader raises *)
+  | exception _ -> None
+
+let rec find_cmts acc path =
+  if (not (Sys.file_exists path)) then acc
+  else if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left (fun acc n -> find_cmts acc (Filename.concat path n)) acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> Some s
+  | exception Sys_error _ -> None
+
+let check_unit ~tbl ~root u =
+  let raw = ref [] in
+  let emit loc rule message =
+    if not (allowed_by_path rule u.u_file) then begin
+      let line, col = pos_of loc in
+      raw := { file = u.u_file; line; col; rule; message } :: !raw
+    end
+  in
+  check_expressions ~tbl ~unit_name:u.u_name emit u.u_str;
+  check_d4_str ~tbl ~unit_name:u.u_name emit u.u_str;
+  let supps =
+    match read_file (Filename.concat root u.u_file) with
+    | Some text -> parse_suppressions text
+    | None -> []
+  in
+  let valid, bad =
+    List.partition
+      (fun s -> rule_of_string s.s_rule <> None && s.s_reason <> "")
+      supps
+  in
+  let suppressed f =
+    List.exists
+      (fun s ->
+        String.equal s.s_rule (rule_name f.rule)
+        && (s.s_line = f.line || s.s_line = f.line - 1))
+      valid
+  in
+  let kept = List.filter (fun f -> not (suppressed f)) !raw in
+  let bad_findings =
+    List.map
+      (fun s ->
+        {
+          file = u.u_file;
+          line = s.s_line;
+          col = 1;
+          rule = Bad_suppress;
+          message =
+            (if rule_of_string s.s_rule = None then
+               Printf.sprintf
+                 "suppression names unknown rule '%s' (expected D1-D4, F1, \
+                  H1)"
+                 s.s_rule
+             else
+               Printf.sprintf
+                 "suppression for %s is missing its reason; write why the \
+                  rule does not apply here"
+                 s.s_rule);
+        })
+      bad
+  in
+  kept @ bad_findings
+
+let run ~root paths =
+  let cmts =
+    List.fold_left find_cmts [] paths |> List.sort_uniq String.compare
+  in
+  let units = List.filter_map load_unit cmts in
+  (* a unit can be seen through several build contexts; analyze each
+     source file once, first (alphabetically smallest cmt path) wins *)
+  let units =
+    List.fold_left
+      (fun (seen, acc) u ->
+        if SSet.mem u.u_file seen then (seen, acc)
+        else (SSet.add u.u_file seen, u :: acc))
+      (SSet.empty, []) units
+    |> snd |> List.rev
+  in
+  let tbl = ref SMap.empty in
+  List.iter
+    (fun u -> collect_decls_str tbl ~unit_name:u.u_name ~mods:[] u.u_str)
+    units;
+  let findings =
+    List.concat_map (check_unit ~tbl:!tbl ~root) units
+    |> List.sort (fun a b ->
+           match String.compare a.file b.file with
+           | 0 -> (
+               match Int.compare a.line b.line with
+               | 0 -> (
+                   match Int.compare a.col b.col with
+                   | 0 -> String.compare (rule_name a.rule) (rule_name b.rule)
+                   | c -> c)
+               | c -> c)
+           | c -> c)
+  in
+  (findings, List.length units)

@@ -1,0 +1,50 @@
+(** placer-lint: typed determinism and parallel-safety rules, checked
+    against the [.cmt] files dune produces for every module.
+
+    The analyzer walks the Typedtree (so rules that depend on the
+    instantiated type at a use site — notably F1 — are precise, not
+    textual), and enforces the repo's reproducibility contract:
+    parallel runs must reproduce serial runs bit for bit, so no code
+    outside the sanctioned modules may read wall clocks, draw from the
+    global RNG, iterate hashtables in hash order, or share module-level
+    mutable state across domains. *)
+
+type rule =
+  | D1  (** wall-clock read outside [lib/telemetry] *)
+  | D2  (** [Stdlib.Random] outside [lib/numerics/rng.ml] *)
+  | D3  (** [Hashtbl.iter]/[fold]/[hash]: hash-order iteration *)
+  | D4  (** module-level mutable state outside [lib/pool] *)
+  | F1  (** polymorphic [=]/[<>]/[compare] instantiated at a
+            float-containing type *)
+  | H1  (** [Obj.magic] or a catch-all [try ... with _ ->] *)
+  | Bad_suppress
+      (** malformed [(* placer-lint: allow RULE reason *)]: unknown
+          rule name or missing reason *)
+
+val rule_name : rule -> string
+val rule_of_string : string -> rule option
+
+type finding = {
+  file : string;  (** source path as recorded in the .cmt
+                      (workspace-root relative under dune) *)
+  line : int;
+  col : int;
+  rule : rule;
+  message : string;
+}
+
+val to_string : finding -> string
+(** [file:line:col [RULE] message] — the diagnostic format promised to
+    CI and editors. *)
+
+val run : root:string -> string list -> finding list * int
+(** [run ~root paths] scans every [*.cmt] found under [paths]
+    (directories are searched recursively; plain [.cmt] paths are
+    taken as-is), applies all rules, drops findings carried by a
+    well-formed suppression comment on the same or preceding source
+    line, and returns the surviving findings sorted by
+    (file, line, col) together with the number of compilation units
+    analyzed. [root] is the directory source paths recorded in the
+    .cmt files are resolved against when reading suppression
+    comments; a source file that cannot be found simply has no
+    suppressions. *)

@@ -132,4 +132,4 @@ let all ?(tol = 1e-4) l =
   @ alignment_violations ~tol l
   @ ordering_violations ~tol l
 
-let is_legal ?tol l = all ?tol l = []
+let is_legal ?tol l = match all ?tol l with [] -> true | _ :: _ -> false

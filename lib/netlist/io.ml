@@ -62,7 +62,8 @@ let write_circuit ppf (c : Circuit.t) =
   Array.iter
     (fun (e : Net.t) ->
       Fmt.pf ppf "net %s" e.Net.name;
-      if e.Net.weight <> 1.0 then Fmt.pf ppf " weight %.9g" e.Net.weight;
+      if not (Float.equal e.Net.weight 1.0) then
+        Fmt.pf ppf " weight %.9g" e.Net.weight;
       if e.Net.critical then Fmt.pf ppf " critical";
       Array.iter
         (fun (t : Net.terminal) ->

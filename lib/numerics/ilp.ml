@@ -51,9 +51,10 @@ let solve ?(max_nodes = 500) ?(time_limit = 30.0) (p : problem) =
   let truncated = ref false in
   let stack = ref [ { extra = []; depth = 0 } ] in
   let root_unbounded = ref false in
-  while !stack <> [] do
+  let running = ref true in
+  while !running do
     match !stack with
-    | [] -> ()
+    | [] -> running := false
     | node :: rest ->
         stack := rest;
         if

@@ -44,7 +44,7 @@ let matvec_t m x y =
   Array.fill y 0 m.cols 0.0;
   for i = 0 to m.rows - 1 do
     let xi = x.(i) in
-    if xi <> 0.0 then begin
+    if not (Float.equal xi 0.0) then begin
       let base = i * m.cols in
       for j = 0 to m.cols - 1 do
         Array.unsafe_set y j
@@ -60,7 +60,7 @@ let matmul a b =
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let aik = get a i k in
-      if aik <> 0.0 then begin
+      if not (Float.equal aik 0.0) then begin
         let cbase = i * c.cols and bbase = k * b.cols in
         for j = 0 to b.cols - 1 do
           Array.unsafe_set c.data (cbase + j)

@@ -103,7 +103,7 @@ let price tab c =
   Array.blit c 0 tab.z 0 (Array.length c);
   for i = 0 to tab.m - 1 do
     let cb = if tab.basis.(i) < Array.length c then c.(tab.basis.(i)) else 0.0 in
-    if cb <> 0.0 then begin
+    if not (Float.equal cb 0.0) then begin
       let row = tab.t.(i) in
       for j = 0 to tab.ncols do
         tab.z.(j) <- tab.z.(j) -. (cb *. row.(j))

@@ -39,7 +39,7 @@ let group_axis ~xs ~ys (g : CS.sym_group) =
       sum := !sum +. coord r;
       weight := !weight +. 1.0)
     g.CS.selfs;
-  if !weight = 0.0 then 0.0 else !sum /. !weight
+  if Float.equal !weight 0.0 then 0.0 else !sum /. !weight
 
 let symmetry_value_grad t ~xs ~ys ~gx ~gy =
   let cs = t.circuit.Netlist.Circuit.constraints in

@@ -55,7 +55,9 @@ let registry_entries r =
   Mutex.unlock registry_lock;
   l
 
+(* placer-lint: allow D4 process-wide metric-name interning table; every access is serialised by registry_lock *)
 let counter_registry = new_registry ()
+(* placer-lint: allow D4 process-wide metric-name interning table; every access is serialised by registry_lock *)
 let gauge_registry = new_registry ()
 
 type span = {
@@ -80,13 +82,14 @@ let noop = { on_span = ignore; on_flush = ignore }
 let summary ppf =
   let on_flush r =
     Fmt.pf ppf "@.-- telemetry ----------------------------------------@.";
-    if r.r_spans <> [] then begin
-      Fmt.pf ppf "%-28s %8s %12s@." "span" "count" "total(s)";
-      List.iter
-        (fun (name, count, total) ->
-          Fmt.pf ppf "%-28s %8d %12.4f@." name count total)
-        r.r_spans
-    end;
+    (match r.r_spans with
+    | [] -> ()
+    | spans ->
+        Fmt.pf ppf "%-28s %8s %12s@." "span" "count" "total(s)";
+        List.iter
+          (fun (name, count, total) ->
+            Fmt.pf ppf "%-28s %8d %12.4f@." name count total)
+          spans);
     List.iter
       (fun (name, v) -> Fmt.pf ppf "%-28s %21d@." name v)
       r.r_counters;
@@ -282,6 +285,12 @@ let spans () = List.rev (cur ()).c_finished
 
 let sorted_by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l
 
+(* Deterministic view of a string-keyed hash table: bindings sorted by
+   key, so hash order can never leak into sinks, merges or reports. *)
+let sorted_bindings tbl =
+  Hashtbl.to_seq tbl |> List.of_seq
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let counters () =
   List.map
     (fun name -> (name, Counter.value (Counter.make name)))
@@ -297,10 +306,9 @@ let gauges () =
 let flush () =
   let col = cur () in
   let r_spans =
-    Hashtbl.fold
-      (fun name a acc -> (name, a.a_count, a.a_total) :: acc)
-      col.c_span_aggs []
-    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+    List.map
+      (fun (name, a) -> (name, a.a_count, a.a_total))
+      (sorted_bindings col.c_span_aggs)
   in
   col.c_sink.on_flush
     { r_spans; r_counters = counters (); r_gauges = gauges () }
@@ -337,8 +345,8 @@ let merge snap =
         a.(id) <- v
       end)
     snap.c_gauges;
-  Hashtbl.iter
-    (fun name (a : agg) ->
+  List.iter
+    (fun (name, (a : agg)) ->
       match Hashtbl.find_opt col.c_span_aggs name with
       | Some dst ->
           dst.a_count <- dst.a_count + a.a_count;
@@ -346,7 +354,7 @@ let merge snap =
       | None ->
           Hashtbl.add col.c_span_aggs name
             { a_count = a.a_count; a_total = a.a_total })
-    snap.c_span_aggs;
+    (sorted_bindings snap.c_span_aggs);
   (* replay the captured spans through the parent's sink, oldest first,
      so a jsonl trace of a parallel run is ordered by task, not by
      scheduling accident *)

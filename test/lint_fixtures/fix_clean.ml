@@ -1,0 +1,14 @@
+(* Clean fixture: deterministic code that must produce zero findings. *)
+
+type pt = { x : float; y : float }
+
+let dist a b = Float.hypot (a.x -. b.x) (a.y -. b.y)
+
+let close a b = Float.compare (dist a b) 1e-9 < 0
+
+let sum_sorted tbl =
+  Hashtbl.to_seq tbl |> List.of_seq
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.fold_left (fun acc (_, v) -> acc +. v) 0.0
+
+let guarded f = try f () with Not_found -> 0

@@ -1,0 +1,4 @@
+(* D1 fixture: wall-clock reads outside lib/telemetry. *)
+
+let stamp () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

@@ -1,0 +1,7 @@
+(* D2 fixture: Stdlib.Random outside lib/numerics/rng.ml. *)
+
+let roll () = Random.int 6
+
+let seeded () =
+  Random.self_init ();
+  Random.float 1.0

@@ -1,0 +1,7 @@
+(* D3 fixture: hash-order iteration. *)
+
+let tbl : (string, int) Hashtbl.t = Hashtbl.create 4
+
+let dump () = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl
+let total () = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+let fingerprint x = Hashtbl.hash x

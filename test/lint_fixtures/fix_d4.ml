@@ -1,0 +1,17 @@
+(* D4 fixture: module-level mutable state outside lib/pool. *)
+
+let counter = ref 0
+let scratch = Array.make 8 0.0
+let names : (int, string) Hashtbl.t = Hashtbl.create 4
+
+type acc = { mutable total : float }
+
+let acc = { total = 0.0 }
+
+(* mutable cell hiding behind a closure: the creator scan must still
+   see the [ref] in the binding's definition *)
+let hidden =
+  let cell = ref 0 in
+  fun () ->
+    incr cell;
+    !cell

@@ -1,0 +1,12 @@
+(* F1 fixture: polymorphic comparison at float-containing types. *)
+
+type pt = { x : float; y : float }
+
+let feq (a : float) b = a = b
+let fne (a : float) b = a <> b
+let fcmp (a : float) b = compare a b
+let pt_eq (a : pt) b = a = b
+let list_eq (a : float list) b = a = b
+
+(* int comparison must NOT fire *)
+let ieq (a : int) b = a = b

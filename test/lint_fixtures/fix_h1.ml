@@ -1,0 +1,14 @@
+(* H1 fixture: Obj.magic and catch-all exception handlers. *)
+
+let coerce (x : int) : float = Obj.magic x
+
+let swallow f = try f () with _ -> ()
+
+let swallow_match f = match f () with v -> v | exception _ -> 0
+
+(* a named handler that reraises is fine and must NOT fire *)
+let log_and_reraise f =
+  try f ()
+  with e ->
+    prerr_endline (Printexc.to_string e);
+    raise e

@@ -1,0 +1,10 @@
+(* Suppression fixture: properly-reasoned allows silence their rule;
+   a reasonless allow is itself a finding and leaves the rule live. *)
+
+(* placer-lint: allow D2 fixture exercising a valid same-line-above suppression *)
+let ok_above () = Random.int 6
+
+let ok_inline () = Unix.gettimeofday () (* placer-lint: allow D1 fixture exercising a valid same-line suppression *)
+
+(* placer-lint: allow D3 *)
+let bad_reasonless () = Hashtbl.hash 42

@@ -137,6 +137,66 @@ let island_tests =
         checkf "h" isl.Is.h m.Is.h;
         Alcotest.(check int) "devices" (List.length isl.Is.devices)
           (List.length m.Is.devices));
+    (* regression pin for the hash-order fix: align chains must cluster
+       transitively and the islands must enumerate sym groups first,
+       then free clusters in ascending device order *)
+    Alcotest.test_case "decompose groups align chains deterministically"
+      `Quick (fun () ->
+        let b = Circuits.Builder.create ~name:"AlignFix" ~perf_class:"ota" in
+        let d name =
+          Circuits.Builder.device b ~name ~kind:Netlist.Device.Nmos ~w:1.0
+            ~h:1.0
+        in
+        let ids = List.init 8 (fun i -> d (Printf.sprintf "m%d" i)) in
+        Circuits.Builder.connect b ~net:"n"
+          (List.map (fun i -> (i, "g")) ids);
+        (match ids with
+        | m0 :: m1 :: m2 :: m3 :: m4 :: _ :: m6 :: m7 :: _ ->
+            Circuits.Builder.sym_group b [ (m0, m1) ];
+            Circuits.Builder.align b m2 m3;
+            Circuits.Builder.align b m3 m4;
+            Circuits.Builder.align b m6 m7
+        | _ -> assert false);
+        let c = Circuits.Builder.build b in
+        let groups =
+          List.map
+            (fun (isl : Is.t) ->
+              List.sort compare
+                (List.map (fun (p : Is.placed_dev) -> p.Is.dev)
+                   isl.Is.devices))
+            (Is.decompose c)
+        in
+        Alcotest.(check (list (list int)))
+          "grouping and enumeration order"
+          [ [ 0; 1 ]; [ 2; 3; 4 ]; [ 5 ]; [ 6; 7 ] ]
+          groups);
+    Alcotest.test_case "free islands enumerate in ascending device order"
+      `Quick (fun () ->
+        List.iter
+          (fun name ->
+            let c = Circuits.Testcases.get_exn name in
+            let n_sym =
+              List.length
+                c.Netlist.Circuit.constraints
+                  .Netlist.Constraint_set.sym_groups
+            in
+            let islands = Is.decompose c in
+            let frees = List.filteri (fun i _ -> i >= n_sym) islands in
+            let mins =
+              List.map
+                (fun (isl : Is.t) ->
+                  List.fold_left
+                    (fun acc (p : Is.placed_dev) -> min acc p.Is.dev)
+                    max_int isl.Is.devices)
+                frees
+            in
+            let rec ascending = function
+              | a :: (b :: _ as tl) -> a < b && ascending tl
+              | _ -> true
+            in
+            if not (ascending mins) then
+              Alcotest.failf "%s: free islands out of device order" name)
+          Circuits.Testcases.all_names);
   ]
 
 let sa_tests =

@@ -165,18 +165,23 @@ let spread_layout c =
   done;
   l
 
+(* Exact SA trajectories at 3k moves, pinned per circuit. These depend
+   on the island decomposition order (deterministic, device-ascending
+   since the hash-order fix in Island.decompose) and on the incremental
+   cost engine staying bit-identical to a full recompute; any change to
+   either shows up here as a precise float mismatch. *)
 let sa_goldens =
   [
-    ("Adder", (22.800000000000001, 31.790000000000006, 1.2840872659656324));
+    ("Adder", (25.84, 28.569999999999993, 1.2554492385189366));
     ("CC-OTA", (28.160000000000004, 25.050000000000001, 1.2270406984407591));
-    ("Comp1", (25.999999999999996, 36.505000000000003, 1.333396997593491));
-    ("Comp2", (63.359999999999999, 101.63, 1.267163421285721));
-    ("CM-OTA1", (39.440000000000005, 36.585000000000001, 1.4483213215936894));
-    ("CM-OTA2", (74.900000000000006, 72.704999999999998, 1.1841741755518089));
-    ("SCF", (1118.3599999999999, 314.73500000000001, 1.6836623915293369));
-    ("VGA", (43.320000000000007, 55.874999999999993, 1.1970628631664217));
-    ("VCO1", (223.94399999999999, 117.44200000000001, 1.7339142424453922));
-    ("VCO2", (409.15999999999985, 258.47999999999996, 1.6097788959649164));
+    ("Comp1", (26.520000000000003, 33.655000000000001, 1.266329317297564));
+    ("Comp2", (59.359999999999992, 96.999999999999986, 1.2144533647094031));
+    ("CM-OTA1", (37., 36.415000000000006, 1.2445508330268522));
+    ("CM-OTA2", (76.859999999999985, 76.509999999999991, 1.3402049873297504));
+    ("SCF", (1115.4400000000003, 322.06000000000012, 1.6582722270141614));
+    ("VGA", (43.68, 53.069999999999993, 1.1399205857645791));
+    ("VCO1", (311.85599999999999, 111.48000000000002, 2.0799433259041216));
+    ("VCO2", (387.19999999999993, 230.12999999999994, 1.4327613233101706));
   ]
 
 let golden_tests =
@@ -189,7 +194,7 @@ let golden_tests =
             let l = spread_layout c in
             Alcotest.check exact name expected (Netlist.Layout.hpwl l))
           spread_hpwl_goldens);
-    Alcotest.test_case "sa layouts match pre-engine goldens" `Quick (fun () ->
+    Alcotest.test_case "sa layouts match pinned goldens" `Quick (fun () ->
         List.iter
           (fun (name, (area, hpwl, best_cost)) ->
             let c = Circuits.Testcases.get_exn name in
@@ -202,7 +207,7 @@ let golden_tests =
             Alcotest.check exact (name ^ " hpwl") hpwl (Netlist.Layout.hpwl l);
             Alcotest.check exact (name ^ " cost") best_cost cost)
           sa_goldens);
-    Alcotest.test_case "restarted sa matches pre-engine golden" `Quick
+    Alcotest.test_case "restarted sa matches pinned golden" `Quick
       (fun () ->
         let c = Circuits.Testcases.get_exn "Comp1" in
         let params =
@@ -210,9 +215,9 @@ let golden_tests =
             Annealing.Sa_placer.moves = 3_000; seed = 11; restarts = 3 }
         in
         let l, cost = Annealing.Sa_placer.place ~params c in
-        Alcotest.check exact "area" 26.099999999999998 (Netlist.Layout.area l);
-        Alcotest.check exact "hpwl" 33.869999999999997 (Netlist.Layout.hpwl l);
-        Alcotest.check exact "cost" 1.3444950197811012 cost);
+        Alcotest.check exact "area" 22.800000000000001 (Netlist.Layout.area l);
+        Alcotest.check exact "hpwl" 35.57 (Netlist.Layout.hpwl l);
+        Alcotest.check exact "cost" 1.375147175540949 cost);
   ]
 
 let suites =

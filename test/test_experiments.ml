@@ -51,6 +51,27 @@ let setup_tests =
         let l = List.hd (GS.generate_layouts ~sizes ~seed:9 c) in
         let p = GS.phi_of_layout t l in
         Alcotest.(check bool) "phi in (0,1)" true (p > 0.0 && p < 1.0));
+    (* hammer the trained-model cache from 4 domains: every concurrent
+       miss on one key must resolve to the same physically-equal value
+       (the in-flight dedup trains once; waiters share the result) *)
+    Alcotest.test_case "model cache is shared under parallel misses" `Slow
+      (fun () ->
+        let c = Circuits.Testcases.get_exn "Adder" in
+        let sizes =
+          { GS.n_random = 20; n_spread = 6; n_sa = 2; n_analytic = 0 }
+        in
+        let results =
+          Pool.with_pool ~jobs:4 (fun pool ->
+              Pool.map pool
+                (fun _ -> GS.get ~sizes ~epochs:8 c)
+                (Array.init 8 Fun.id))
+        in
+        let first = results.(0) in
+        Array.iteri
+          (fun i t ->
+            if not (t == first) then
+              Alcotest.failf "caller %d got a distinct trained value" i)
+          results);
   ]
 
 let method_tests =

@@ -1,0 +1,81 @@
+(* placer-lint self-tests: scan the compiled fixtures in
+   test/lint_fixtures — one file of intentional violations per rule —
+   and check that every rule fires where expected, stays quiet on
+   clean code, and respects reasoned suppressions. *)
+
+(* under `dune runtest` the cwd is _build/default/test, so the fixture
+   library's .cmt files sit right below and the workspace-root-relative
+   source paths recorded in them resolve against ".."; under
+   `dune exec` the cwd is the workspace root itself *)
+let fixture_scan =
+  lazy
+    (if Sys.file_exists "lint_fixtures" then
+       Lint.run ~root:".." [ "lint_fixtures" ]
+     else Lint.run ~root:"." [ "_build/default/test/lint_fixtures" ])
+
+let findings () = fst (Lazy.force fixture_scan)
+
+let in_file file (f : Lint.finding) = Filename.basename f.Lint.file = file
+
+let count ~file ~rule fs =
+  List.length
+    (List.filter (fun f -> in_file file f && f.Lint.rule = rule) fs)
+
+let check_count msg file rule expected =
+  Alcotest.(check int) msg expected (count ~file ~rule (findings ()))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let tests =
+  [
+    Alcotest.test_case "scan covers every fixture unit" `Quick (fun () ->
+        let _, n_units = Lazy.force fixture_scan in
+        Alcotest.(check bool) "at least 8 units" true (n_units >= 8));
+    Alcotest.test_case "D1 fires on wall-clock reads" `Quick (fun () ->
+        check_count "gettimeofday + Sys.time" "fix_d1.ml" Lint.D1 2);
+    Alcotest.test_case "D2 fires on Stdlib.Random" `Quick (fun () ->
+        check_count "int + self_init + float" "fix_d2.ml" Lint.D2 3);
+    Alcotest.test_case "D3 fires on hash-order iteration" `Quick (fun () ->
+        check_count "iter + fold + hash" "fix_d3.ml" Lint.D3 3);
+    Alcotest.test_case "D4 fires on module-level mutable state" `Quick
+      (fun () ->
+        check_count "ref/array/tbl/record/closure" "fix_d4.ml" Lint.D4 5);
+    Alcotest.test_case "F1 fires on float compares, not int" `Quick
+      (fun () ->
+        check_count "=, <>, compare, record, list" "fix_f1.ml" Lint.F1 5);
+    Alcotest.test_case "H1 fires on Obj.magic and catch-alls" `Quick
+      (fun () ->
+        check_count "magic + try _ + match exception _" "fix_h1.ml" Lint.H1 3);
+    Alcotest.test_case "reasoned suppressions silence their rule" `Quick
+      (fun () ->
+        check_count "suppressed D1" "fix_suppressed.ml" Lint.D1 0;
+        check_count "suppressed D2" "fix_suppressed.ml" Lint.D2 0);
+    Alcotest.test_case "reasonless suppression is itself a finding" `Quick
+      (fun () ->
+        check_count "D3 stays live" "fix_suppressed.ml" Lint.D3 1;
+        check_count "SUPPRESS fires" "fix_suppressed.ml" Lint.Bad_suppress 1);
+    Alcotest.test_case "clean fixture has zero findings" `Quick (fun () ->
+        Alcotest.(check int) "fix_clean" 0
+          (List.length (List.filter (in_file "fix_clean.ml") (findings ()))));
+    Alcotest.test_case "diagnostics print file:line:col [RULE]" `Quick
+      (fun () ->
+        match
+          List.find_opt
+            (fun f -> in_file "fix_h1.ml" f && f.Lint.rule = Lint.H1)
+            (findings ())
+        with
+        | None -> Alcotest.fail "no H1 finding to format"
+        | Some f ->
+            let s = Lint.to_string f in
+            Alcotest.(check bool) "has [H1] marker" true (contains s "[H1]");
+            Alcotest.(check bool) "names the file" true
+              (contains s "fix_h1.ml");
+            Alcotest.(check bool) "has line:col" true
+              (contains s
+                 (Printf.sprintf ":%d:%d " f.Lint.line f.Lint.col)));
+  ]
+
+let suites = [ ("lint", tests) ]

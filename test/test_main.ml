@@ -3,4 +3,5 @@ let () =
     (Test_telemetry.suites @ Test_pool.suites @ Test_geometry.suites @ Test_netlist.suites @ Test_numerics.suites
    @ Test_smoothing.suites @ Test_gnn.suites @ Test_perf.suites
    @ Test_annealing.suites @ Test_eval.suites @ Test_placers.suites @ Test_experiments.suites
-   @ Test_properties.suites @ Test_io.suites @ Test_maze.suites @ Test_more.suites @ Test_dp_detail.suites)
+   @ Test_properties.suites @ Test_io.suites @ Test_maze.suites @ Test_more.suites @ Test_dp_detail.suites
+   @ Test_lint.suites)
