@@ -1,14 +1,27 @@
 (* placer-lint driver: scan .cmt trees, print diagnostics, exit
-   nonzero on any unsuppressed finding. Wired to `dune build @lint`,
-   which runs it from the build-context root over lib/, bin/ and
-   bench/ after everything has compiled. *)
+   nonzero only when unsuppressed findings survive. Wired to
+   `dune build @lint`, which runs it from the build-context root over
+   lib/, bin/, bench/ and test/ (minus the intentional-violation
+   fixtures) after everything has compiled. *)
 
-let usage = "lint_cli [--root DIR] PATH...\n\
-             Scans PATH... (directories or .cmt files) and reports\n\
-             determinism/parallel-safety findings as file:line:col [RULE]."
+let usage =
+  "lint_cli [--root DIR] [--exclude SUBSTR]... [--format text|json|sarif]\n\
+  \         [--out FILE] [--dump-summaries] PATH...\n\
+   Scans PATH... (directories, .cmt or .cmti files) and reports\n\
+   determinism/parallel-safety findings as file:line:col [RULE].\n\
+   --exclude skips any unit whose .cmt path or source path contains\n\
+   SUBSTR. --format json/sarif emit machine-readable reports (CI\n\
+   artifacts, code-scanning annotation). --dump-summaries prints the\n\
+   interprocedural effect summaries instead of findings, for\n\
+   reviewable summary drift in diffs. Exit status: 0 clean, 1 when\n\
+   findings survive, 2 usage error."
 
 let () =
   let root = ref "." in
+  let excludes = ref [] in
+  let format = ref "text" in
+  let out = ref "" in
+  let dump_summaries = ref false in
   let paths = ref [] in
   let spec =
     [
@@ -16,6 +29,19 @@ let () =
         Arg.Set_string root,
         "DIR directory the .cmt-recorded source paths resolve against \
          (workspace root; used to read suppression comments)" );
+      ( "--exclude",
+        Arg.String (fun s -> excludes := s :: !excludes),
+        "SUBSTR skip units whose .cmt path or source path contains SUBSTR \
+         (repeatable)" );
+      ( "--format",
+        Arg.Symbol ([ "text"; "json"; "sarif" ], fun s -> format := s),
+        " report format (default text)" );
+      ( "--out",
+        Arg.Set_string out,
+        "FILE write the report to FILE instead of stdout" );
+      ( "--dump-summaries",
+        Arg.Set dump_summaries,
+        " print the per-function effect summaries and exit 0" );
     ]
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
@@ -24,12 +50,47 @@ let () =
     prerr_endline usage;
     exit 2
   end;
-  let findings, n_units = Lint.run ~root:!root paths in
-  List.iter (fun f -> print_endline (Lint.to_string f)) findings;
-  match findings with
-  | [] ->
-      Printf.printf "placer-lint: %d compilation units clean\n" n_units
-  | fs ->
-      Printf.printf "placer-lint: %d finding(s) in %d compilation units\n"
-        (List.length fs) n_units;
-      exit 1
+  let report = Lint.analyze ~excludes:(List.rev !excludes) ~root:!root paths in
+  let output s =
+    if !out = "" then print_string s
+    else Out_channel.with_open_text !out (fun oc -> output_string oc s)
+  in
+  if !dump_summaries then begin
+    output (Lint.Summaries.dump report.Lint.r_summaries ^ "\n");
+    exit 0
+  end;
+  match !format with
+  | "json" ->
+      output (Lint.to_json report ^ "\n");
+      if report.Lint.r_findings <> [] then exit 1
+  | "sarif" ->
+      output (Lint.to_sarif report ^ "\n");
+      if report.Lint.r_findings <> [] then exit 1
+  | _ -> (
+      let findings = report.Lint.r_findings in
+      let b = Buffer.create 1024 in
+      List.iter
+        (fun f -> Buffer.add_string b (Lint.to_string f ^ "\n"))
+        findings;
+      (match findings with
+      | [] ->
+          Buffer.add_string b
+            (Printf.sprintf "placer-lint: %d compilation units clean\n"
+               report.Lint.r_units)
+      | fs ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "placer-lint: %d finding(s) in %d compilation units\n"
+               (List.length fs) report.Lint.r_units);
+          List.iter
+            (fun (name, n) ->
+              if n > 0 then
+                Buffer.add_string b (Printf.sprintf "  %-8s %d\n" name n))
+            (List.map
+               (fun r ->
+                 ( Lint.rule_name r,
+                   List.length
+                     (List.filter (fun f -> f.Lint.rule = r) fs) ))
+               Lint.all_rules));
+      output (Buffer.contents b);
+      match findings with [] -> () | _ -> exit 1)

@@ -1,0 +1,1178 @@
+(* Interprocedural effect & escape analysis over .cmt Typedtrees.
+
+   The per-expression rules in [Lint] cannot see a [ref] captured into
+   a closure that crosses a [Pool.map] boundary: the write site looks
+   local, the capture looks innocent, and the race only exists because
+   both ends meet at a fan-out. This module supplies the missing whole-
+   program view in two phases.
+
+   Phase 1 — summaries. Every top-level function in every scanned unit
+   gets an effect summary: the set of module-level globals it writes,
+   which of its own parameters it mutates, whether it mutates locally
+   allocated state, touches io, draws from the process-global RNG, or
+   calls something the analysis cannot resolve. Summaries are computed
+   by a fixpoint over the strongly-connected components of the cross-
+   unit call graph (Tarjan, callees first), so mutual recursion
+   converges. An escape pass classifies each local allocation of
+   [ref]/[array]/[Bytes]/mutable-record as task-local or escaping
+   (stored into a structure or handed to an unresolved call).
+
+   Phase 2 — fan-out enforcement. Every call to [Pool.map],
+   [Pool.map_list] or [Pool.run_all] is a site; the task argument
+   (inline lambda, named function, or a composite expression such as
+   [List.init n (fun i () -> ...)]) is re-analyzed in "task mode",
+   where the environment chain distinguishes the task's own bindings
+   from values captured from the enclosing scope:
+
+   - P1: a write to shared (module-level) state inside a task — direct,
+     or via a callee whose summary is shared-mutation.
+   - P2: a write to a mutable value captured from the enclosing scope
+     (still reachable by the caller after the join).
+   - R1: any use of an [Rng.t] that is captured or global rather than
+     received as the task's own parameter — shared streams make the
+     draw order schedule-dependent; pre-split with [Rng.split_n].
+
+   The analysis is precision-biased: findings are emitted only for
+   *proven* writes. Unresolved calls (functional values, record-field
+   methods, unscanned libraries) set the [unknown_calls] flag on the
+   summary and stay quiet. Known soundness gaps, accepted for zero
+   false positives: no alias tracking through lets (write targets are
+   classified by the syntactic head identifier), and effects routed
+   through higher-order stdlib combinators ([|>], [List.iter f]) are
+   only seen when the lambda is syntactically inline. [lib/telemetry]
+   and [lib/pool] are the sanctioned channel for cross-domain effects
+   (per-domain collectors merged deterministically at the join), so
+   their functions are given assumed-pure summaries. *)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+module ISet = Set.Make (Int)
+
+type unit_info = {
+  eu_file : string;
+  eu_name : string;
+  eu_str : Typedtree.structure;
+}
+
+type rule = P1 | P2 | R1
+
+type finding = {
+  e_file : string;
+  e_line : int;
+  e_col : int;
+  e_rule : rule;
+  e_message : string;
+}
+
+(* "Annealing__Island", "Annealing.Island" and the alias spelling
+   "Annealing__.Island" all occur as path prefixes depending on how a
+   use reaches the module; collapse every double-underscore (and a dot
+   right after it) to a single dot so one canonical key matches all
+   three. *)
+let normalize s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && s.[!i] = '_' && s.[!i + 1] = '_' then begin
+      Buffer.add_char b '.';
+      i := !i + 2;
+      if !i < n && s.[!i] = '.' then incr i
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+module Summaries = struct
+  type kind = Pure | Local_mutation | Shared_mutation
+
+  type summary = {
+    s_name : string;  (** canonical dotted name, e.g. ["Numerics.Rng.float"] *)
+    s_unit : string;  (** compilation unit that defines it *)
+    s_file : string;  (** source path as recorded in the .cmt *)
+    s_writes_globals : string list;  (** module-level bindings written (sorted) *)
+    s_writes_params : int list;  (** 0-based indices of mutated parameters *)
+    s_writes_local : bool;  (** mutates locally allocated state *)
+    s_io : bool;
+    s_global_rng : bool;  (** draws from [Stdlib.Random] *)
+    s_unknown_calls : bool;  (** calls something the analysis cannot resolve *)
+    s_assumed : bool;  (** sanctioned unit: summary assumed, not computed *)
+    s_local_allocs : int;  (** mutable allocations proven task-local *)
+    s_escaping_allocs : int;  (** mutable allocations that escape *)
+  }
+
+  type t = summary SMap.t
+
+  let kind s =
+    match s.s_writes_globals with
+    | _ :: _ -> Shared_mutation
+    | [] ->
+        if s.s_writes_local || s.s_writes_params <> [] then Local_mutation
+        else Pure
+
+  let kind_name = function
+    | Pure -> "pure"
+    | Local_mutation -> "local-mutation"
+    | Shared_mutation -> "shared-mutation"
+
+  let find t name =
+    match SMap.find_opt name t with
+    | Some _ as r -> r
+    | None -> SMap.find_opt (normalize name) t
+
+  let to_list t = List.map snd (SMap.bindings t)
+
+  let to_string s =
+    let b = Buffer.create 80 in
+    Buffer.add_string b s.s_name;
+    Buffer.add_string b ": ";
+    Buffer.add_string b (kind_name (kind s));
+    if s.s_writes_params <> [] then
+      Buffer.add_string b
+        (" params="
+        ^ String.concat "," (List.map string_of_int s.s_writes_params));
+    if s.s_writes_globals <> [] then
+      Buffer.add_string b (" globals=" ^ String.concat "," s.s_writes_globals);
+    if s.s_io then Buffer.add_string b " io";
+    if s.s_global_rng then Buffer.add_string b " rng";
+    if s.s_unknown_calls then Buffer.add_string b " unknown-calls";
+    if s.s_local_allocs > 0 || s.s_escaping_allocs > 0 then
+      Buffer.add_string b
+        (Printf.sprintf " allocs=%d/%d-escaping" s.s_local_allocs
+           s.s_escaping_allocs);
+    if s.s_assumed then Buffer.add_string b " (assumed)";
+    Buffer.contents b
+
+  let dump t =
+    String.concat "\n" (List.map to_string (to_list t))
+end
+
+open Summaries
+
+let summary_equal a b =
+  List.equal String.equal a.s_writes_globals b.s_writes_globals
+  && List.equal Int.equal a.s_writes_params b.s_writes_params
+  && Bool.equal a.s_writes_local b.s_writes_local
+  && Bool.equal a.s_io b.s_io
+  && Bool.equal a.s_global_rng b.s_global_rng
+  && Bool.equal a.s_unknown_calls b.s_unknown_calls
+  && Int.equal a.s_local_allocs b.s_local_allocs
+  && Int.equal a.s_escaping_allocs b.s_escaping_allocs
+
+(* ----- name tables ----- *)
+
+let strip_stdlib n =
+  if String.starts_with ~prefix:"Stdlib." n then
+    String.sub n 7 (String.length n - 7)
+  else n
+
+(* Imperative stdlib entry points, with the 0-based positions (among
+   Nolabel arguments) of the arguments they mutate. *)
+let write_prims =
+  [
+    (":=", [ 0 ]); ("incr", [ 0 ]); ("decr", [ 0 ]);
+    ("Array.set", [ 0 ]); ("Array.unsafe_set", [ 0 ]); ("Array.fill", [ 0 ]);
+    ("Array.blit", [ 2 ]); ("Array.sort", [ 1 ]); ("Array.stable_sort", [ 1 ]);
+    ("Array.fast_sort", [ 1 ]);
+    ("Bytes.set", [ 0 ]); ("Bytes.unsafe_set", [ 0 ]); ("Bytes.fill", [ 0 ]);
+    ("Bytes.blit", [ 2 ]); ("Bytes.blit_string", [ 2 ]);
+    ("Hashtbl.add", [ 0 ]); ("Hashtbl.replace", [ 0 ]);
+    ("Hashtbl.remove", [ 0 ]); ("Hashtbl.clear", [ 0 ]);
+    ("Hashtbl.reset", [ 0 ]); ("Hashtbl.filter_map_inplace", [ 1 ]);
+    ("Buffer.add_char", [ 0 ]); ("Buffer.add_string", [ 0 ]);
+    ("Buffer.add_bytes", [ 0 ]); ("Buffer.add_substring", [ 0 ]);
+    ("Buffer.add_subbytes", [ 0 ]); ("Buffer.add_buffer", [ 0 ]);
+    ("Buffer.clear", [ 0 ]); ("Buffer.reset", [ 0 ]);
+    ("Buffer.truncate", [ 0 ]);
+    ("Atomic.set", [ 0 ]); ("Atomic.exchange", [ 0 ]);
+    ("Atomic.compare_and_set", [ 0 ]); ("Atomic.fetch_and_add", [ 0 ]);
+    ("Atomic.incr", [ 0 ]); ("Atomic.decr", [ 0 ]);
+    ("Queue.add", [ 1 ]); ("Queue.push", [ 1 ]); ("Queue.pop", [ 0 ]);
+    ("Queue.take", [ 0 ]); ("Queue.clear", [ 0 ]);
+    ("Queue.transfer", [ 0; 1 ]);
+    ("Stack.push", [ 1 ]); ("Stack.pop", [ 0 ]); ("Stack.clear", [ 0 ]);
+  ]
+
+(* Pure head-projections: [head (proj x ...)] is [head x], so writes
+   through e.g. [row.(i) <- v] where [row = m.(k)] classify to [m]. *)
+let projections =
+  [
+    "!"; "Array.get"; "Array.unsafe_get"; "Bytes.get"; "Hashtbl.find";
+    "Hashtbl.find_opt"; "Atomic.get"; "Queue.peek"; "Option.get"; "List.hd";
+    "List.nth"; "fst"; "snd";
+  ]
+
+(* Constructors whose result is fresh mutable state; a let-binding of
+   one of these is a tracked allocation for the escape pass. *)
+let alloc_names =
+  [
+    "ref"; "Array.make"; "Array.init"; "Array.create_float";
+    "Array.make_matrix"; "Array.copy"; "Array.of_list"; "Array.append";
+    "Array.concat"; "Array.sub"; "Array.map"; "Array.mapi"; "Bytes.create";
+    "Bytes.make"; "Bytes.copy"; "Bytes.of_string"; "Buffer.create";
+    "Hashtbl.create"; "Hashtbl.copy"; "Atomic.make"; "Queue.create";
+    "Queue.copy"; "Stack.create";
+  ]
+
+let io_names =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_int";
+    "print_float"; "print_char"; "print_bytes"; "prerr_string";
+    "prerr_endline"; "prerr_newline"; "read_line"; "read_int";
+    "output_string"; "output_char"; "flush"; "flush_all"; "exit"; "at_exit";
+  ]
+
+let io_prefixes = [ "Printf."; "Format."; "Unix."; "In_channel."; "Out_channel." ]
+
+(* Checked before the io prefixes: string formatting allocates, but
+   performs no io. *)
+let pure_format_names =
+  [ "Printf.sprintf"; "Printf.ksprintf"; "Format.sprintf"; "Format.asprintf" ]
+
+let pure_names =
+  [
+    "+"; "-"; "*"; "/"; "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr";
+    "+."; "-."; "*."; "/."; "**"; "="; "<>"; "<"; ">"; "<="; ">="; "==";
+    "!="; "&&"; "||"; "not"; "@"; "^"; "^^"; "~-"; "~-."; "~+"; "~+.";
+    "min"; "max"; "abs"; "abs_float"; "sqrt"; "exp"; "log"; "log10"; "sin";
+    "cos"; "tan"; "atan"; "atan2"; "floor"; "ceil"; "mod_float";
+    "float_of_int"; "int_of_float"; "truncate"; "string_of_int";
+    "int_of_string"; "string_of_float"; "float_of_string"; "string_of_bool";
+    "bool_of_string"; "char_of_int"; "int_of_char"; "succ"; "pred";
+    "ignore"; "raise"; "raise_notrace"; "failwith"; "invalid_arg";
+    "compare"; "infinity"; "nan"; "classify_float";
+  ]
+
+let pure_prefixes =
+  [
+    "Float."; "Int."; "Int32."; "Int64."; "Nativeint."; "Char."; "String.";
+    "Bool."; "Fun."; "Option."; "Result."; "List."; "Seq."; "Map."; "Set.";
+    "Either."; "Lazy."; "Complex."; "Domain."; "Mutex."; "Condition.";
+    "Semaphore."; "Printexc."; "Sys."; "Gc."; "Filename."; "Arg.";
+  ]
+
+let is_global_rng n =
+  String.starts_with ~prefix:"Random." n
+  || String.starts_with ~prefix:"Stdlib.Random." n
+
+let fanout_tails = [ "Pool.map"; "Pool.map_list"; "Pool.run_all" ]
+
+(* [Some "Pool.map"] when the normalized callee name is a pool fan-out. *)
+let fanout_of n =
+  List.find_opt
+    (fun t -> String.equal n t || String.ends_with ~suffix:("." ^ t) n)
+    fanout_tails
+
+let is_rng_type ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) ->
+      let n = normalize (Path.name p) in
+      String.equal n "Rng.t" || String.ends_with ~suffix:".Rng.t" n
+  | _ -> false
+
+let pos_of (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol + 1)
+
+(* ----- analysis state ----- *)
+
+type alloc = { mutable a_escapes : bool }
+
+type bind =
+  | Bparam of int  (* parameter of the function/task under analysis *)
+  | Blocal of alloc option  (* local let; [Some a] if a tracked allocation *)
+  | Bfun of string * Typedtree.expression  (* let-bound lambda (binder, body) *)
+
+type acc = {
+  mutable c_globals : SSet.t;
+  mutable c_params : ISet.t;
+  mutable c_local : bool;
+  mutable c_io : bool;
+  mutable c_rng : bool;
+  mutable c_unknown : bool;
+  mutable c_allocs : alloc list;
+}
+
+let fresh_acc () =
+  {
+    c_globals = SSet.empty;
+    c_params = ISet.empty;
+    c_local = false;
+    c_io = false;
+    c_rng = false;
+    c_unknown = false;
+    c_allocs = [];
+  }
+
+type fn = {
+  f_key : string;  (* canonical normalized name *)
+  f_unit : string;
+  f_file : string;
+  f_expr : Typedtree.expression;
+}
+
+type unit_ctx = {
+  uc_file : string;
+  uc_globals : string SMap.t;  (* unique_name -> display name *)
+  uc_fn_idents : string SMap.t;  (* unique_name -> canonical fn key *)
+  uc_aliases : string SMap.t;  (* local module alias -> normalized target *)
+}
+
+type engine = {
+  eg_sums : Summaries.t ref;
+  eg_labels : Asttypes.arg_label list SMap.t;
+}
+
+type task_ctx = {
+  t_fanout : string;  (* "Pool.map" etc., for messages *)
+  t_emit : Location.t -> rule -> string -> unit;
+  t_r1_seen : SSet.t ref;  (* R1 deduped per shared stream per task *)
+  t_fun_seen : SSet.t ref;  (* outer lambdas already inlined (recursion guard) *)
+}
+
+type site = {
+  st_fanout : string;
+  st_loc : Location.t;
+  st_task : Typedtree.expression option;  (* second Nolabel argument *)
+  st_outers : (string, bind) Hashtbl.t list;
+  st_uc : unit_ctx;
+}
+
+type ctx = {
+  cx_eng : engine;
+  cx_uc : unit_ctx;
+  cx_env : (string, bind) Hashtbl.t;
+  cx_outers : (string, bind) Hashtbl.t list;
+  cx_acc : acc;
+  cx_sites : site Queue.t;
+  cx_task : task_ctx option;
+}
+
+type target =
+  | Tparam of int
+  | Tlocal of alloc option
+  | Tglobal of string
+  | Tcaptured of string * Types.type_expr
+  | Topaque
+
+(* ----- small helpers over the Typedtree ----- *)
+
+(* Walk the curried [fun p1 -> fun p2 -> ...] spine: per-level labels
+   plus (unique_name, level) for every bound ident, and the innermost
+   body. Stops at a multi-case or guarded level ([function ...]); the
+   walker then treats the remaining node as a nested lambda. *)
+let peel_params e0 =
+  let rec go labels binds idx (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_function { arg_label; cases = [ { c_lhs; c_guard = None; c_rhs } ]; _ }
+      ->
+        let here =
+          List.map
+            (fun id -> (Ident.unique_name id, idx))
+            (Typedtree.pat_bound_idents c_lhs)
+        in
+        go (arg_label :: labels) (here @ binds) (idx + 1) c_rhs
+    | _ -> (List.rev labels, binds, e)
+  in
+  go [] [] 0 e0
+
+let nolabel_args args =
+  List.filter_map
+    (fun ((l : Asttypes.arg_label), a) ->
+      match (l, a) with Asttypes.Nolabel, Some e -> Some e | _ -> None)
+    args
+
+(* The call-site argument feeding parameter [i] of a callee with
+   parameter [labels]: labelled parameters match by label, unlabelled
+   ones by position among the Nolabel arguments. *)
+let arg_for_param labels args i =
+  match List.nth_opt labels i with
+  | None -> None
+  | Some Asttypes.Nolabel ->
+      let before = List.filteri (fun j _ -> j < i) labels in
+      let k =
+        List.length
+          (List.filter (fun l -> l = Asttypes.Nolabel) before)
+      in
+      List.nth_opt (nolabel_args args) k
+  | Some (Asttypes.Labelled name) | Some (Asttypes.Optional name) ->
+      List.find_map
+        (fun ((l : Asttypes.arg_label), a) ->
+          match (l, a) with
+          | Asttypes.Labelled n, Some e when String.equal n name -> Some e
+          | Asttypes.Optional n, Some e when String.equal n name -> Some e
+          | _ -> None)
+        args
+
+let rec head_path (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some (p, e.exp_type)
+  | Texp_field (e1, _, _) -> head_path e1
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+    when List.mem (strip_stdlib (Path.name p)) projections -> (
+      match nolabel_args args with a :: _ -> head_path a | [] -> None)
+  | _ -> None
+
+let is_alloc_expr (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_array _ -> true
+  | Texp_record { fields; _ } ->
+      Array.exists
+        (fun ((ld : Types.label_description), _) ->
+          ld.lbl_mut = Asttypes.Mutable)
+        fields
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) ->
+      List.mem (strip_stdlib (Path.name p)) alloc_names
+  | _ -> false
+
+(* Topmost lambdas of a composite task expression such as
+   [List.init n (fun i () -> ...)] — each is a task closure. *)
+let collect_lambdas e0 =
+  let out = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          match e.exp_desc with
+          | Texp_function _ -> out := e :: !out
+          | _ -> Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.expr it e0;
+  List.rev !out
+
+(* ----- name resolution ----- *)
+
+(* Rewrite a dotted path through the unit's local module aliases
+   ([module GS = Experiments.Gnn_setup] leaves call paths spelled
+   "GS.get") and normalize the wrapper underscores away. *)
+let resolve_dotted uc n =
+  let n =
+    match String.index_opt n '.' with
+    | Some i -> (
+        let head = String.sub n 0 i in
+        match SMap.find_opt head uc.uc_aliases with
+        | Some tgt -> tgt ^ String.sub n i (String.length n - i)
+        | None -> n)
+    | None -> n
+  in
+  normalize n
+
+(* Canonical summary key for a callee path, if it can have one. *)
+let resolve_call_key uc (p : Path.t) =
+  match p with
+  | Path.Pident id -> SMap.find_opt (Ident.unique_name id) uc.uc_fn_idents
+  | _ -> Some (resolve_dotted uc (Path.name p))
+
+let find_summary eng key = SMap.find_opt key !(eng.eg_sums)
+
+let lookup_bind ctx un =
+  match Hashtbl.find_opt ctx.cx_env un with
+  | Some b -> Some (b, false)
+  | None ->
+      let rec go = function
+        | [] -> None
+        | env :: rest -> (
+            match Hashtbl.find_opt env un with
+            | Some b -> Some (b, true)
+            | None -> go rest)
+      in
+      go ctx.cx_outers
+
+let classify ctx (p : Path.t) ty =
+  match p with
+  | Path.Pident id -> (
+      let un = Ident.unique_name id in
+      match lookup_bind ctx un with
+      | Some (Bparam i, false) -> Tparam i
+      | Some (Blocal a, false) -> Tlocal a
+      | Some (Bfun _, false) -> Tlocal None
+      | Some (_, true) -> Tcaptured (Ident.name id, ty)
+      | None -> (
+          match SMap.find_opt un ctx.cx_uc.uc_globals with
+          | Some name -> Tglobal name
+          | None -> Topaque))
+  | _ -> Tglobal (resolve_dotted ctx.cx_uc (Path.name p))
+
+let mark_escape ctx (e : Typedtree.expression) =
+  match head_path e with
+  | Some (p, ty) -> (
+      match classify ctx p ty with
+      | Tlocal (Some a) -> a.a_escapes <- true
+      | Tparam _ | Tlocal None | Tglobal _ | Tcaptured _ | Topaque -> ())
+  | None -> ()
+
+let record_write ctx ~loc ?via target =
+  let acc = ctx.cx_acc in
+  let via_s =
+    match via with
+    | Some v -> Printf.sprintf " (via %s)" v
+    | None -> ""
+  in
+  match target with
+  | Tparam i -> acc.c_params <- ISet.add i acc.c_params
+  | Tlocal _ -> acc.c_local <- true
+  | Topaque -> ()
+  | Tglobal name -> (
+      acc.c_globals <- SSet.add name acc.c_globals;
+      match ctx.cx_task with
+      | Some t ->
+          t.t_emit loc P1
+            (Printf.sprintf
+               "task passed to %s writes shared state '%s'%s; a cross-domain \
+                write breaks serial/parallel bit-identity — accumulate \
+                task-locally and merge at the join"
+               t.t_fanout name via_s)
+      | None -> ())
+  | Tcaptured (name, ty) -> (
+      acc.c_local <- true;
+      match ctx.cx_task with
+      | Some t when not (is_rng_type ty) ->
+          t.t_emit loc P2
+            (Printf.sprintf
+               "task passed to %s writes '%s'%s, a mutable captured from the \
+                enclosing scope and still reachable after the join; give \
+                each task its own state and combine the returned results"
+               t.t_fanout name via_s)
+      | _ -> ())
+
+(* ----- the expression walk (shared by both phases) ----- *)
+
+let register_local ctx id b =
+  let un = Ident.unique_name id in
+  if not (Hashtbl.mem ctx.cx_env un) then Hashtbl.replace ctx.cx_env un b
+
+let register_vb ctx (vb : Typedtree.value_binding) =
+  match vb.vb_pat.pat_desc with
+  | Typedtree.Tpat_var (id, _) -> (
+      match vb.vb_expr.exp_desc with
+      | Typedtree.Texp_function _ ->
+          register_local ctx id (Bfun (Ident.unique_name id, vb.vb_expr))
+      | _ ->
+          if is_alloc_expr vb.vb_expr then begin
+            let a = { a_escapes = false } in
+            ctx.cx_acc.c_allocs <- a :: ctx.cx_acc.c_allocs;
+            register_local ctx id (Blocal (Some a))
+          end
+          else register_local ctx id (Blocal None))
+  | _ ->
+      List.iter
+        (fun id -> register_local ctx id (Blocal None))
+        (Typedtree.pat_bound_idents vb.vb_pat)
+
+let register_cases : type k. ctx -> k Typedtree.case list -> unit =
+ fun ctx cases ->
+  List.iter
+    (fun (c : k Typedtree.case) ->
+      List.iter
+        (fun id -> register_local ctx id (Blocal None))
+        (Typedtree.pat_bound_idents c.Typedtree.c_lhs))
+    cases
+
+let rec walk ctx (e0 : Typedtree.expression) =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr = (fun sub e -> visit ctx sub e);
+    }
+  in
+  it.expr it e0
+
+and visit ctx sub (e : Typedtree.expression) =
+  (match e.exp_desc with
+  | Texp_let (_, vbs, _) -> List.iter (register_vb ctx) vbs
+  | Texp_function { cases; _ } -> register_cases ctx cases
+  | Texp_match (_, cases, _) -> register_cases ctx cases
+  | Texp_try (_, cases) -> register_cases ctx cases
+  | Texp_for (id, _, _, _, _, _) -> register_local ctx id (Blocal None)
+  | _ -> ());
+  (match e.exp_desc with
+  | Texp_apply (fexpr, args) -> handle_call ctx e fexpr args
+  | Texp_setfield (tgt, _, _, v) ->
+      (match head_path tgt with
+      | Some (p, ty) -> record_write ctx ~loc:e.exp_loc (classify ctx p ty)
+      | None -> ());
+      mark_escape ctx v
+  | Texp_ident (p, _, _) -> handle_ident ctx e p
+  | Texp_construct (_, _, args) -> List.iter (mark_escape ctx) args
+  | Texp_tuple es -> List.iter (mark_escape ctx) es
+  | Texp_array es -> List.iter (mark_escape ctx) es
+  | Texp_record { fields; _ } ->
+      Array.iter
+        (fun (_, def) ->
+          match def with
+          | Typedtree.Overridden (_, v) -> mark_escape ctx v
+          | Typedtree.Kept _ -> ())
+        fields
+  | _ -> ());
+  Tast_iterator.default_iterator.expr sub e
+
+(* R1: inside a task, any use of an Rng stream that is not the task's
+   own parameter (or a task-local creation) is a shared stream. *)
+and handle_ident ctx (e : Typedtree.expression) p =
+  match ctx.cx_task with
+  | None -> ()
+  | Some t ->
+      if is_rng_type e.exp_type then (
+        match classify ctx p e.exp_type with
+        | Tcaptured (name, _) | Tglobal name ->
+            let key =
+              match p with
+              | Path.Pident id -> Ident.unique_name id
+              | _ -> Path.name p
+            in
+            if not (SSet.mem key !(t.t_r1_seen)) then begin
+              t.t_r1_seen := SSet.add key !(t.t_r1_seen);
+              t.t_emit e.exp_loc R1
+                (Printf.sprintf
+                   "Rng stream '%s' is shared across the tasks of %s, making \
+                    the draw order schedule-dependent; pre-split with \
+                    Rng.split_n and pass one stream per task"
+                   name t.t_fanout)
+            end
+        | Tparam _ | Tlocal _ | Topaque -> ())
+
+and handle_call ctx (e : Typedtree.expression) fexpr args =
+  let acc = ctx.cx_acc in
+  let unknown () =
+    acc.c_unknown <- true;
+    List.iter (mark_escape ctx) (nolabel_args args)
+  in
+  match fexpr.exp_desc with
+  | Texp_ident (p, _, _) -> (
+      let bfun =
+        match p with
+        | Path.Pident id -> lookup_bind ctx (Ident.unique_name id)
+        | _ -> None
+      in
+      match bfun with
+      | Some (Bfun (bname, lam), from_outer) ->
+          (* a let-bound lambda: its body was already walked at its
+             definition site if it is in scope of this walk; one bound
+             in an *outer* scope (task mode) is inlined here once so
+             its effects land in the task context *)
+          if from_outer then inline_outer_fun ctx bname lam
+      | Some ((Bparam _ | Blocal _), _) -> unknown ()
+      | None -> (
+          match resolve_call_key ctx.cx_uc p with
+          | Some key -> (
+              match fanout_of key with
+              | Some fanout -> record_site ctx e fanout args
+              | None -> (
+                  match find_summary ctx.cx_eng key with
+                  | Some s ->
+                      let labels =
+                        Option.value ~default:[]
+                          (SMap.find_opt key ctx.cx_eng.eg_labels)
+                      in
+                      merge_summary ctx ~loc:e.exp_loc s labels args
+                  | None -> dispatch_named ctx unknown (Path.name p) args))
+          | None -> dispatch_named ctx unknown (Path.name p) args))
+  | _ -> unknown ()
+
+(* A callee with no summary: stdlib and friends, classified by name. *)
+and dispatch_named ctx unknown raw args =
+  let n = strip_stdlib raw in
+  let acc = ctx.cx_acc in
+  match List.assoc_opt n write_prims with
+  | Some positions ->
+      let nolabels = nolabel_args args in
+      List.iter
+        (fun i ->
+          match List.nth_opt nolabels i with
+          | Some tgt -> (
+              match head_path tgt with
+              | Some (p, ty) ->
+                  record_write ctx ~loc:tgt.exp_loc (classify ctx p ty)
+              | None -> ())
+          | None -> ())
+        positions;
+      (* values stored into the written structure escape with it *)
+      List.iteri
+        (fun i a -> if not (List.mem i positions) then mark_escape ctx a)
+        (nolabel_args args)
+  | None ->
+      if List.mem n alloc_names || List.mem n projections then ()
+      else if List.mem n pure_format_names then ()
+      else if
+        List.mem n io_names
+        || List.exists (fun pfx -> String.starts_with ~prefix:pfx n) io_prefixes
+      then acc.c_io <- true
+      else if is_global_rng raw then acc.c_rng <- true
+      else if
+        List.mem n pure_names
+        || List.exists
+             (fun pfx -> String.starts_with ~prefix:pfx n)
+             pure_prefixes
+      then ()
+      else unknown ()
+
+and merge_summary ctx ~loc s labels args =
+  let acc = ctx.cx_acc in
+  List.iter
+    (fun g -> acc.c_globals <- SSet.add g acc.c_globals)
+    s.s_writes_globals;
+  if s.s_io then acc.c_io <- true;
+  if s.s_global_rng then acc.c_rng <- true;
+  if s.s_unknown_calls then acc.c_unknown <- true;
+  (match (ctx.cx_task, s.s_writes_globals) with
+  | Some t, _ :: _ ->
+      t.t_emit loc P1
+        (Printf.sprintf
+           "task passed to %s calls %s, whose summary is shared-mutation \
+            (writes %s); tasks must be pure or local-only"
+           t.t_fanout s.s_name
+           (String.concat ", " s.s_writes_globals))
+  | _ -> ());
+  List.iter
+    (fun i ->
+      match arg_for_param labels args i with
+      | Some arg -> (
+          match head_path arg with
+          | Some (p, ty) ->
+              record_write ctx ~loc:arg.exp_loc ~via:s.s_name
+                (classify ctx p ty)
+          | None -> ())
+      | None -> ())
+    s.s_writes_params
+
+and inline_outer_fun ctx bname lam =
+  match ctx.cx_task with
+  | None -> ()
+  | Some t ->
+      if not (SSet.mem bname !(t.t_fun_seen)) then begin
+        t.t_fun_seen := SSet.add bname !(t.t_fun_seen);
+        let _, binds, body = peel_params lam in
+        List.iter
+          (fun (un, _) ->
+            if not (Hashtbl.mem ctx.cx_env un) then
+              Hashtbl.replace ctx.cx_env un (Blocal None))
+          binds;
+        walk ctx body
+      end
+
+and record_site ctx (e : Typedtree.expression) fanout args =
+  let task = List.nth_opt (nolabel_args args) 1 in
+  Queue.add
+    {
+      st_fanout = fanout;
+      st_loc = e.exp_loc;
+      st_task = task;
+      st_outers = ctx.cx_env :: ctx.cx_outers;
+      st_uc = ctx.cx_uc;
+    }
+    ctx.cx_sites
+
+(* ----- harvesting ----- *)
+
+type harvested = {
+  h_uc : unit_ctx;
+  h_unit : string;
+  h_fns : fn list;
+  h_scripts : Typedtree.expression list;
+}
+
+let rec peel_mod (me : Typedtree.module_expr) =
+  match me.mod_desc with
+  | Tmod_constraint (me, _, _, _) -> peel_mod me
+  | _ -> me
+
+let harvest_unit (u : unit_info) =
+  let globals = ref SMap.empty in
+  let fn_idents = ref SMap.empty in
+  let aliases = ref SMap.empty in
+  let fns = ref [] in
+  let scripts = ref [] in
+  let unit_disp = normalize u.eu_name in
+  let rec str mods (s : Typedtree.structure) =
+    List.iter (item mods) s.str_items
+  and item mods (it : Typedtree.structure_item) =
+    match it.str_desc with
+    | Tstr_value (_, vbs) -> List.iter (vb mods) vbs
+    | Tstr_eval (e, _) -> scripts := e :: !scripts
+    | Tstr_module mb -> mb_h mods mb
+    | Tstr_recmodule mbs -> List.iter (mb_h mods) mbs
+    | Tstr_include incl -> mod_h mods (peel_mod incl.incl_mod)
+    | _ -> ()
+  and vb mods (v : Typedtree.value_binding) =
+    let display id = String.concat "." ((unit_disp :: mods) @ [ Ident.name id ]) in
+    let register id =
+      globals := SMap.add (Ident.unique_name id) (display id) !globals
+    in
+    match v.vb_pat.pat_desc with
+    | Typedtree.Tpat_var (id, _) -> (
+        register id;
+        match v.vb_expr.exp_desc with
+        | Typedtree.Texp_function _ ->
+            let key = display id in
+            fn_idents := SMap.add (Ident.unique_name id) key !fn_idents;
+            fns :=
+              {
+                f_key = key;
+                f_unit = u.eu_name;
+                f_file = u.eu_file;
+                f_expr = v.vb_expr;
+              }
+              :: !fns
+        | _ -> scripts := v.vb_expr :: !scripts)
+    | _ ->
+        List.iter register (Typedtree.pat_bound_idents v.vb_pat);
+        scripts := v.vb_expr :: !scripts
+  and mb_h mods (mb : Typedtree.module_binding) =
+    match mb.mb_name.txt with
+    | Some name -> (
+        match (peel_mod mb.mb_expr).mod_desc with
+        | Tmod_ident (p, _) ->
+            aliases := SMap.add name (normalize (Path.name p)) !aliases
+        | _ -> mod_h (mods @ [ name ]) (peel_mod mb.mb_expr))
+    | None -> ()
+  and mod_h mods (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_structure s -> str mods s
+    | _ -> ()
+  in
+  str [] u.eu_str;
+  {
+    h_uc =
+      {
+        uc_file = u.eu_file;
+        uc_globals = !globals;
+        uc_fn_idents = !fn_idents;
+        uc_aliases = !aliases;
+      };
+    h_unit = u.eu_name;
+    h_fns = List.rev !fns;
+    h_scripts = List.rev !scripts;
+  }
+
+(* ----- phase 1: call graph, SCCs, fixpoint ----- *)
+
+(* Every resolvable identifier that names a summarized function: edges
+   for the call graph (a reference is a potential call — over-edges
+   only tighten SCC grouping, they cannot create findings). *)
+let callee_keys uc known fexpr =
+  let out = ref SSet.empty in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          (match e.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (p, _, _) -> (
+              match resolve_call_key uc p with
+              | Some key -> if SSet.mem key known then out := SSet.add key !out
+              | None -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.expr it fexpr;
+  SSet.elements !out
+
+(* Tarjan; emits SCCs callees-first (an SCC is emitted only after every
+   SCC it can reach). *)
+let sccs_of nodes succs =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let next = ref 0 in
+  let out = ref [] in
+  let rec strong v =
+    Hashtbl.replace index v !next;
+    Hashtbl.replace lowlink v !next;
+    incr next;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strong w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop scc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if String.equal w v then w :: scc else pop (w :: scc)
+        | [] -> scc
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strong v) nodes;
+  List.rev !out
+
+let assumed_summary fn =
+  {
+    s_name = fn.f_key;
+    s_unit = fn.f_unit;
+    s_file = fn.f_file;
+    s_writes_globals = [];
+    s_writes_params = [];
+    s_writes_local = false;
+    s_io = false;
+    s_global_rng = false;
+    s_unknown_calls = false;
+    s_assumed = true;
+    s_local_allocs = 0;
+    s_escaping_allocs = 0;
+  }
+
+let summary_of_acc fn ~nparams (acc : acc) =
+  let locals, escaping =
+    List.partition (fun a -> not a.a_escapes) acc.c_allocs
+  in
+  {
+    s_name = fn.f_key;
+    s_unit = fn.f_unit;
+    s_file = fn.f_file;
+    s_writes_globals = SSet.elements acc.c_globals;
+    s_writes_params =
+      ISet.elements (ISet.filter (fun i -> i < nparams) acc.c_params);
+    s_writes_local = acc.c_local;
+    s_io = acc.c_io;
+    s_global_rng = acc.c_rng;
+    s_unknown_calls = acc.c_unknown;
+    s_assumed = false;
+    s_local_allocs = List.length locals;
+    s_escaping_allocs = List.length escaping;
+  }
+
+let eval_fn eng uc fn =
+  let labels, binds, body = peel_params fn.f_expr in
+  let env = Hashtbl.create 16 in
+  List.iter (fun (un, i) -> Hashtbl.replace env un (Bparam i)) binds;
+  let acc = fresh_acc () in
+  let ctx =
+    {
+      cx_eng = eng;
+      cx_uc = uc;
+      cx_env = env;
+      cx_outers = [];
+      cx_acc = acc;
+      cx_sites = Queue.create ();
+      cx_task = None;
+    }
+  in
+  walk ctx body;
+  summary_of_acc fn ~nparams:(List.length labels) acc
+
+(* ----- phase 2: fan-out sites ----- *)
+
+let analyze_task eng st emit queue (lam : Typedtree.expression) =
+  let _, binds, body = peel_params lam in
+  let env = Hashtbl.create 16 in
+  List.iter (fun (un, i) -> Hashtbl.replace env un (Bparam i)) binds;
+  let ctx =
+    {
+      cx_eng = eng;
+      cx_uc = st.st_uc;
+      cx_env = env;
+      cx_outers = st.st_outers;
+      cx_acc = fresh_acc ();
+      cx_sites = queue;
+      cx_task =
+        Some
+          {
+            t_fanout = st.st_fanout;
+            t_emit = emit;
+            t_r1_seen = ref SSet.empty;
+            t_fun_seen = ref SSet.empty;
+          };
+    }
+  in
+  walk ctx body
+
+let check_site eng emit queue st =
+  match st.st_task with
+  | None -> ()
+  | Some task -> (
+      match task.Typedtree.exp_desc with
+      | Typedtree.Texp_function _ -> analyze_task eng st emit queue task
+      | Typedtree.Texp_ident (p, _, _) -> (
+          let bfun =
+            match p with
+            | Path.Pident id ->
+                let un = Ident.unique_name id in
+                List.find_map (fun env -> Hashtbl.find_opt env un) st.st_outers
+            | _ -> None
+          in
+          match bfun with
+          | Some (Bfun (_, lam)) -> analyze_task eng st emit queue lam
+          | Some (Bparam _ | Blocal _) -> ()
+          | None -> (
+              match resolve_call_key st.st_uc p with
+              | Some key -> (
+                  match find_summary eng key with
+                  | Some s when s.s_writes_globals <> [] ->
+                      emit st.st_loc P1
+                        (Printf.sprintf
+                           "task function %s passed to %s has a \
+                            shared-mutation summary (writes %s); tasks must \
+                            be pure or local-only"
+                           s.s_name st.st_fanout
+                           (String.concat ", " s.s_writes_globals))
+                  | Some _ | None -> ())
+              | None -> ()))
+      | _ ->
+          (* composite: e.g. thunk lists built with List.init/List.map *)
+          List.iter (analyze_task eng st emit queue) (collect_lambdas task))
+
+(* ----- driver ----- *)
+
+let analyze ~sanctioned units =
+  let harvested = List.map harvest_unit units in
+  let ucs =
+    List.fold_left
+      (fun m h -> SMap.add h.h_unit h.h_uc m)
+      SMap.empty harvested
+  in
+  let fns = List.concat_map (fun h -> h.h_fns) harvested in
+  let by_key =
+    List.fold_left (fun m f -> SMap.add f.f_key f m) SMap.empty fns
+  in
+  let labels =
+    List.fold_left
+      (fun m f ->
+        let ls, _, _ = peel_params f.f_expr in
+        SMap.add f.f_key ls m)
+      SMap.empty fns
+  in
+  let sums =
+    ref
+      (List.fold_left
+         (fun m f ->
+           let s =
+             if sanctioned f.f_file then assumed_summary f
+             else
+               {
+                 (assumed_summary f) with
+                 s_assumed = false;
+               }
+           in
+           SMap.add f.f_key s m)
+         SMap.empty fns)
+  in
+  let eng = { eg_sums = sums; eg_labels = labels } in
+  (* call graph over computed (non-sanctioned) functions *)
+  let known =
+    List.fold_left
+      (fun s f -> if sanctioned f.f_file then s else SSet.add f.f_key s)
+      SSet.empty fns
+  in
+  let edges = Hashtbl.create 256 in
+  List.iter
+    (fun f ->
+      if not (sanctioned f.f_file) then
+        let uc = SMap.find f.f_unit ucs in
+        Hashtbl.replace edges f.f_key (callee_keys uc known f.f_expr))
+    fns;
+  let succs key = Option.value ~default:[] (Hashtbl.find_opt edges key) in
+  let sccs = sccs_of (SSet.elements known) succs in
+  List.iter
+    (fun scc ->
+      let changed = ref true in
+      let rounds = ref 0 in
+      while !changed && !rounds < 20 do
+        changed := false;
+        incr rounds;
+        List.iter
+          (fun key ->
+            let fn = SMap.find key by_key in
+            let uc = SMap.find fn.f_unit ucs in
+            let s = eval_fn eng uc fn in
+            let old = SMap.find key !sums in
+            if not (summary_equal old s) then begin
+              changed := true;
+              sums := SMap.add key s !sums
+            end)
+          scc
+      done)
+    sccs;
+  (* phase 2 *)
+  let findings = ref [] in
+  List.iter
+    (fun h ->
+      if not (sanctioned h.h_uc.uc_file) then begin
+        let emit loc rule msg =
+          let line, col = pos_of loc in
+          findings :=
+            {
+              e_file = h.h_uc.uc_file;
+              e_line = line;
+              e_col = col;
+              e_rule = rule;
+              e_message = msg;
+            }
+            :: !findings
+        in
+        let queue = Queue.create () in
+        let walk_toplevel seed_params fexpr =
+          let env = Hashtbl.create 16 in
+          let body =
+            if seed_params then begin
+              let _, binds, body = peel_params fexpr in
+              List.iter
+                (fun (un, i) -> Hashtbl.replace env un (Bparam i))
+                binds;
+              body
+            end
+            else fexpr
+          in
+          let ctx =
+            {
+              cx_eng = eng;
+              cx_uc = h.h_uc;
+              cx_env = env;
+              cx_outers = [];
+              cx_acc = fresh_acc ();
+              cx_sites = queue;
+              cx_task = None;
+            }
+          in
+          walk ctx body
+        in
+        List.iter (fun f -> walk_toplevel true f.f_expr) h.h_fns;
+        List.iter (fun s -> walk_toplevel false s) h.h_scripts;
+        while not (Queue.is_empty queue) do
+          check_site eng emit queue (Queue.pop queue)
+        done
+      end)
+    harvested;
+  (* a nested fan-out's task is analyzed both from the enclosing walk
+     and from its own re-analysis; dedupe by position and rule *)
+  let rule_tag = function P1 -> 0 | P2 -> 1 | R1 -> 2 in
+  let cmp a b =
+    match String.compare a.e_file b.e_file with
+    | 0 -> (
+        match Int.compare a.e_line b.e_line with
+        | 0 -> (
+            match Int.compare a.e_col b.e_col with
+            | 0 -> Int.compare (rule_tag a.e_rule) (rule_tag b.e_rule)
+            | c -> c)
+        | c -> c)
+    | c -> c
+  in
+  let sorted = List.sort cmp !findings in
+  let deduped =
+    List.fold_left
+      (fun acc f ->
+        match acc with
+        | prev :: _ when cmp prev f = 0 -> acc
+        | _ -> f :: acc)
+      [] sorted
+    |> List.rev
+  in
+  (deduped, !sums)

@@ -19,7 +19,7 @@
 module SMap = Map.Make (String)
 module SSet = Set.Make (String)
 
-type rule = D1 | D2 | D3 | D4 | F1 | H1 | Bad_suppress
+type rule = D1 | D2 | D3 | D4 | F1 | H1 | P1 | P2 | R1 | Bad_suppress
 
 let rule_name = function
   | D1 -> "D1"
@@ -28,6 +28,9 @@ let rule_name = function
   | D4 -> "D4"
   | F1 -> "F1"
   | H1 -> "H1"
+  | P1 -> "P1"
+  | P2 -> "P2"
+  | R1 -> "R1"
   | Bad_suppress -> "SUPPRESS"
 
 let rule_of_string = function
@@ -37,7 +40,26 @@ let rule_of_string = function
   | "D4" -> Some D4
   | "F1" -> Some F1
   | "H1" -> Some H1
+  | "P1" -> Some P1
+  | "P2" -> Some P2
+  | "R1" -> Some R1
   | _ -> None
+
+let all_rules = [ D1; D2; D3; D4; F1; H1; P1; P2; R1; Bad_suppress ]
+
+(* One-line rule documentation, shared by --help-style output and the
+   SARIF rule table. *)
+let rule_doc = function
+  | D1 -> "wall-clock read outside lib/telemetry"
+  | D2 -> "Stdlib.Random outside lib/numerics/rng.ml"
+  | D3 -> "hash-order iteration (Hashtbl.iter/fold/hash)"
+  | D4 -> "module-level mutable state outside lib/pool"
+  | F1 -> "polymorphic compare instantiated at a float-containing type"
+  | H1 -> "Obj.magic or catch-all exception handler"
+  | P1 -> "Pool task writes shared (module-level) mutable state"
+  | P2 -> "Pool task writes a mutable captured from the enclosing scope"
+  | R1 -> "Pool task consumes an Rng.t shared across tasks (not pre-split)"
+  | Bad_suppress -> "malformed placer-lint suppression comment"
 
 type finding = {
   file : string;
@@ -63,7 +85,15 @@ let allowed_by_path rule file =
   | D1 -> String.starts_with ~prefix:"lib/telemetry/" file
   | D2 -> String.equal file "lib/numerics/rng.ml"
   | D4 -> String.starts_with ~prefix:"lib/pool/" file
-  | D3 | F1 | H1 | Bad_suppress -> false
+  | D3 | F1 | H1 | P1 | P2 | R1 | Bad_suppress -> false
+
+(* The sanctioned channel for cross-domain effects: per-domain
+   telemetry collectors and the pool's own internals. Their functions
+   get assumed-pure effect summaries (see Effects), and their fan-out
+   machinery is not re-checked against itself. *)
+let sanctioned_unit file =
+  String.starts_with ~prefix:"lib/telemetry/" file
+  || String.starts_with ~prefix:"lib/pool/" file
 
 let pos_of (loc : Location.t) =
   let p = loc.Location.loc_start in
@@ -535,16 +565,35 @@ let rec find_cmts acc path =
     Sys.readdir path |> Array.to_list
     |> List.sort String.compare
     |> List.fold_left (fun acc n -> find_cmts acc (Filename.concat path n)) acc
-  else if Filename.check_suffix path ".cmt" then path :: acc
+  else if
+    Filename.check_suffix path ".cmt" || Filename.check_suffix path ".cmti"
+  then path :: acc
   else acc
+
+(* A unit seen through both its .cmt and .cmti must be analyzed once:
+   drop any .cmti with a sibling .cmt in the scanned set (the
+   implementation tree subsumes the interface), then let the per-file
+   dedupe in [analyze] catch the rest. *)
+let drop_shadowed_cmtis paths =
+  let cmts =
+    List.fold_left
+      (fun s p ->
+        if Filename.check_suffix p ".cmt" then SSet.add p s else s)
+      SSet.empty paths
+  in
+  List.filter
+    (fun p ->
+      (not (Filename.check_suffix p ".cmti"))
+      || not (SSet.mem (Filename.chop_suffix p ".cmti" ^ ".cmt") cmts))
+    paths
 
 let read_file path =
   match In_channel.with_open_bin path In_channel.input_all with
   | s -> Some s
   | exception Sys_error _ -> None
 
-let check_unit ~tbl ~root u =
-  let raw = ref [] in
+let check_unit ~tbl ~root ~extra u =
+  let raw = ref extra in
   let emit loc rule message =
     if not (allowed_by_path rule u.u_file) then begin
       let line, col = pos_of loc in
@@ -583,7 +632,7 @@ let check_unit ~tbl ~root u =
             (if rule_of_string s.s_rule = None then
                Printf.sprintf
                  "suppression names unknown rule '%s' (expected D1-D4, F1, \
-                  H1)"
+                  H1, P1, P2 or R1)"
                  s.s_rule
              else
                Printf.sprintf
@@ -595,11 +644,44 @@ let check_unit ~tbl ~root u =
   in
   kept @ bad_findings
 
-let run ~root paths =
-  let cmts =
-    List.fold_left find_cmts [] paths |> List.sort_uniq String.compare
+module Summaries = Effects.Summaries
+
+type report = {
+  r_findings : finding list;
+  r_units : int;
+  r_summaries : Summaries.t;
+}
+
+let finding_of_effect (f : Effects.finding) =
+  let rule =
+    match f.Effects.e_rule with
+    | Effects.P1 -> P1
+    | Effects.P2 -> P2
+    | Effects.R1 -> R1
   in
-  let units = List.filter_map load_unit cmts in
+  {
+    file = f.Effects.e_file;
+    line = f.Effects.e_line;
+    col = f.Effects.e_col;
+    rule;
+    message = f.Effects.e_message;
+  }
+
+let analyze ?(excludes = []) ~root paths =
+  let excluded s =
+    List.exists
+      (fun pat ->
+        match find_sub s pat with Some _ -> true | None -> false)
+      excludes
+  in
+  let cmts =
+    List.fold_left find_cmts [] paths
+    |> List.sort_uniq String.compare |> drop_shadowed_cmtis
+    |> List.filter (fun p -> not (excluded p))
+  in
+  let units =
+    List.filter (fun u -> not (excluded u.u_file)) (List.filter_map load_unit cmts)
+  in
   (* a unit can be seen through several build contexts; analyze each
      source file once, first (alphabetically smallest cmt path) wins *)
   let units =
@@ -614,8 +696,33 @@ let run ~root paths =
   List.iter
     (fun u -> collect_decls_str tbl ~unit_name:u.u_name ~mods:[] u.u_str)
     units;
+  let eff_findings, summaries =
+    Effects.analyze ~sanctioned:sanctioned_unit
+      (List.map
+         (fun u ->
+           {
+             Effects.eu_file = u.u_file;
+             eu_name = u.u_name;
+             eu_str = u.u_str;
+           })
+         units)
+  in
+  let eff_by_file =
+    List.fold_left
+      (fun m f ->
+        let lf = finding_of_effect f in
+        let prev = Option.value ~default:[] (SMap.find_opt lf.file m) in
+        SMap.add lf.file (lf :: prev) m)
+      SMap.empty eff_findings
+  in
   let findings =
-    List.concat_map (check_unit ~tbl:!tbl ~root) units
+    List.concat_map
+      (fun u ->
+        let extra =
+          Option.value ~default:[] (SMap.find_opt u.u_file eff_by_file)
+        in
+        check_unit ~tbl:!tbl ~root ~extra u)
+      units
     |> List.sort (fun a b ->
            match String.compare a.file b.file with
            | 0 -> (
@@ -627,4 +734,81 @@ let run ~root paths =
                | c -> c)
            | c -> c)
   in
-  (findings, List.length units)
+  {
+    r_findings = findings;
+    r_units = List.length units;
+    r_summaries = summaries;
+  }
+
+let run ~root paths =
+  let r = analyze ~root paths in
+  (r.r_findings, r.r_units)
+
+(* ----- machine-readable emitters (no external JSON dependency) ----- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let counts_of findings =
+  List.map
+    (fun r ->
+      ( rule_name r,
+        List.length (List.filter (fun f -> f.rule = r) findings) ))
+    all_rules
+
+let finding_json f =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
+    (json_escape f.file) f.line f.col (rule_name f.rule)
+    (json_escape f.message)
+
+(* The shape documented in README and pinned by test_lint:
+   {"tool":"placer-lint","units":N,
+    "counts":{"D1":n,...},"findings":[{file,line,col,rule,message}...]} *)
+let to_json r =
+  let counts =
+    counts_of r.r_findings
+    |> List.map (fun (name, n) -> Printf.sprintf "\"%s\":%d" name n)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"tool\":\"placer-lint\",\"units\":%d,\"counts\":{%s},\"findings\":[%s]}"
+    r.r_units counts
+    (String.concat "," (List.map finding_json r.r_findings))
+
+let to_sarif r =
+  let rules_json =
+    all_rules
+    |> List.map (fun ru ->
+           Printf.sprintf
+             "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"}}"
+             (rule_name ru) (json_escape (rule_doc ru)))
+    |> String.concat ","
+  in
+  let result f =
+    Printf.sprintf
+      "{\"ruleId\":\"%s\",\"level\":\"error\",\"message\":{\"text\":\"%s\"},\
+       \"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"%s\"},\
+       \"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+      (rule_name f.rule) (json_escape f.message) (json_escape f.file) f.line
+      f.col
+  in
+  Printf.sprintf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+     \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"placer-lint\",\
+     \"rules\":[%s]}},\"results\":[%s]}]}"
+    rules_json
+    (String.concat "," (List.map result r.r_findings))

@@ -7,7 +7,15 @@
     parallel runs must reproduce serial runs bit for bit, so no code
     outside the sanctioned modules may read wall clocks, draw from the
     global RNG, iterate hashtables in hash order, or share module-level
-    mutable state across domains. *)
+    mutable state across domains.
+
+    On top of the per-expression rules, an interprocedural effect and
+    escape analysis ({!Effects}) computes a summary for every
+    top-level function (fixpoint over call-graph SCCs) and re-checks
+    every [Pool.map]/[map_list]/[run_all] task closure in "task mode":
+    P1 (no writes to shared state), P2 (no writes to captured
+    mutables) and R1 (no shared [Rng.t] streams — pre-split with
+    [Rng.split_n]). *)
 
 type rule =
   | D1  (** wall-clock read outside [lib/telemetry] *)
@@ -17,12 +25,28 @@ type rule =
   | F1  (** polymorphic [=]/[<>]/[compare] instantiated at a
             float-containing type *)
   | H1  (** [Obj.magic] or a catch-all [try ... with _ ->] *)
+  | P1  (** a Pool task writes shared (module-level) mutable state,
+            directly or via a callee whose summary is
+            shared-mutation *)
+  | P2  (** a Pool task writes a mutable value captured from the
+            enclosing scope — still reachable by the caller after the
+            join *)
+  | R1  (** a Pool task consumes an [Rng.t] that is captured or
+            global instead of a pre-split ([Rng.split_n]) per-task
+            stream *)
   | Bad_suppress
       (** malformed [(* placer-lint: allow RULE reason *)]: unknown
           rule name or missing reason *)
 
 val rule_name : rule -> string
 val rule_of_string : string -> rule option
+
+val all_rules : rule list
+(** Every rule, in report order (D1..D4, F1, H1, P1, P2, R1,
+    SUPPRESS). *)
+
+val rule_doc : rule -> string
+(** One-line description, used by the SARIF rule table. *)
 
 type finding = {
   file : string;  (** source path as recorded in the .cmt
@@ -37,14 +61,41 @@ val to_string : finding -> string
 (** [file:line:col [RULE] message] — the diagnostic format promised to
     CI and editors. *)
 
+module Summaries : module type of Effects.Summaries
+(** Queryable per-function effect summaries, keyed by canonical dotted
+    name (e.g. ["Annealing.Sa_placer.anneal"]); see
+    {!Effects.Summaries}. *)
+
+type report = {
+  r_findings : finding list;  (** surviving findings, sorted by
+                                  (file, line, col, rule) *)
+  r_units : int;  (** compilation units analyzed *)
+  r_summaries : Summaries.t;  (** effect summaries from phase 1 *)
+}
+
+val analyze :
+  ?excludes:string list -> root:string -> string list -> report
+(** [analyze ~root paths] scans every [*.cmt] (and [*.cmti] without a
+    sibling [.cmt]) found under [paths], applies all rules — the
+    per-expression rules plus the interprocedural P1/P2/R1 pass —
+    drops findings carried by a well-formed suppression comment on the
+    same or preceding source line, and returns the report. [excludes]
+    are substrings matched against both the .cmt path and the recorded
+    source path; matching units are skipped entirely. [root] is the
+    directory source paths recorded in the .cmt files are resolved
+    against when reading suppression comments; a source file that
+    cannot be found simply has no suppressions. *)
+
 val run : root:string -> string list -> finding list * int
-(** [run ~root paths] scans every [*.cmt] found under [paths]
-    (directories are searched recursively; plain [.cmt] paths are
-    taken as-is), applies all rules, drops findings carried by a
-    well-formed suppression comment on the same or preceding source
-    line, and returns the surviving findings sorted by
-    (file, line, col) together with the number of compilation units
-    analyzed. [root] is the directory source paths recorded in the
-    .cmt files are resolved against when reading suppression
-    comments; a source file that cannot be found simply has no
-    suppressions. *)
+(** [analyze] restricted to the original interface: the surviving
+    findings and the unit count. *)
+
+val to_json : report -> string
+(** One-object JSON document:
+    [{"tool":"placer-lint","units":N,"counts":{"D1":n,...},
+      "findings":[{"file":...,"line":...,"col":...,"rule":...,
+      "message":...},...]}] *)
+
+val to_sarif : report -> string
+(** SARIF 2.1.0 (single run, one result per finding) for CI code
+    scanning annotation. *)

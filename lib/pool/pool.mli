@@ -12,6 +12,13 @@
       determinism from the caller pre-splitting one master [Rng.t] into
       per-task streams ({i before} the fan-out, in task order), so the
       stream a task consumes does not depend on which domain runs it.
+      This clause is machine-checked by placer-lint's interprocedural
+      pass (DESIGN.md §7) at every fan-out site: rule {b P1} rejects a
+      task that writes shared module-level state (directly or via a
+      callee), {b P2} rejects writes to a mutable value captured from
+      the enclosing scope and still reachable after the join, and
+      {b R1} rejects consuming a captured or global [Rng.t] instead of
+      a pre-split per-task stream.
     - Results are returned in input order, whatever the steal order.
     - Each task runs under {!Telemetry.capture}; the snapshots are
       merged into the caller's collector in task order at the join, so

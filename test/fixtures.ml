@@ -5,7 +5,7 @@ module N = Netlist.Net
 module CS = Netlist.Constraint_set
 module C = Netlist.Circuit
 
-let mos_pins =
+let mos_pins () =
   [| { D.pin_name = "g"; ox = 0.2; oy = 0.5 };
      { D.pin_name = "d"; ox = 0.8; oy = 0.9 };
      { D.pin_name = "s"; ox = 0.8; oy = 0.1 } |]
@@ -15,10 +15,10 @@ let diff_stage () =
   let dev id name kind w h pins = D.make ~id ~name ~kind ~w ~h ~pins in
   let one_pin = [| { D.pin_name = "p"; ox = 0.5; oy = 0.5 } |] in
   let devices =
-    [| dev 0 "m_inp" D.Nmos 1.2 1.0 mos_pins;
-       dev 1 "m_inn" D.Nmos 1.2 1.0 mos_pins;
-       dev 2 "m_lp" D.Pmos 1.4 1.0 mos_pins;
-       dev 3 "m_ln" D.Pmos 1.4 1.0 mos_pins;
+    [| dev 0 "m_inp" D.Nmos 1.2 1.0 (mos_pins ());
+       dev 1 "m_inn" D.Nmos 1.2 1.0 (mos_pins ());
+       dev 2 "m_lp" D.Pmos 1.4 1.0 (mos_pins ());
+       dev 3 "m_ln" D.Pmos 1.4 1.0 (mos_pins ());
        dev 4 "m_tail" D.Nmos 2.0 1.0 one_pin;
        dev 5 "c_load" D.Cap 1.6 1.6 one_pin |]
   in

@@ -1,0 +1,15 @@
+(* P1 fixture: a Pool task writes shared (module-level) mutable state.
+   The table itself carries a reasoned D4 allow so that the only
+   finding left for Test_lint to pin is the interprocedural P1. *)
+
+(* placer-lint: allow D4 the shared table is the point of this fixture; only the P1 at the fan-out below may fire *)
+let hits : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let racy () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      ignore
+        (Pool.map p
+           (fun i ->
+             Hashtbl.replace hits i (i * i);
+             i)
+           (Array.init 8 Fun.id)))

@@ -1,0 +1,8 @@
+(* P2 fixture: a task writes a mutable value captured from the
+   enclosing scope that the caller can still reach after the join. *)
+
+let leaky () =
+  let sum = ref 0 in
+  Pool.with_pool ~jobs:2 (fun p ->
+      Pool.run_all p (List.map (fun i () -> sum := !sum + i) [ 1; 2; 3 ]));
+  !sum

@@ -1,0 +1,20 @@
+(* Clean parallel fixture: pre-split RNG streams, task-local state and
+   pure combination of returned results. Must stay at zero findings —
+   it is the shape P1/P2/R1 exist to steer code toward. *)
+
+let independent () =
+  let master = Numerics.Rng.create 42 in
+  let streams = Numerics.Rng.split_n master 8 in
+  let parts =
+    Pool.with_pool ~jobs:2 (fun p ->
+        Pool.map p
+          (fun i ->
+            let r = streams.(i) in
+            let acc = ref 0.0 in
+            for _ = 1 to 4 do
+              acc := !acc +. Numerics.Rng.float r
+            done;
+            !acc)
+          (Array.init 8 Fun.id))
+  in
+  Array.fold_left ( +. ) 0.0 parts

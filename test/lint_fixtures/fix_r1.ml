@@ -1,0 +1,7 @@
+(* R1 fixture: every task consumes the same captured Rng.t stream
+   instead of a pre-split (Rng.split_n) per-task stream. *)
+
+let shared_stream () =
+  let rng = Numerics.Rng.create 7 in
+  Pool.with_pool ~jobs:2 (fun p ->
+      Pool.map p (fun _ -> Numerics.Rng.float rng) (Array.init 4 Fun.id))

@@ -1,0 +1,28 @@
+(* SCC fixture: a mutually recursive pair whose only effect is
+   mutating its first parameter. Test_lint pins the fixpoint summaries
+   (ping/pong: local mutation of param 0; drain: pure-local with two
+   non-escaping allocations) and checks the fan-out stays quiet. *)
+
+let rec ping t n =
+  if n > 0 then begin
+    incr t;
+    pong t (n - 1)
+  end
+
+and pong t n = if n > 0 then ping t (n - 1)
+
+let drain () =
+  let a = ref 0 in
+  let b = ref 0 in
+  ping a 3;
+  pong b 2;
+  !a + !b
+
+let spin () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      Pool.map p
+        (fun i ->
+          let local = ref i in
+          ping local 2;
+          !local)
+        (Array.init 4 Fun.id))

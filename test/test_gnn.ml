@@ -128,7 +128,7 @@ let grad_tests =
         let p2 = Array.make Mo.n_params 0.0 in
         Mo.pack m2 p2;
         Alcotest.(check bool) "same" true
-          (Array.for_all2 (fun a b -> a = b) p1 p2));
+          (Array.for_all2 Float.equal p1 p2));
   ]
 
 let train_tests =

@@ -1,19 +1,25 @@
 (* placer-lint self-tests: scan the compiled fixtures in
    test/lint_fixtures — one file of intentional violations per rule —
    and check that every rule fires where expected, stays quiet on
-   clean code, and respects reasoned suppressions. *)
+   clean code, and respects reasoned suppressions. The interprocedural
+   pass is pinned the same way: P1/P2/R1 fixtures fire exactly once,
+   the clean-parallel and SCC fixtures stay silent, and the SCC
+   fixpoint summaries match the hand-derived lattice values. *)
 
 (* under `dune runtest` the cwd is _build/default/test, so the fixture
    library's .cmt files sit right below and the workspace-root-relative
    source paths recorded in them resolve against ".."; under
    `dune exec` the cwd is the workspace root itself *)
+let fixture_dir () =
+  if Sys.file_exists "lint_fixtures" then ("..", "lint_fixtures")
+  else (".", "_build/default/test/lint_fixtures")
+
 let fixture_scan =
   lazy
-    (if Sys.file_exists "lint_fixtures" then
-       Lint.run ~root:".." [ "lint_fixtures" ]
-     else Lint.run ~root:"." [ "_build/default/test/lint_fixtures" ])
+    (let root, dir = fixture_dir () in
+     Lint.analyze ~root [ dir ])
 
-let findings () = fst (Lazy.force fixture_scan)
+let findings () = (Lazy.force fixture_scan).Lint.r_findings
 
 let in_file file (f : Lint.finding) = Filename.basename f.Lint.file = file
 
@@ -24,16 +30,183 @@ let count ~file ~rule fs =
 let check_count msg file rule expected =
   Alcotest.(check int) msg expected (count ~file ~rule (findings ()))
 
+let check_only_rule file rule =
+  check_count (file ^ " fires its rule once") file rule 1;
+  Alcotest.(check int) (file ^ " fires nothing else") 1
+    (List.length (List.filter (in_file file) (findings ())))
+
+let check_quiet file =
+  Alcotest.(check int) (file ^ " stays quiet") 0
+    (List.length (List.filter (in_file file) (findings ())))
+
 let contains s sub =
   let n = String.length s and m = String.length sub in
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   go 0
 
+(* ----- minimal JSON reader -----
+
+   Just enough of RFC 8259 to validate the report shape emitted by
+   [Lint.to_json] without depending on a JSON library: parses the
+   whole document or raises. *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let lit w v =
+    let m = String.length w in
+    if !pos + m <= n && String.sub s !pos m = w then begin
+      pos := !pos + m;
+      v
+    end
+    else fail w
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' ->
+            incr pos;
+            Buffer.contents b
+        | '\\' ->
+            incr pos;
+            if !pos >= n then fail "dangling escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if !pos + 4 >= n then fail "truncated \\u escape";
+                (* shape checks don't care about the code point *)
+                Buffer.add_string b (String.sub s (!pos - 1) 6);
+                pos := !pos + 4
+            | _ -> fail "unknown escape");
+            incr pos;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Jnum f
+    | None -> fail "number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (string_lit ())
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some 't' -> lit "true" (Jbool true)
+    | Some 'f' -> lit "false" (Jbool false)
+    | Some 'n' -> lit "null" Jnull
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "expected a value"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      incr pos;
+      Jobj []
+    end
+    else
+      let rec fields acc =
+        skip_ws ();
+        let k = string_lit () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            fields ((k, v) :: acc)
+        | Some '}' ->
+            incr pos;
+            Jobj (List.rev ((k, v) :: acc))
+        | _ -> fail "expected ',' or '}'"
+      in
+      fields []
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      incr pos;
+      Jlist []
+    end
+    else
+      let rec items acc =
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            items (v :: acc)
+        | Some ']' ->
+            incr pos;
+            Jlist (List.rev (v :: acc))
+        | _ -> fail "expected ',' or ']'"
+      in
+      items []
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let json_mem k = function Jobj fields -> List.assoc_opt k fields | _ -> None
+
 let tests =
   [
     Alcotest.test_case "scan covers every fixture unit" `Quick (fun () ->
-        let _, n_units = Lazy.force fixture_scan in
-        Alcotest.(check bool) "at least 8 units" true (n_units >= 8));
+        let r = Lazy.force fixture_scan in
+        Alcotest.(check bool) "at least 13 units" true (r.Lint.r_units >= 13));
     Alcotest.test_case "D1 fires on wall-clock reads" `Quick (fun () ->
         check_count "gettimeofday + Sys.time" "fix_d1.ml" Lint.D1 2);
     Alcotest.test_case "D2 fires on Stdlib.Random" `Quick (fun () ->
@@ -49,6 +222,47 @@ let tests =
     Alcotest.test_case "H1 fires on Obj.magic and catch-alls" `Quick
       (fun () ->
         check_count "magic + try _ + match exception _" "fix_h1.ml" Lint.H1 3);
+    Alcotest.test_case "P1 fires on shared-state writes inside a task" `Quick
+      (fun () ->
+        (* the module-level table carries a reasoned D4 allow, so the
+           interprocedural P1 is the only finding left in the file *)
+        check_only_rule "fix_p1.ml" Lint.P1);
+    Alcotest.test_case "P2 fires on captured-mutable writes inside a task"
+      `Quick (fun () -> check_only_rule "fix_p2.ml" Lint.P2);
+    Alcotest.test_case "R1 fires on an unsplit Rng stream inside a task"
+      `Quick (fun () -> check_only_rule "fix_r1.ml" Lint.R1);
+    Alcotest.test_case "clean parallel code stays quiet" `Quick (fun () ->
+        check_quiet "fix_par_clean.ml";
+        check_quiet "fix_scc.ml");
+    Alcotest.test_case "SCC fixpoint pins recursive effect summaries" `Quick
+      (fun () ->
+        let sums = (Lazy.force fixture_scan).Lint.r_summaries in
+        let get name =
+          match Lint.Summaries.find sums name with
+          | Some s -> s
+          | None -> Alcotest.failf "no summary for %s" name
+        in
+        let check_kind msg expected s =
+          Alcotest.(check string)
+            msg expected
+            Lint.Summaries.(kind_name (kind s))
+        in
+        let ping = get "Lint_fixtures.Fix_scc.ping" in
+        let pong = get "Lint_fixtures.Fix_scc.pong" in
+        let drain = get "Lint_fixtures.Fix_scc.drain" in
+        check_kind "ping is local-mutation" "local-mutation" ping;
+        check_kind "pong is local-mutation" "local-mutation" pong;
+        Alcotest.(check (list int)) "ping mutates param 0" [ 0 ]
+          ping.Lint.Summaries.s_writes_params;
+        Alcotest.(check (list int)) "pong mutates param 0 via ping" [ 0 ]
+          pong.Lint.Summaries.s_writes_params;
+        check_kind "drain is local-mutation" "local-mutation" drain;
+        Alcotest.(check (list int)) "drain mutates no params" []
+          drain.Lint.Summaries.s_writes_params;
+        Alcotest.(check int) "drain's two refs stay local" 2
+          drain.Lint.Summaries.s_local_allocs;
+        Alcotest.(check int) "nothing escapes drain" 0
+          drain.Lint.Summaries.s_escaping_allocs);
     Alcotest.test_case "reasoned suppressions silence their rule" `Quick
       (fun () ->
         check_count "suppressed D1" "fix_suppressed.ml" Lint.D1 0;
@@ -58,8 +272,75 @@ let tests =
         check_count "D3 stays live" "fix_suppressed.ml" Lint.D3 1;
         check_count "SUPPRESS fires" "fix_suppressed.ml" Lint.Bad_suppress 1);
     Alcotest.test_case "clean fixture has zero findings" `Quick (fun () ->
-        Alcotest.(check int) "fix_clean" 0
-          (List.length (List.filter (in_file "fix_clean.ml") (findings ()))));
+        check_quiet "fix_clean.ml");
+    Alcotest.test_case "duplicate scan paths count each unit once" `Quick
+      (fun () ->
+        let root, dir = fixture_dir () in
+        let once = Lazy.force fixture_scan in
+        let twice = Lint.analyze ~root [ dir; dir ] in
+        Alcotest.(check int) "same unit count" once.Lint.r_units
+          twice.Lint.r_units;
+        Alcotest.(check int) "same finding count"
+          (List.length once.Lint.r_findings)
+          (List.length twice.Lint.r_findings));
+    Alcotest.test_case "JSON report matches the documented shape" `Quick
+      (fun () ->
+        let report = Lazy.force fixture_scan in
+        let doc = parse_json (Lint.to_json report) in
+        (match json_mem "tool" doc with
+        | Some (Jstr "placer-lint") -> ()
+        | _ -> Alcotest.fail "missing \"tool\":\"placer-lint\"");
+        (match json_mem "units" doc with
+        | Some (Jnum u) ->
+            Alcotest.(check int) "units" report.Lint.r_units (int_of_float u)
+        | _ -> Alcotest.fail "missing numeric \"units\"");
+        (match json_mem "counts" doc with
+        | Some (Jobj counts) ->
+            List.iter
+              (fun rule ->
+                let name = Lint.rule_name rule in
+                match List.assoc_opt name counts with
+                | Some (Jnum c) ->
+                    Alcotest.(check int)
+                      (Printf.sprintf "counts.%s" name)
+                      (List.length
+                         (List.filter
+                            (fun f -> f.Lint.rule = rule)
+                            report.Lint.r_findings))
+                      (int_of_float c)
+                | _ -> Alcotest.failf "counts.%s missing" name)
+              Lint.all_rules
+        | _ -> Alcotest.fail "missing \"counts\" object");
+        match json_mem "findings" doc with
+        | Some (Jlist fs) ->
+            Alcotest.(check int) "findings length"
+              (List.length report.Lint.r_findings)
+              (List.length fs);
+            List.iter
+              (fun f ->
+                List.iter
+                  (fun key ->
+                    if Option.is_none (json_mem key f) then
+                      Alcotest.failf "finding lacks \"%s\"" key)
+                  [ "file"; "line"; "col"; "rule"; "message" ])
+              fs
+        | _ -> Alcotest.fail "missing \"findings\" array");
+    Alcotest.test_case "SARIF report parses and names every rule" `Quick
+      (fun () ->
+        let report = Lazy.force fixture_scan in
+        let doc = parse_json (Lint.to_sarif report) in
+        (match json_mem "version" doc with
+        | Some (Jstr "2.1.0") -> ()
+        | _ -> Alcotest.fail "missing \"version\":\"2.1.0\"");
+        match json_mem "runs" doc with
+        | Some (Jlist [ run ]) -> (
+            match json_mem "results" run with
+            | Some (Jlist rs) ->
+                Alcotest.(check int) "one result per finding"
+                  (List.length report.Lint.r_findings)
+                  (List.length rs)
+            | _ -> Alcotest.fail "missing \"results\" array")
+        | _ -> Alcotest.fail "expected exactly one run");
     Alcotest.test_case "diagnostics print file:line:col [RULE]" `Quick
       (fun () ->
         match

@@ -13,7 +13,7 @@ let check_f msg expected actual =
 
 (* A four-device fixture: differential pair (m0, m1) symmetric about a
    vertical axis, a tail device m2 self-symmetric, and a load cap c3. *)
-let pins_mos =
+let pins_mos () =
   [| { D.pin_name = "g"; ox = 0.2; oy = 0.5 };
      { D.pin_name = "d"; ox = 0.8; oy = 0.9 };
      { D.pin_name = "s"; ox = 0.8; oy = 0.1 } |]
@@ -21,8 +21,8 @@ let pins_mos =
 let fixture () =
   let dev id name kind w h pins = D.make ~id ~name ~kind ~w ~h ~pins in
   let devices =
-    [| dev 0 "m0" D.Nmos 1.0 1.0 pins_mos;
-       dev 1 "m1" D.Nmos 1.0 1.0 pins_mos;
+    [| dev 0 "m0" D.Nmos 1.0 1.0 (pins_mos ());
+       dev 1 "m1" D.Nmos 1.0 1.0 (pins_mos ());
        dev 2 "m2" D.Nmos 2.0 1.0 [| { D.pin_name = "d"; ox = 1.0; oy = 0.5 } |];
        dev 3 "c3" D.Cap 2.0 2.0 [| { D.pin_name = "p"; ox = 1.0; oy = 1.0 } |] |]
   in

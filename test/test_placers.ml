@@ -18,11 +18,11 @@ let placer_tests =
             match Eplace.Eplace_a.place ~params c with
             | None -> Alcotest.failf "%s: infeasible" name
             | Some r ->
-                let viol = Netlist.Checks.all r.Eplace.Eplace_a.layout in
-                if viol <> [] then
-                  Alcotest.failf "%s: %d violations (%a ...)" name
-                    (List.length viol) Netlist.Checks.pp_violation
-                    (List.hd viol))
+                match Netlist.Checks.all r.Eplace.Eplace_a.layout with
+                | [] -> ()
+                | first :: _ as viol ->
+                    Alcotest.failf "%s: %d violations (%a ...)" name
+                      (List.length viol) Netlist.Checks.pp_violation first)
           Circuits.Testcases.all_names);
     Alcotest.test_case "prev[11] output is legal on every testcase" `Slow
       (fun () ->
@@ -36,11 +36,11 @@ let placer_tests =
             match Prevwork.Prev_analytical.place ~params c with
             | None -> Alcotest.failf "%s: infeasible" name
             | Some r ->
-                let viol =
-                  Netlist.Checks.all r.Prevwork.Prev_analytical.layout
-                in
-                if viol <> [] then
-                  Alcotest.failf "%s: %d violations" name (List.length viol))
+                match Netlist.Checks.all r.Prevwork.Prev_analytical.layout with
+                | [] -> ()
+                | viol ->
+                    Alcotest.failf "%s: %d violations" name
+                      (List.length viol))
           Circuits.Testcases.all_names);
     Alcotest.test_case "eplace-a is deterministic" `Quick (fun () ->
         let c = Circuits.Testcases.get_exn "CC-OTA" in
@@ -169,9 +169,9 @@ let circuits_tests =
     Alcotest.test_case "unknown circuit: get is None, get_exn raises" `Quick
       (fun () ->
         Alcotest.(check bool) "get None" true
-          (Circuits.Testcases.get "nope" = None);
+          (Option.is_none (Circuits.Testcases.get "nope"));
         Alcotest.(check bool) "get Some" true
-          (Circuits.Testcases.get "CC-OTA" <> None);
+          (Option.is_some (Circuits.Testcases.get "CC-OTA"));
         let raised =
           try
             ignore (Circuits.Testcases.get_exn "nope");

@@ -160,7 +160,9 @@ let prop_island_packing_legal =
             isl.Annealing.Island.devices)
         islands;
       Netlist.Layout.total_overlap l < 1e-6
-      && Netlist.Checks.symmetry_violations l = [])
+      && (match Netlist.Checks.symmetry_violations l with
+         | [] -> true
+         | _ -> false))
 
 (* FOM is monotone under uniform spreading (all metrics can only get
    worse when every wire gets longer and the area grows). *)
