@@ -80,16 +80,18 @@ let run_cmd circuit_name kind perf moves seed restarts check_eval jobs draw
         (String.concat ", " Circuits.Testcases.all_names);
       1
   | Some circuit -> (
-      let m =
-        match ((kind : M.kind), perf) with
-        | M.Sa, false -> M.sa ~moves ~seed ~restarts ~check_every:check_eval ()
-        | M.Sa, true ->
-            M.sa_perf ~moves ~seed ~restarts ~check_every:check_eval ~quick ()
-        | M.Prev, false -> M.prev ()
-        | M.Prev, true -> M.prev_perf ~quick ()
-        | M.Eplace, false -> M.eplace_a ()
-        | M.Eplace, true -> M.eplace_ap ~quick ()
+      (* One serializable job spec drives the run — the same value a
+         client would POST to the placement service (bin/placed). *)
+      let spec =
+        let d = M.default_spec ~perf kind in
+        { d with
+          M.seed;
+          moves = (match kind with M.Sa -> moves | M.Prev | M.Eplace -> d.M.moves);
+          restarts = (if restarts > 0 then restarts else d.M.restarts);
+          check_every = check_eval;
+          quick }
       in
+      let m = M.of_spec spec in
       (* The jsonl sink streams span records as they close, so it must
          be installed before the run; the summary sink only reads the
          collector at flush time and can be swapped in afterwards. *)
@@ -105,6 +107,8 @@ let run_cmd circuit_name kind perf moves seed restarts check_eval jobs draw
       Option.iter (fun oc -> Telemetry.set_sink (Telemetry.jsonl oc)) metrics_oc;
       Fmt.pr "placing %s with %s%s...@." circuit_name m.M.method_name
         (if perf then " (performance-driven)" else "");
+      Fmt.pr "spec      : %s (hash %s)@." (M.spec_canonical spec)
+        (M.spec_hash spec);
       let result = m.M.run circuit in
       Option.iter
         (fun oc ->
@@ -159,9 +163,11 @@ let check_eval_arg =
                  and abort on any bit-level mismatch. 0 disables.")
 
 let restarts_arg =
-  Arg.(value & opt int 1
+  Arg.(value & opt int 0
        & info [ "restarts" ] ~docv:"N"
-           ~doc:"Independent SA restarts (run in parallel; best wins).")
+           ~doc:"Independent restarts (run in parallel; best wins). 0 — \
+                 the default — keeps the method's own default: 1 for SA, \
+                 5 for the analytical families.")
 
 let jobs_arg =
   Arg.(value & opt int (Domain.recommended_domain_count ())

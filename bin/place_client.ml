@@ -1,0 +1,321 @@
+(* place-client — client and load generator for the placement service.
+
+     place-client --ping
+     place-client -c CC-OTA -p eplace                 # one job, print result
+     place-client -c CC-OTA -p sa --moves 120000 --stream
+     place-client --bench 40 --distinct 4 --out BENCH_serve.json
+     place-client --stats
+     place-client --shutdown
+
+   Bench mode measures the service end to end: it submits N jobs
+   cycling through K distinct (circuit, seed) combinations — so a warm
+   cache should serve roughly (N - K)/N of them — and reports jobs/s,
+   p50/p99 latency and the cache hit rate, both as observed per-result
+   and as counted by the server. *)
+
+module M = Experiments.Methods
+
+let j_str s = Jsonio.Str s
+let j_num f = Jsonio.Num f
+let j_int i = Jsonio.Num (float_of_int i)
+let j_bool b = Jsonio.Bool b
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (err, _, _) ->
+     Fmt.epr "cannot connect to %s: %s (is placed running?)@." path
+       (Unix.error_message err);
+     exit 1);
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send oc v =
+  output_string oc (Jsonio.to_string v);
+  output_char oc '\n';
+  flush oc
+
+let recv ic =
+  match input_line ic with
+  | line -> (
+      match Jsonio.parse line with
+      | Ok j -> j
+      | Error e ->
+          Fmt.epr "garbled response (%s): %s@." e line;
+          exit 1)
+  | exception End_of_file ->
+      Fmt.epr "server closed the connection@.";
+      exit 1
+
+let typ j =
+  Option.value ~default:"?" (Option.bind (Jsonio.member "type" j) Jsonio.to_str)
+
+(* Read protocol lines until this job's result arrives. Telemetry
+   stream lines (span/counter/gauge) and queue acks pass through;
+   [echo] prints them for --stream runs. *)
+let await_result ic ~id ~echo =
+  let rec loop () =
+    let j = recv ic in
+    match typ j with
+    | "result"
+      when (match Option.bind (Jsonio.member "id" j) Jsonio.to_str with
+           | Some i -> String.equal i id
+           | None -> true) ->
+        j
+    | "queued" -> loop ()
+    | _ ->
+        if echo then Fmt.pr "%s@." (Jsonio.to_string j);
+        loop ()
+  in
+  loop ()
+
+let spec_json_of_flags kind perf moves seed restarts =
+  let d = M.default_spec ~perf kind in
+  let s =
+    { d with
+      M.seed;
+      moves = (match kind with M.Sa -> moves | M.Prev | M.Eplace -> d.M.moves);
+      restarts = (if restarts > 0 then restarts else d.M.restarts) }
+  in
+  M.spec_to_json s
+
+let place_req ~id ~circuit ~spec ~stream ~layout ~deadline =
+  Jsonio.Obj
+    ([
+       ("op", j_str "place");
+       ("id", j_str id);
+       ("circuit", j_str circuit);
+       ("spec", spec);
+       ("stream", j_bool stream);
+       ("layout", j_bool layout);
+     ]
+    @ match deadline with
+      | Some d -> [ ("deadline_s", j_num d) ]
+      | None -> [])
+
+let print_result j =
+  match Option.bind (Jsonio.member "ok" j) Jsonio.to_bool with
+  | Some true ->
+      let f field =
+        Option.value ~default:Float.nan
+          (Option.bind (Jsonio.member field j) Jsonio.to_float)
+      in
+      let cached =
+        Option.value ~default:false
+          (Option.bind (Jsonio.member "cached" j) Jsonio.to_bool)
+      in
+      Fmt.pr "area      : %.1f um^2@." (f "area");
+      Fmt.pr "hpwl      : %.1f um@." (f "hpwl");
+      Fmt.pr "runtime   : %.2f s%s@." (f "runtime_s")
+        (if cached then " (cached)" else "");
+      Option.iter
+        (fun l ->
+          Option.iter (fun t -> Fmt.pr "%s@." t) (Jsonio.to_str l))
+        (Jsonio.member "layout" j);
+      0
+  | _ ->
+      Fmt.epr "job failed: %s@."
+        (Option.value ~default:"unknown error"
+           (Option.bind (Jsonio.member "error" j) Jsonio.to_str));
+      1
+
+(* ---------- bench mode ---------- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1))))
+
+let cache_counter stats_j field =
+  match Jsonio.member "cache" stats_j with
+  | Some c ->
+      Option.value ~default:0 (Option.bind (Jsonio.member field c) Jsonio.to_int)
+  | None -> 0
+
+let run_bench ic oc ~n ~distinct ~circuits ~kind ~perf ~moves ~out =
+  let distinct = max 1 distinct in
+  let get_stats () =
+    send oc (Jsonio.Obj [ ("op", j_str "stats") ]);
+    recv ic
+  in
+  let before = get_stats () in
+  let latencies = Array.make n 0.0 in
+  let cached_seen = ref 0 and failed = ref 0 in
+  let t0 = Telemetry.now () in
+  for i = 0 to n - 1 do
+    let v = i mod distinct in
+    let circuit = List.nth circuits (v mod List.length circuits) in
+    let seed = 1 + (v / List.length circuits) in
+    let spec = spec_json_of_flags kind perf moves seed 0 in
+    let id = Printf.sprintf "bench-%d" i in
+    let t = Telemetry.now () in
+    send oc
+      (place_req ~id ~circuit ~spec ~stream:false ~layout:false ~deadline:None);
+    let r = await_result ic ~id ~echo:false in
+    latencies.(i) <- Telemetry.now () -. t;
+    (match Option.bind (Jsonio.member "ok" r) Jsonio.to_bool with
+     | Some true ->
+         if
+           Option.value ~default:false
+             (Option.bind (Jsonio.member "cached" r) Jsonio.to_bool)
+         then incr cached_seen
+     | _ -> incr failed)
+  done;
+  let wall = Telemetry.now () -. t0 in
+  let after = get_stats () in
+  let hits = cache_counter after "hits" - cache_counter before "hits" in
+  let misses = cache_counter after "misses" - cache_counter before "misses" in
+  Array.sort Float.compare latencies;
+  let fn = float_of_int n in
+  let report =
+    Jsonio.Obj
+      [
+        ("bench", j_str "serve");
+        ("jobs", j_int n);
+        ("distinct_specs", j_int distinct);
+        ("circuits", Jsonio.Arr (List.map j_str circuits));
+        ("failed", j_int !failed);
+        ("wall_s", j_num wall);
+        ("jobs_per_s", j_num (fn /. Float.max 1e-9 wall));
+        ("p50_ms", j_num (1000.0 *. percentile latencies 0.50));
+        ("p99_ms", j_num (1000.0 *. percentile latencies 0.99));
+        ("max_ms", j_num (1000.0 *. percentile latencies 1.0));
+        ("cache_hit_rate", j_num (float_of_int !cached_seen /. fn));
+        ("server_hits", j_int hits);
+        ("server_misses", j_int misses);
+      ]
+  in
+  let text = Jsonio.to_string (Jsonio.sorted report) in
+  (match out with
+   | None -> ()
+   | Some f ->
+       let och = open_out f in
+       output_string och text;
+       output_char och '\n';
+       close_out och;
+       Fmt.pr "wrote %s@." f);
+  Fmt.pr "%s@." text;
+  if !failed > 0 then 1 else 0
+
+(* ---------- driver ---------- *)
+
+let run_cmd socket ping stats shutdown bench distinct out circuit circuits_opt
+    kind perf moves seed restarts stream deadline no_layout =
+  let ic, oc = connect socket in
+  if ping then begin
+    send oc (Jsonio.Obj [ ("op", j_str "ping") ]);
+    let j = recv ic in
+    Fmt.pr "%s@." (Jsonio.to_string j);
+    if String.equal (typ j) "pong" then 0 else 1
+  end
+  else if stats then begin
+    send oc (Jsonio.Obj [ ("op", j_str "stats") ]);
+    Fmt.pr "%s@." (Jsonio.to_string (recv ic));
+    0
+  end
+  else if shutdown then begin
+    send oc (Jsonio.Obj [ ("op", j_str "shutdown") ]);
+    Fmt.pr "%s@." (Jsonio.to_string (recv ic));
+    0
+  end
+  else
+    match bench with
+    | Some n ->
+        let circuits =
+          match circuits_opt with Some l -> l | None -> [ circuit ]
+        in
+        run_bench ic oc ~n ~distinct ~circuits ~kind ~perf ~moves ~out
+    | None ->
+        let spec = spec_json_of_flags kind perf moves seed restarts in
+        let id = "cli" in
+        send oc
+          (place_req ~id ~circuit ~spec ~stream ~layout:(not no_layout)
+             ~deadline);
+        print_result (await_result ic ~id ~echo:stream)
+
+open Cmdliner
+
+let socket_arg =
+  Arg.(value & opt string "placed.sock"
+       & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"Service socket path.")
+
+let ping_arg = Arg.(value & flag & info [ "ping" ] ~doc:"Health check.")
+let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"Print server stats.")
+
+let shutdown_arg =
+  Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to shut down.")
+
+let bench_arg =
+  Arg.(value & opt (some int) None
+       & info [ "bench" ] ~docv:"N"
+           ~doc:"Load-generator mode: submit $(docv) jobs and report \
+                 throughput/latency/cache stats.")
+
+let distinct_arg =
+  Arg.(value & opt int 4
+       & info [ "distinct" ] ~docv:"K"
+           ~doc:"Bench mode: number of distinct (circuit, seed) jobs the \
+                 load cycles through.")
+
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Bench mode: also write the JSON report to $(docv).")
+
+let circuit_arg =
+  Arg.(value & opt string "CC-OTA"
+       & info [ "c"; "circuit" ] ~docv:"NAME" ~doc:"Benchmark circuit name.")
+
+let circuits_arg =
+  Arg.(value & opt (some (list string)) None
+       & info [ "circuits" ] ~docv:"A,B,..."
+           ~doc:"Bench mode: circuits the load cycles through.")
+
+let placer_conv = Arg.enum (List.map (fun k -> (M.to_string k, k)) M.all)
+
+let placer_arg =
+  Arg.(value & opt placer_conv M.Eplace
+       & info [ "p"; "placer" ] ~docv:"METHOD"
+           ~doc:"Placement method: $(b,sa), $(b,prev), or $(b,eplace).")
+
+let perf_arg =
+  Arg.(value & flag
+       & info [ "perf" ] ~doc:"Performance-driven variant (trains a GNN).")
+
+let moves_arg =
+  Arg.(value & opt int 200_000
+       & info [ "moves" ] ~docv:"N" ~doc:"SA move budget.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+
+let restarts_arg =
+  Arg.(value & opt int 0
+       & info [ "restarts" ] ~docv:"N"
+           ~doc:"Independent restarts; 0 keeps the method's default.")
+
+let stream_arg =
+  Arg.(value & flag
+       & info [ "stream" ]
+           ~doc:"Print the telemetry lines the server streams during the \
+                 run.")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"S"
+           ~doc:"Refuse the job if it cannot start within $(docv) seconds.")
+
+let no_layout_arg =
+  Arg.(value & flag
+       & info [ "no-layout" ] ~doc:"Do not request the placed layout text.")
+
+let cmd =
+  let doc = "client and load generator for the placement service" in
+  Cmd.v
+    (Cmd.info "place-client" ~doc)
+    Term.(
+      const run_cmd $ socket_arg $ ping_arg $ stats_arg $ shutdown_arg
+      $ bench_arg $ distinct_arg $ out_arg $ circuit_arg $ circuits_arg
+      $ placer_arg $ perf_arg $ moves_arg $ seed_arg $ restarts_arg
+      $ stream_arg $ deadline_arg $ no_layout_arg)
+
+let () = exit (Cmd.eval' cmd)

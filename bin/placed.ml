@@ -1,0 +1,532 @@
+(* placed — the placement service daemon.
+
+   Long-running server: placement jobs arrive over a Unix-domain
+   socket as line-delimited JSON, are scheduled FIFO with per-job
+   deadlines and cancellation, and results are served from a
+   content-addressed LRU cache keyed on (netlist hash, constraints
+   hash, spec hash) so identical requests cost one placement. Per-run
+   telemetry can be streamed back live through the JSONL sink.
+
+   Wire protocol (one JSON object per line; see README "Running the
+   service"):
+
+     -> {"op":"place","id":"j1","circuit":"CC-OTA","spec":{"kind":"eplace"},
+         "deadline_s":60,"stream":false,"layout":true}
+     -> {"op":"place","netlist":"circuit ad-hoc ota\n...","spec":{...}}
+     -> {"op":"cancel","id":"j1"}
+     -> {"op":"stats"} | {"op":"ping"} | {"op":"shutdown"}
+
+     <- {"type":"queued","id":"j1","spec_hash":"..."}
+     <- {"type":"span",...} {"type":"counter",...}     (stream:true only)
+     <- {"type":"result","id":"j1","ok":true,"cached":false,
+         "area":...,"hpwl":...,"runtime_s":...,"wait_s":...,
+         "netlist_hash":"...","constraints_hash":"...","spec_hash":"...",
+         "layout":"place ..."}
+     <- {"type":"result","id":"j1","ok":false,"error":"..."}
+     <- {"type":"stats",...} | {"type":"pong"} | {"type":"bye"}
+
+   Concurrency: one accepter (the main thread), one handler thread per
+   connection (parsing and queueing only), and a single scheduler
+   thread that runs placements — so the pool's "one fan-out at a time"
+   contract holds, and two jobs never interleave their telemetry.
+   Cancellation removes a queued job; a job already running completes
+   (placements have no preemption point) and still reports its result.
+   A deadline is checked when the job reaches the head of the queue:
+   expired jobs are refused without running. *)
+
+module M = Experiments.Methods
+
+(* ---------- wire helpers ---------- *)
+
+let j_str s = Jsonio.Str s
+let j_num f = Jsonio.Num f
+let j_int i = Jsonio.Num (float_of_int i)
+let j_bool b = Jsonio.Bool b
+
+type conn = {
+  oc : out_channel;
+  oc_lock : Mutex.t;
+  peer : int;  (* connection number, for logs *)
+  mutable alive : bool;
+}
+
+(* Every protocol line goes through here: one line per value, flushed,
+   under the connection's write lock. A dead peer (closed socket) just
+   marks the connection; the scheduler must never die on EPIPE. *)
+let send conn (v : Jsonio.t) =
+  Mutex.lock conn.oc_lock;
+  (try
+     if conn.alive then begin
+       output_string conn.oc (Jsonio.to_string v);
+       output_char conn.oc '\n';
+       flush conn.oc
+     end
+   with Sys_error _ -> conn.alive <- false);
+  Mutex.unlock conn.oc_lock
+
+let send_error conn ?id msg =
+  let base = [ ("type", j_str "result"); ("ok", j_bool false) ] in
+  let base =
+    match id with Some i -> base @ [ ("id", j_str i) ] | None -> base
+  in
+  send conn (Jsonio.Obj (base @ [ ("error", j_str msg) ]))
+
+(* ---------- jobs ---------- *)
+
+type job = {
+  job_id : string;
+  circuit : Netlist.Circuit.t;
+  spec : M.spec;
+  deadline : float option;  (* absolute, on the telemetry clock *)
+  submitted : float;
+  stream : bool;
+  want_layout : bool;
+  conn : conn;
+  mutable cancelled : bool;
+}
+
+(* What the result cache stores: everything needed to answer a
+   repeated request without re-placing. The layout is kept as
+   interchange text — immutable, so physically shared across hits. *)
+type placement = {
+  p_area : float;
+  p_hpwl : float;
+  p_runtime_s : float;
+  p_layout_text : string;
+}
+
+type server = {
+  queue : job Queue.t;
+  q_lock : Mutex.t;
+  q_cond : Condition.t;
+  results : placement option Cache.t;
+  mutable stopping : bool;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable refused : int;  (* cancelled or expired before running *)
+  mutable next_id : int;
+  verbose : bool;
+}
+
+let log server fmt =
+  if server.verbose then Fmt.epr ("[placed] " ^^ fmt ^^ "@.")
+  else
+    Format.ikfprintf
+      (fun _ -> ())
+      Format.err_formatter
+      ("[placed] " ^^ fmt ^^ "@.")
+
+(* Cache key: the three content hashes the README documents. The
+   interchange text is the canonical form of a circuit; constraint
+   lines (sym/align/order) are split out so motif-equivalent netlists
+   with different constraint sets key separately. *)
+let circuit_hashes c =
+  let text = Netlist.Io.circuit_to_string c in
+  let is_constraint l =
+    String.starts_with ~prefix:"sym " l
+    || String.starts_with ~prefix:"sym/" l
+    || String.equal l "sym"
+    || String.starts_with ~prefix:"align " l
+    || String.starts_with ~prefix:"order " l
+  in
+  let cs, rest =
+    List.partition is_constraint (String.split_on_char '\n' text)
+  in
+  ( Digest.to_hex (Digest.string (String.concat "\n" rest)),
+    Digest.to_hex (Digest.string (String.concat "\n" cs)) )
+
+(* ---------- the scheduler ---------- *)
+
+let run_placement (job : job) =
+  let m = M.of_spec job.spec in
+  match m.M.run job.circuit with
+  | Some o ->
+      let layout = o.M.layout in
+      Some
+        {
+          p_area = Netlist.Layout.area layout;
+          p_hpwl = Netlist.Layout.hpwl layout;
+          p_runtime_s = o.M.runtime_s;
+          p_layout_text = Netlist.Io.placement_to_string layout;
+        }
+  | None -> None
+
+let result_fields (job : job) ~cached ~wait_s (nh, ch) p =
+  [
+    ("type", j_str "result");
+    ("id", j_str job.job_id);
+    ("ok", j_bool true);
+    ("cached", j_bool cached);
+    ("area", j_num p.p_area);
+    ("hpwl", j_num p.p_hpwl);
+    ("runtime_s", j_num p.p_runtime_s);
+    ("wait_s", j_num wait_s);
+    ("netlist_hash", j_str nh);
+    ("constraints_hash", j_str ch);
+    ("spec_hash", j_str (M.spec_hash job.spec));
+  ]
+  @ if job.want_layout then [ ("layout", j_str p.p_layout_text) ] else []
+
+let process server (job : job) =
+  let now = Telemetry.now () in
+  let wait_s = now -. job.submitted in
+  if job.cancelled then begin
+    server.refused <- server.refused + 1;
+    send_error job.conn ~id:job.job_id "cancelled before start"
+  end
+  else
+    match job.deadline with
+    | Some d when Float.compare now d > 0 ->
+        server.refused <- server.refused + 1;
+        send_error job.conn ~id:job.job_id
+          (Printf.sprintf
+             "deadline expired before start (queued %.2fs)" wait_s)
+    | _ -> (
+        let hashes = circuit_hashes job.circuit in
+        let nh, ch = hashes in
+        let key =
+          String.concat "/" [ nh; ch; M.spec_hash job.spec ]
+        in
+        let computed = ref false in
+        let compute () =
+          computed := true;
+          (* live per-phase telemetry: the run executes under the JSONL
+             sink pointed at the requesting connection. The write lock
+             is held for the whole run so control responses to other
+             requests on this connection cannot tear a streamed line;
+             they are delayed, not lost. *)
+          if job.stream then begin
+            Mutex.lock job.conn.oc_lock;
+            Telemetry.set_sink (Telemetry.jsonl job.conn.oc)
+          end;
+          let finish () =
+            if job.stream then begin
+              Telemetry.flush ();
+              Telemetry.set_sink Telemetry.noop;
+              Mutex.unlock job.conn.oc_lock
+            end
+          in
+          match run_placement job with
+          | r ->
+              finish ();
+              r
+          | exception e ->
+              finish ();
+              raise e
+        in
+        (* placer-lint: allow H1 a malformed or infeasible job must become an error response, never a dead service *)
+        match Cache.get_or_compute server.results ~key compute with
+        | Some p ->
+            server.completed <- server.completed + 1;
+            let cached = not !computed in
+            log server "job %s %s in %.2fs (key %s...)" job.job_id
+              (if cached then "served from cache" else "placed")
+              (Telemetry.now () -. now)
+              (String.sub key 0 8);
+            send job.conn
+              (Jsonio.Obj (result_fields job ~cached ~wait_s hashes p))
+        | None ->
+            server.completed <- server.completed + 1;
+            send_error job.conn ~id:job.job_id
+              "placer returned no layout (infeasible constraints or \
+               failed legalisation)"
+        | exception e ->
+            server.completed <- server.completed + 1;
+            send_error job.conn ~id:job.job_id
+              (Printf.sprintf "placement raised: %s" (Printexc.to_string e)))
+
+let scheduler server () =
+  let rec loop () =
+    Mutex.lock server.q_lock;
+    while Queue.is_empty server.queue && not server.stopping do
+      Condition.wait server.q_cond server.q_lock
+    done;
+    if Queue.is_empty server.queue then
+      (* stopping and drained *)
+      Mutex.unlock server.q_lock
+    else begin
+      let job = Queue.pop server.queue in
+      Mutex.unlock server.q_lock;
+      process server job;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ---------- request handling ---------- *)
+
+let parse_circuit server j =
+  match (Jsonio.member "circuit" j, Jsonio.member "netlist" j) with
+  | Some name, None -> (
+      match Jsonio.to_str name with
+      | None -> Error "field \"circuit\": expected a string"
+      | Some n -> (
+          match Circuits.Testcases.get n with
+          | Some c -> Ok c
+          | None ->
+              Error
+                (Printf.sprintf "unknown circuit %S (known: %s)" n
+                   (String.concat ", " Circuits.Testcases.all_names))))
+  | None, Some text -> (
+      match Jsonio.to_str text with
+      | None -> Error "field \"netlist\": expected a string"
+      | Some t -> (
+          match Netlist.Io.parse_circuit t with
+          | c -> Ok c
+          | exception Netlist.Io.Parse_error (line, msg) ->
+              Error (Printf.sprintf "netlist line %d: %s" line msg)
+          | exception Invalid_argument msg ->
+              Error (Printf.sprintf "invalid netlist: %s" msg)))
+  | Some _, Some _ -> Error "give either \"circuit\" or \"netlist\", not both"
+  | None, None ->
+      ignore server;
+      Error "missing \"circuit\" (registry name) or \"netlist\" (inline text)"
+
+let handle_place server conn j =
+  let id =
+    match Option.bind (Jsonio.member "id" j) Jsonio.to_str with
+    | Some i -> i
+    | None ->
+        Mutex.lock server.q_lock;
+        server.next_id <- server.next_id + 1;
+        let i = Printf.sprintf "job-%d" server.next_id in
+        Mutex.unlock server.q_lock;
+        i
+  in
+  let spec =
+    match Jsonio.member "spec" j with
+    | None -> Ok (M.default_spec M.Eplace)
+    | Some sj -> M.spec_of_json sj
+  in
+  match (parse_circuit server j, spec) with
+  | Error e, _ | _, Error e -> send_error conn ~id e
+  | Ok circuit, Ok spec ->
+      let deadline_s = Option.bind (Jsonio.member "deadline_s" j) Jsonio.to_float in
+      let stream =
+        Option.value ~default:false
+          (Option.bind (Jsonio.member "stream" j) Jsonio.to_bool)
+      in
+      let want_layout =
+        Option.value ~default:true
+          (Option.bind (Jsonio.member "layout" j) Jsonio.to_bool)
+      in
+      let now = Telemetry.now () in
+      let job =
+        {
+          job_id = id;
+          circuit;
+          spec;
+          deadline = Option.map (fun d -> now +. d) deadline_s;
+          submitted = now;
+          stream;
+          want_layout;
+          conn;
+          cancelled = false;
+        }
+      in
+      Mutex.lock server.q_lock;
+      server.submitted <- server.submitted + 1;
+      Queue.push job server.queue;
+      Condition.signal server.q_cond;
+      let depth = Queue.length server.queue in
+      Mutex.unlock server.q_lock;
+      log server "queued %s (%s on %s, depth %d)" id
+        (M.to_string spec.M.kind) circuit.Netlist.Circuit.name depth;
+      send conn
+        (Jsonio.Obj
+           [
+             ("type", j_str "queued");
+             ("id", j_str id);
+             ("spec_hash", j_str (M.spec_hash spec));
+             ("queue_depth", j_int depth);
+           ])
+
+let handle_cancel server conn j =
+  match Option.bind (Jsonio.member "id" j) Jsonio.to_str with
+  | None -> send_error conn "cancel: missing \"id\""
+  | Some id ->
+      Mutex.lock server.q_lock;
+      let found = ref false in
+      Queue.iter
+        (fun job ->
+          if String.equal job.job_id id && not job.cancelled then begin
+            job.cancelled <- true;
+            found := true
+          end)
+        server.queue;
+      Mutex.unlock server.q_lock;
+      send conn
+        (Jsonio.Obj
+           [
+             ("type", j_str "cancelled");
+             ("id", j_str id);
+             ("found", j_bool !found);
+           ])
+
+let handle_stats server conn =
+  let s = Cache.stats server.results in
+  Mutex.lock server.q_lock;
+  let depth = Queue.length server.queue in
+  let submitted = server.submitted
+  and completed = server.completed
+  and refused = server.refused in
+  Mutex.unlock server.q_lock;
+  send conn
+    (Jsonio.Obj
+       [
+         ("type", j_str "stats");
+         ("submitted", j_int submitted);
+         ("completed", j_int completed);
+         ("refused", j_int refused);
+         ("queue_depth", j_int depth);
+         ( "cache",
+           Jsonio.Obj
+             [
+               ("hits", j_int s.Cache.hits);
+               ("misses", j_int s.Cache.misses);
+               ("evictions", j_int s.Cache.evictions);
+               ("dedup_waits", j_int s.Cache.dedup_waits);
+               ("size", j_int s.Cache.size);
+               ("capacity", j_int s.Cache.cap);
+             ] );
+       ])
+
+let handle_line server conn ~wake_accepter line =
+  match Jsonio.parse line with
+  | Error e -> send_error conn (Printf.sprintf "bad request: %s" e)
+  | Ok j -> (
+      match Option.bind (Jsonio.member "op" j) Jsonio.to_str with
+      | Some "place" -> handle_place server conn j
+      | Some "cancel" -> handle_cancel server conn j
+      | Some "stats" -> handle_stats server conn
+      | Some "ping" -> send conn (Jsonio.Obj [ ("type", j_str "pong") ])
+      | Some "shutdown" ->
+          log server "shutdown requested by connection %d" conn.peer;
+          send conn (Jsonio.Obj [ ("type", j_str "bye") ]);
+          Mutex.lock server.q_lock;
+          server.stopping <- true;
+          Condition.broadcast server.q_cond;
+          Mutex.unlock server.q_lock;
+          (* unblock the accepter: close() from another thread does not
+             interrupt a blocked accept(2), and shutdown() on a
+             listening socket is not portable — so wake it with a
+             throwaway self-connection; the accept loop re-checks
+             [stopping] after every accept *)
+          wake_accepter ()
+      | Some op -> send_error conn (Printf.sprintf "unknown op %S" op)
+      | None -> send_error conn "missing \"op\"")
+
+let handle_conn server ~wake_accepter fd peer =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let conn = { oc; oc_lock = Mutex.create (); peer; alive = true } in
+  log server "connection %d opened" peer;
+  let rec loop () =
+    match input_line ic with
+    | line ->
+        if String.length (String.trim line) > 0 then
+          handle_line server conn ~wake_accepter line;
+        if conn.alive && not server.stopping then loop ()
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+  in
+  loop ();
+  conn.alive <- false;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  log server "connection %d closed" peer
+
+(* ---------- main ---------- *)
+
+let serve socket_path jobs cache_capacity verbose =
+  Pool.set_default_jobs jobs;
+  (* a client that disconnects mid-stream must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let server =
+    {
+      queue = Queue.create ();
+      q_lock = Mutex.create ();
+      q_cond = Condition.create ();
+      results = Cache.create ~capacity:cache_capacity ();
+      stopping = false;
+      submitted = 0;
+      completed = 0;
+      refused = 0;
+      next_id = 0;
+      verbose;
+    }
+  in
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen listen_fd 16;
+  Fmt.pr "placed: listening on %s (jobs %d, cache %d)@." socket_path jobs
+    cache_capacity;
+  let sched = Thread.create (scheduler server) () in
+  let wake_accepter () =
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | fd ->
+        (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+         with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  let peer = ref 0 in
+  let rec accept_loop () =
+    match Unix.accept listen_fd with
+    | fd, _ ->
+        if server.stopping then
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          incr peer;
+          let p = !peer in
+          ignore
+            (Thread.create (fun () -> handle_conn server ~wake_accepter fd p) ());
+          accept_loop ()
+        end
+    | exception Unix.Unix_error _ ->
+        (* listening socket broke out from under us *)
+        ()
+  in
+  accept_loop ();
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (* drain: the scheduler finishes queued jobs, then exits *)
+  Thread.join sched;
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let s = Cache.stats server.results in
+  Fmt.pr
+    "placed: clean shutdown (%d submitted, %d completed, %d refused, \
+     cache %d/%d hits/misses)@."
+    server.submitted server.completed server.refused s.Cache.hits
+    s.Cache.misses;
+  0
+
+open Cmdliner
+
+let socket_arg =
+  Arg.(value & opt string "placed.sock"
+       & info [ "s"; "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path to listen on.")
+
+let jobs_arg =
+  Arg.(value & opt int (Domain.recommended_domain_count ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for each placement's parallel fan-outs.")
+
+let cache_arg =
+  Arg.(value & opt int 256
+       & info [ "cache-capacity" ] ~docv:"N"
+           ~doc:"Result-cache entries before LRU eviction.")
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "v"; "verbose" ] ~doc:"Log job lifecycle events to stderr.")
+
+let cmd =
+  let doc = "analog placement service daemon (line-delimited JSON over a \
+             Unix socket)" in
+  Cmd.v
+    (Cmd.info "placed" ~doc)
+    Term.(const serve $ socket_arg $ jobs_arg $ cache_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,60 @@
+(** Content-addressed result cache with bounded LRU eviction and
+    in-flight computation dedup — the memoisation pattern that grew up
+    inside [Gnn_setup.get], generalised so the placement service, the
+    GNN model cache and any future template store share one audited
+    implementation.
+
+    Keys are strings; by convention a content hash (the service keys
+    placement results on netlist-hash / constraints-hash / spec-hash,
+    see DESIGN.md). Values are treated as immutable: every caller that
+    hits a key receives the same (physically equal) value, so cached
+    values must never be mutated.
+
+    {2 Concurrency}
+
+    All operations are thread- and domain-safe; one mutex serialises
+    the table and recency list. [get_or_compute] releases the lock
+    while the compute function runs, so concurrent lookups of {e other}
+    keys proceed; concurrent callers of the {e same} missing key wait
+    on a condition instead of duplicating the work ("single-flight").
+    If the computer raises, the miss is withdrawn, one waiter is
+    promoted to computer, and the exception propagates to the original
+    caller only. *)
+
+type 'v t
+
+val create : ?capacity:int -> unit -> 'v t
+(** [capacity] bounds the number of {e completed} entries (default 64);
+    the least-recently-used entry is evicted on overflow. In-flight
+    computations are not counted.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'v t -> int
+
+val get_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v
+(** [get_or_compute t ~key f] returns the cached value for [key],
+    computing it with [f] on a miss. The entry becomes most recently
+    used. [f] runs outside the cache lock. *)
+
+val find : 'v t -> key:string -> 'v option
+(** Lookup without computing; a hit refreshes recency. Does not wait
+    for an in-flight computation of [key] ([None] meanwhile). Counts as
+    a hit or miss in {!stats}. *)
+
+val length : 'v t -> int
+(** Completed entries currently cached. *)
+
+type stats = {
+  hits : int;
+  misses : int;  (** lookups that ran (or would require) a compute *)
+  evictions : int;  (** entries dropped by the LRU bound *)
+  dedup_waits : int;
+      (** lookups that waited on another caller's in-flight compute
+          instead of duplicating it (each counts as a hit once the
+          value lands) *)
+  size : int;
+  cap : int;
+}
+
+val stats : 'v t -> stats
+(** A consistent snapshot of the counters. *)

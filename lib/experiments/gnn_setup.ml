@@ -176,23 +176,20 @@ let train_for ?(sizes = default_sizes) ?(epochs = 150) ?(seed = 424242)
   let train_stats = Gnn.Train.train ~epochs ~rng model samples in
   { enc; model; threshold; train_stats; n_samples = List.length samples }
 
-(* Process-wide cache, keyed by circuit name, a quick/full flag and a
-   fingerprint of any non-default training configuration.
+(* Process-wide model cache, keyed by circuit name, a quick/full flag
+   and a fingerprint of any non-default training configuration.
 
-   Parallel safety: [cache_lock] serialises every access to both
-   tables. The first caller to miss on a key registers an in-flight
-   condition and trains with the lock released (training may itself
-   fan out on the pool — nested pool maps run inline, so no worker is
-   parked while it trains); concurrent callers for the same key wait
-   on the condition instead of duplicating the training run. Every
-   caller therefore shares the one physically-equal [trained] value.
-   If the trainer raises, it withdraws the in-flight entry and wakes
-   the waiters, one of which becomes the new trainer. *)
-(* placer-lint: allow D4 deliberate process-wide model cache; cache_lock serialises every access *)
-let cache : (string, trained) Hashtbl.t = Hashtbl.create 16
-(* placer-lint: allow D4 in-flight training dedup table, guarded by cache_lock *)
-let in_flight : (string, Condition.t) Hashtbl.t = Hashtbl.create 4
-let cache_lock = Mutex.create ()
+   The single-flight protocol (first caller to miss trains with the
+   lock released; concurrent callers for the same key wait instead of
+   duplicating the run; a raising trainer withdraws its entry and one
+   waiter retries) started life here and now lives in [Cache] — the
+   service's result cache and this model cache share the audited
+   implementation. Training may itself fan out on the pool: nested
+   pool maps run inline, so no worker is parked while it trains. Every
+   caller shares the one physically-equal [trained] value, and the LRU
+   bound caps how many trained models a long-lived process can pin. *)
+(* placer-lint: allow D4 deliberate process-wide model cache (bounded LRU); Cache serialises every access behind its lock *)
+let cache : trained Cache.t = Cache.create ~capacity:16 ()
 
 let get ?sizes ?epochs ?(quick = false) (c : Netlist.Circuit.t) =
   let default_sz = if quick then quick_sizes else default_sizes in
@@ -209,38 +206,7 @@ let get ?sizes ?epochs ?(quick = false) (c : Netlist.Circuit.t) =
         sizes.n_sa sizes.n_analytic epochs
     else ""
   in
-  let rec obtain () =
-    Mutex.lock cache_lock;
-    match Hashtbl.find_opt cache key with
-    | Some t ->
-        Mutex.unlock cache_lock;
-        t
-    | None -> (
-        match Hashtbl.find_opt in_flight key with
-        | Some cond ->
-            Condition.wait cond cache_lock;
-            Mutex.unlock cache_lock;
-            obtain ()
-        | None -> (
-            let cond = Condition.create () in
-            Hashtbl.replace in_flight key cond;
-            Mutex.unlock cache_lock;
-            let finish res =
-              Mutex.lock cache_lock;
-              Option.iter (fun t -> Hashtbl.replace cache key t) res;
-              Hashtbl.remove in_flight key;
-              Condition.broadcast cond;
-              Mutex.unlock cache_lock
-            in
-            match train_for ~sizes ~epochs c with
-            | t ->
-                finish (Some t);
-                t
-            | exception e ->
-                finish None;
-                raise e))
-  in
-  obtain ()
+  Cache.get_or_compute cache ~key (fun () -> train_for ~sizes ~epochs c)
 
 (* ---- placer-facing hooks ---- *)
 

@@ -275,3 +275,206 @@ let eplace_ap ?(params = Eplace.Eplace_a.default_params) ?(alpha = 60.0)
       match select_by_fom candidates with
       | Some layout -> Some (layout, Telemetry.now () -. t0)
       | None -> None)
+
+(* ---------- the serializable job spec ---------- *)
+
+(* [spec] is the single construction point for every run the repo
+   builds (tables, CLI, bench, the placement service): a pure record
+   with a canonical JSON form, so a placement request can be shipped
+   over a socket, logged, diffed, and content-hashed for the service's
+   result cache. The optional-argument constructors above remain as
+   thin escape hatches for callers that need non-default engine
+   params, but everything spec-expressible should go through
+   [of_spec]. *)
+type spec = {
+  kind : kind;
+  perf : bool;
+  moves : int;
+  seed : int;
+  restarts : int;
+  alpha : float;
+  wl_weight : float;
+  area_weight : float;
+  check_every : int;
+  quick : bool;
+}
+
+let default_spec ?(perf = false) kind =
+  match kind with
+  | Sa ->
+      { kind; perf;
+        moves = (if perf then 120_000 else sa_default_moves);
+        seed = 1; restarts = 1; alpha = 2.0; wl_weight = 1.0;
+        area_weight = 1.0; check_every = 0; quick = false }
+  | Prev | Eplace ->
+      (* [moves], [wl_weight], [area_weight] and [check_every] are
+         SA-only; pinned here so naive clients hash consistently *)
+      { kind; perf; moves = 0; seed = 1; restarts = 5; alpha = 60.0;
+        wl_weight = 1.0; area_weight = 1.0; check_every = 0;
+        quick = false }
+
+let of_spec (s : spec) =
+  match (s.kind, s.perf) with
+  | Sa, false ->
+      sa ~moves:s.moves ~seed:s.seed ~restarts:s.restarts
+        ~wl_weight:s.wl_weight ~area_weight:s.area_weight
+        ~check_every:s.check_every ()
+  | Sa, true ->
+      sa_perf ~moves:s.moves ~seed:s.seed ~restarts:s.restarts
+        ~alpha:s.alpha ~check_every:s.check_every ~quick:s.quick ()
+  | Prev, false ->
+      let p = Prevwork.Prev_analytical.default_params in
+      prev
+        ~params:
+          { p with
+            Prevwork.Prev_analytical.restarts = s.restarts;
+            gp = { p.Prevwork.Prev_analytical.gp with
+                   Prevwork.Ntu_gp.seed = s.seed } }
+        ()
+  | Prev, true ->
+      let p = Prevwork.Prev_analytical.default_params in
+      prev_perf
+        ~params:
+          { p with
+            Prevwork.Prev_analytical.restarts = s.restarts;
+            gp = { p.Prevwork.Prev_analytical.gp with
+                   Prevwork.Ntu_gp.seed = s.seed } }
+        ~alpha:s.alpha ~quick:s.quick ()
+  | Eplace, false ->
+      let p = Eplace.Eplace_a.default_params in
+      eplace_a
+        ~params:
+          { p with
+            Eplace.Eplace_a.restarts = s.restarts;
+            gp = { p.Eplace.Eplace_a.gp with
+                   Eplace.Gp_params.seed = s.seed } }
+        ()
+  | Eplace, true ->
+      let p = Eplace.Eplace_a.default_params in
+      eplace_ap
+        ~params:
+          { p with
+            Eplace.Eplace_a.restarts = s.restarts;
+            gp = { p.Eplace.Eplace_a.gp with
+                   Eplace.Gp_params.seed = s.seed } }
+        ~alpha:s.alpha ~quick:s.quick ()
+
+(* ----- canonical serialization -----
+
+   Field order in [spec_to_json] is already alphabetical, and
+   [spec_canonical] re-sorts defensively, so the canonical string — and
+   therefore [spec_hash] — is independent of how a client ordered its
+   JSON fields. *)
+
+let spec_to_json (s : spec) : Jsonio.t =
+  Jsonio.Obj
+    [
+      ("alpha", Jsonio.Num s.alpha);
+      ("area_weight", Jsonio.Num s.area_weight);
+      ("check_every", Jsonio.Num (float_of_int s.check_every));
+      ("kind", Jsonio.Str (to_string s.kind));
+      ("moves", Jsonio.Num (float_of_int s.moves));
+      ("perf", Jsonio.Bool s.perf);
+      ("quick", Jsonio.Bool s.quick);
+      ("restarts", Jsonio.Num (float_of_int s.restarts));
+      ("seed", Jsonio.Num (float_of_int s.seed));
+      ("wl_weight", Jsonio.Num s.wl_weight);
+    ]
+
+(* Strict field-by-field decoding: [kind] is required, every other
+   field defaults from [default_spec ~perf kind], and unknown fields
+   are rejected — a misspelled knob in a service request must fail
+   loudly, not silently run with defaults. *)
+let spec_of_json (j : Jsonio.t) : (spec, string) result =
+  let known =
+    [ "alpha"; "area_weight"; "check_every"; "kind"; "moves"; "perf";
+      "quick"; "restarts"; "seed"; "wl_weight" ]
+  in
+  match j with
+  | Jsonio.Obj fields -> (
+      let unknown =
+        List.filter (fun (k, _) -> not (List.mem k known)) fields
+      in
+      match unknown with
+      | (k, _) :: _ -> Error (Printf.sprintf "unknown spec field %S" k)
+      | [] -> (
+          let str_field name =
+            match Jsonio.member name j with
+            | None -> Ok None
+            | Some v -> (
+                match Jsonio.to_str v with
+                | Some s -> Ok (Some s)
+                | None -> Error (Printf.sprintf "field %S: expected a string" name))
+          in
+          let int_field name =
+            match Jsonio.member name j with
+            | None -> Ok None
+            | Some v -> (
+                match Jsonio.to_int v with
+                | Some i -> Ok (Some i)
+                | None ->
+                    Error (Printf.sprintf "field %S: expected an integer" name))
+          in
+          let float_field name =
+            match Jsonio.member name j with
+            | None -> Ok None
+            | Some v -> (
+                match Jsonio.to_float v with
+                | Some f -> Ok (Some f)
+                | None -> Error (Printf.sprintf "field %S: expected a number" name))
+          in
+          let bool_field name =
+            match Jsonio.member name j with
+            | None -> Ok None
+            | Some v -> (
+                match Jsonio.to_bool v with
+                | Some b -> Ok (Some b)
+                | None ->
+                    Error (Printf.sprintf "field %S: expected a boolean" name))
+          in
+          let ( let* ) = Result.bind in
+          let* kind_s = str_field "kind" in
+          let* kind =
+            match kind_s with
+            | None -> Error "missing required spec field \"kind\""
+            | Some s -> (
+                match of_string s with
+                | Some k -> Ok k
+                | None ->
+                    Error
+                      (Printf.sprintf
+                         "field \"kind\": unknown method %S (expected sa, \
+                          prev or eplace)" s))
+          in
+          let* perf = bool_field "perf" in
+          let perf = Option.value perf ~default:false in
+          let d = default_spec ~perf kind in
+          let* moves = int_field "moves" in
+          let* seed = int_field "seed" in
+          let* restarts = int_field "restarts" in
+          let* alpha = float_field "alpha" in
+          let* wl_weight = float_field "wl_weight" in
+          let* area_weight = float_field "area_weight" in
+          let* check_every = int_field "check_every" in
+          let* quick = bool_field "quick" in
+          let v d' o = Option.value o ~default:d' in
+          Ok
+            { kind; perf;
+              moves = v d.moves moves;
+              seed = v d.seed seed;
+              restarts = v d.restarts restarts;
+              alpha = v d.alpha alpha;
+              wl_weight = v d.wl_weight wl_weight;
+              area_weight = v d.area_weight area_weight;
+              check_every = v d.check_every check_every;
+              quick = v d.quick quick;
+            }))
+  | _ -> Error "spec must be a JSON object"
+
+let spec_canonical s = Jsonio.to_string (Jsonio.sorted (spec_to_json s))
+let spec_hash s = Digest.to_hex (Digest.string (spec_canonical s))
+
+let spec_of_string txt =
+  match Jsonio.parse txt with
+  | Error e -> Error ("spec: " ^ e)
+  | Ok j -> spec_of_json j

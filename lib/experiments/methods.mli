@@ -51,6 +51,60 @@ type t = {
 
 val sa_default_moves : int
 
+(** {2 The serializable job spec}
+
+    A placement request as a first-class value: [spec] captures every
+    knob the tables, the CLI and the placement service vary, has a
+    canonical JSON encoding, and content-hashes stably (field order in
+    a client's JSON does not change the hash). [of_spec] is the single
+    construction point — the optional-argument constructors below are
+    retained only as thin escape hatches for callers that need
+    non-default engine parameter records. *)
+type spec = {
+  kind : kind;
+  perf : bool;  (** performance-driven variant (trains/uses the GNN) *)
+  moves : int;  (** SA move budget per restart; ignored by [Prev]/[Eplace] *)
+  seed : int;
+  restarts : int;
+  alpha : float;
+      (** performance-term weight: Eq. 5 for the analytical families,
+          the Phi cost weight for SA-perf *)
+  wl_weight : float;  (** SA only *)
+  area_weight : float;  (** SA only *)
+  check_every : int;  (** SA debug cross-check period; 0 disables *)
+  quick : bool;  (** reduced GNN training budget ([perf] only) *)
+}
+
+val default_spec : ?perf:bool -> kind -> spec
+(** Family-appropriate defaults: the budgets and weights the paper's
+    tables use for one run of that method. *)
+
+val of_spec : spec -> t
+(** Build the runnable method a spec denotes. Equal specs build
+    behaviourally identical methods (bit-identical layouts for equal
+    inputs), which is what makes {!spec_hash} a sound cache key. *)
+
+val spec_to_json : spec -> Jsonio.t
+val spec_of_json : Jsonio.t -> (spec, string) result
+(** Strict decoding: ["kind"] is required, other fields default from
+    {!default_spec}, unknown fields are an error. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse then decode. *)
+
+val spec_canonical : spec -> string
+(** Canonical encoding (sorted fields, stable number format); the
+    preimage of {!spec_hash}. *)
+
+val spec_hash : spec -> string
+(** Hex digest of {!spec_canonical}; the spec component of the
+    service's (netlist, constraints, spec) cache key. *)
+
+(** {2 Escape-hatch constructors}
+
+    @deprecated Build a {!spec} and call {!of_spec}; these remain for
+    callers needing full engine parameter records. *)
+
 val sa :
   ?moves:int -> ?seed:int -> ?restarts:int -> ?wl_weight:float ->
   ?area_weight:float -> ?check_every:int -> unit -> t
@@ -58,18 +112,30 @@ val sa :
     [restarts > 1] runs independent anneals in parallel on the default
     pool and keeps the best final cost. [check_every > 0] cross-checks
     the incremental cost engine against a full recomputation every N
-    evaluations. *)
+    evaluations.
+    @deprecated Prefer [of_spec (default_spec Sa)] with overrides. *)
 
 val sa_perf :
   ?moves:int -> ?seed:int -> ?restarts:int -> ?alpha:float ->
   ?check_every:int -> ?quick:bool -> unit -> t
-(** Performance-driven SA [19]: GNN inference inside the cost. *)
+(** Performance-driven SA [19]: GNN inference inside the cost.
+    @deprecated Prefer [of_spec (default_spec ~perf:true Sa)]. *)
 
 val prev : ?params:Prevwork.Prev_analytical.params -> unit -> t
+(** @deprecated Prefer {!of_spec} unless a custom [params] record is
+    needed. *)
+
 val prev_perf :
   ?params:Prevwork.Prev_analytical.params -> ?alpha:float -> ?quick:bool ->
   unit -> t
+(** @deprecated Prefer {!of_spec} unless a custom [params] record is
+    needed. *)
 
 val eplace_a : ?params:Eplace.Eplace_a.params -> unit -> t
+(** @deprecated Prefer {!of_spec} unless a custom [params] record is
+    needed. *)
+
 val eplace_ap :
   ?params:Eplace.Eplace_a.params -> ?alpha:float -> ?quick:bool -> unit -> t
+(** @deprecated Prefer {!of_spec} unless a custom [params] record is
+    needed. *)

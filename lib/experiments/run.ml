@@ -36,22 +36,25 @@ let prev_params cfg =
     Prevwork.Prev_analytical.restarts = cfg.restarts }
 
 (* Single construction point from the typed placer selector: every
-   table builds its method list from [Methods.kind], as does the CLI. *)
-let method_of_kind cfg ?(perf = false) (k : Methods.kind) =
-  match (k, perf) with
-  | Methods.Sa, false ->
-      Methods.sa ~moves:cfg.sa_moves ~check_every:cfg.check_eval ()
-  | Methods.Sa, true ->
-      Methods.sa_perf ~moves:cfg.sa_perf_moves ~alpha:cfg.sa_alpha
-        ~check_every:cfg.check_eval ~quick:cfg.quick ()
-  | Methods.Prev, false -> Methods.prev ~params:(prev_params cfg) ()
-  | Methods.Prev, true ->
-      Methods.prev_perf ~params:(prev_params cfg) ~alpha:cfg.alpha
-        ~quick:cfg.quick ()
-  | Methods.Eplace, false -> Methods.eplace_a ~params:(eplace_params cfg) ()
-  | Methods.Eplace, true ->
-      Methods.eplace_ap ~params:(eplace_params cfg) ~alpha:cfg.alpha
-        ~quick:cfg.quick ()
+   table derives a serializable [Methods.spec] from its [cfg] — the
+   same spec value the CLI and the placement service build runs from —
+   and realises it with [Methods.of_spec]. *)
+let spec_of_kind cfg ?(perf = false) (k : Methods.kind) =
+  let s = Methods.default_spec ~perf k in
+  match k with
+  | Methods.Sa ->
+      { s with
+        Methods.moves = (if perf then cfg.sa_perf_moves else cfg.sa_moves);
+        alpha = cfg.sa_alpha;
+        check_every = cfg.check_eval;
+        quick = cfg.quick }
+  | Methods.Prev | Methods.Eplace ->
+      { s with
+        Methods.restarts = cfg.restarts;
+        alpha = cfg.alpha;
+        quick = cfg.quick }
+
+let method_of_kind cfg ?perf k = Methods.of_spec (spec_of_kind cfg ?perf k)
 
 (* ---------- Table I: soft vs hard symmetry in GP ---------- *)
 
@@ -154,27 +157,48 @@ type method_row = {
   gp_s : float;  (* phase breakdown from the run's telemetry *)
   dp_s : float;
   gnn_s : float;
+  error : string option;  (* why this design produced no layout *)
 }
 
 (* The per-table hot fan-out: one independent placement per circuit,
    spread over the default pool. Area/HPWL columns are deterministic
    for a fixed seed whatever the worker count (see Pool's determinism
-   contract); only the runtime columns vary with scheduling. *)
+   contract); only the runtime columns vary with scheduling.
+
+   A failed design no longer vanishes into a silent nan row: the row
+   carries the reason, and every failure is reported on stderr at the
+   join (after the fan-out, in task order, so the log output is
+   deterministic whatever the worker count). *)
 let run_method (m : Methods.t) names =
-  Pool.map_list (Pool.default ())
-    (fun design ->
-      let c = Circuits.Testcases.get_exn design in
-      match m.Methods.run c with
-      | Some o ->
-          let area, hpwl = area_hpwl o.Methods.layout in
-          let s = o.Methods.stats in
-          { design; area; hpwl; runtime = o.Methods.runtime_s;
-            gp_s = s.Methods.gp_s; dp_s = s.Methods.dp_s;
-            gnn_s = s.Methods.gnn_s }
-      | None ->
-          { design; area = nan; hpwl = nan; runtime = nan; gp_s = nan;
-            dp_s = nan; gnn_s = nan })
-    names
+  let rows =
+    Pool.map_list (Pool.default ())
+      (fun design ->
+        let c = Circuits.Testcases.get_exn design in
+        match m.Methods.run c with
+        | Some o ->
+            let area, hpwl = area_hpwl o.Methods.layout in
+            let s = o.Methods.stats in
+            { design; area; hpwl; runtime = o.Methods.runtime_s;
+              gp_s = s.Methods.gp_s; dp_s = s.Methods.dp_s;
+              gnn_s = s.Methods.gnn_s; error = None }
+        | None ->
+            { design; area = nan; hpwl = nan; runtime = nan; gp_s = nan;
+              dp_s = nan; gnn_s = nan;
+              error =
+                Some
+                  "placer returned no layout (infeasible constraints or \
+                   failed legalisation)" })
+      names
+  in
+  List.iter
+    (fun r ->
+      Option.iter
+        (fun why ->
+          Fmt.epr "[run] %s failed on %s: %s@." m.Methods.method_name
+            r.design why)
+        r.error)
+    rows;
+  rows
 
 (* Stage-level runtime columns (GP / DP / GNN per method), derived from
    the same results as the area/HPWL/runtime tables; EXPERIMENTS.md
@@ -312,11 +336,8 @@ let table5 cfg =
 
 let table6 cfg =
   let c = Circuits.Testcases.get_exn "CC-OTA" in
-  let conv = (Methods.eplace_a ~params:(eplace_params cfg) ()).Methods.run c in
-  let perf =
-    (Methods.eplace_ap ~params:(eplace_params cfg) ~alpha:cfg.alpha
-       ~quick:cfg.quick ()).Methods.run c
-  in
+  let conv = (method_of_kind cfg Methods.Eplace).Methods.run c in
+  let perf = (method_of_kind cfg ~perf:true Methods.Eplace).Methods.run c in
   let eval o =
     match o with
     | Some (o : Methods.outcome) -> Some (Perfsim.Fom.evaluate o.Methods.layout)
@@ -417,7 +438,11 @@ let fig5 cfg =
   in
   List.iter
     (fun (aw, ww) ->
-      let m = Methods.sa ~moves:cfg.sa_moves ~area_weight:aw ~wl_weight:ww () in
+      let m =
+        Methods.of_spec
+          { (spec_of_kind cfg Methods.Sa) with
+            Methods.area_weight = aw; wl_weight = ww }
+      in
       match m.Methods.run c with
       | Some o ->
           let a, w = area_hpwl o.Methods.layout in
@@ -464,9 +489,11 @@ let fig6 cfg =
   List.iter
     (fun alpha ->
       let m =
-        if Float.equal alpha 0.0 then Methods.eplace_a ~params:(eplace_params cfg) ()
+        if Float.equal alpha 0.0 then method_of_kind cfg Methods.Eplace
         else
-          Methods.eplace_ap ~params:(eplace_params cfg) ~alpha ~quick:cfg.quick ()
+          Methods.of_spec
+            { (spec_of_kind cfg ~perf:true Methods.Eplace) with
+              Methods.alpha }
       in
       match m.Methods.run c with
       | Some o ->
@@ -478,9 +505,10 @@ let fig6 cfg =
   List.iter
     (fun alpha ->
       let m =
-        if Float.equal alpha 0.0 then Methods.prev ~params:(prev_params cfg) ()
+        if Float.equal alpha 0.0 then method_of_kind cfg Methods.Prev
         else
-          Methods.prev_perf ~params:(prev_params cfg) ~alpha ~quick:cfg.quick ()
+          Methods.of_spec
+            { (spec_of_kind cfg ~perf:true Methods.Prev) with Methods.alpha }
       in
       match m.Methods.run c with
       | Some o ->
@@ -493,9 +521,13 @@ let fig6 cfg =
   List.iter
     (fun alpha ->
       let m =
-        if Float.equal alpha 0.0 then Methods.sa ~moves:cfg.sa_moves ()
+        if Float.equal alpha 0.0 then
+          Methods.of_spec
+            { (spec_of_kind cfg Methods.Sa) with Methods.check_every = 0 }
         else
-          Methods.sa_perf ~moves:cfg.sa_perf_moves ~alpha ~quick:cfg.quick ()
+          Methods.of_spec
+            { (spec_of_kind cfg ~perf:true Methods.Sa) with
+              Methods.alpha; check_every = 0 }
       in
       match m.Methods.run c with
       | Some o ->
@@ -590,7 +622,11 @@ let scaling cfg =
         (* both methods at reduced budgets: one restart / one DP pass
            for the analytical flow, size-scaled moves for SA — the
            study compares *scaling*, not tuned quality *)
-        let sa = Methods.sa ~moves:(min cfg.sa_moves (40_000 * n)) () in
+        let sa =
+          Methods.of_spec
+            { (Methods.default_spec Methods.Sa) with
+              Methods.moves = min cfg.sa_moves (40_000 * n) }
+        in
         let ep =
           Methods.eplace_a
             ~params:

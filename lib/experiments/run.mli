@@ -27,13 +27,25 @@ type method_row = {
   gp_s : float;  (** phase breakdown from the run's telemetry *)
   dp_s : float;
   gnn_s : float;
+  error : string option;
+      (** [Some why] when the placer produced no layout for this design
+          (the numeric columns are then [nan]); also logged on stderr
+          at the fan-out join *)
 }
 
 val run_method : Methods.t -> string list -> method_row list
+(** One placement per design on the default pool. Failed designs yield
+    a row with [error = Some _] and a deterministic stderr report
+    instead of vanishing into an unexplained nan row. *)
+
+val spec_of_kind : cfg -> ?perf:bool -> Methods.kind -> Methods.spec
+(** The job spec a table's [cfg] denotes for one method family — the
+    same serializable value the CLI and the placement service build
+    runs from. *)
 
 val method_of_kind : cfg -> ?perf:bool -> Methods.kind -> Methods.t
-(** The single construction point from the typed placer selector; used
-    by every table and by the CLI. *)
+(** [Methods.of_spec] of {!spec_of_kind}; retained as the historical
+    entry point. *)
 
 val phase_table : string list -> method_row list list -> Table_fmt.t
 (** Per-method GP/DP/GNN runtime columns for the given results (as
