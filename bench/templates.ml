@@ -1,0 +1,141 @@
+(* Cold/warm benchmark for the motif template cache.
+
+   For each circuit, three placements run back to back in one process:
+
+     sa     conventional SA from scratch — the baseline the template
+            placer must beat. Budget scales with the island count
+            (40k moves per island, capped at the paper budget of 4M).
+     cold   template composition against an EMPTY store: pays for
+            canonicalising every motif and packing its Pareto family,
+            then anneals the composition at an eighth of the SA budget
+            (2 parallel restarts, the method default).
+     warm   the same placement again with the store it just filled —
+            the steady state of a template-enabled daemon, where every
+            family lookup is a cache hit.
+
+   The headline number is warm_speedup = sa_s / warm_s, reported with
+   area / HPWL / FOM / legality so the speedup can be checked to be
+   genuine (ISSUE 7's criterion: >= 3x on a >= 100-device circuit at
+   equal or better constraint-feasible FOM).
+
+   Usage: templates.exe [out.json]  *)
+
+module Sa = Annealing.Sa_placer
+module Store = Templates.Template_store
+module Tp = Templates.Template_placer
+
+let circuits = [ "CC-OTA"; "CM-OTA1"; "Scaled-120"; "Scaled-240" ]
+
+type run = {
+  r_s : float;
+  r_area : float;
+  r_hpwl : float;
+  r_fom : float;
+  r_viol : int;
+}
+
+let measure f =
+  let t0 = Telemetry.now () in
+  let layout, _cost = f () in
+  let dt = Telemetry.now () -. t0 in
+  {
+    r_s = dt;
+    r_area = Netlist.Layout.area layout;
+    r_hpwl = Netlist.Layout.hpwl layout;
+    r_fom = (Perfsim.Fom.evaluate layout).Perfsim.Fom.fom;
+    r_viol = List.length (Netlist.Checks.all layout);
+  }
+
+type row = {
+  name : string;
+  devices : int;
+  islands : int;
+  sa_moves : int;
+  sa : run;
+  cold : run;
+  warm : run;
+  families : int;  (* distinct motifs the store holds afterwards *)
+  warm_hits : int;  (* template-tier hits during the warm run *)
+}
+
+let bench name =
+  let c = Circuits.Testcases.get_exn name in
+  let devices = Array.length c.Netlist.Circuit.devices in
+  let islands =
+    List.length (Annealing.Island.decompose c)
+  in
+  let sa_moves = min Experiments.Methods.sa_default_moves (40_000 * islands) in
+  let sa_params = { Sa.default_params with Sa.moves = sa_moves } in
+  let tp_params =
+    { Sa.default_params with Sa.moves = max 5_000 (sa_moves / 8); restarts = 2 }
+  in
+  let sa = measure (fun () -> Sa.place ~params:sa_params c) in
+  let store = Store.create () in
+  let cold = measure (fun () -> Tp.place ~params:tp_params ~store c) in
+  let s0 = Store.stats store in
+  let warm = measure (fun () -> Tp.place ~params:tp_params ~store c) in
+  let s1 = Store.stats store in
+  {
+    name;
+    devices;
+    islands;
+    sa_moves;
+    sa;
+    cold;
+    warm;
+    families = s1.Cache.size;
+    warm_hits = s1.Cache.hits - s0.Cache.hits;
+  }
+
+let json_run tag r =
+  Printf.sprintf
+    {|"%s_s": %.3f, "%s_area": %.1f, "%s_hpwl": %.1f, "%s_fom": %.3f, "%s_violations": %d|}
+    tag r.r_s tag r.r_area tag r.r_hpwl tag r.r_fom tag r.r_viol
+
+let json_row b =
+  Printf.sprintf
+    {|    {
+      "circuit": "%s",
+      "devices": %d,
+      "islands": %d,
+      "sa_moves": %d,
+      %s,
+      %s,
+      %s,
+      "families": %d,
+      "warm_template_hits": %d,
+      "cold_speedup_vs_sa": %.2f,
+      "warm_speedup_vs_sa": %.2f
+    }|}
+    b.name b.devices b.islands b.sa_moves (json_run "sa" b.sa)
+    (json_run "cold" b.cold) (json_run "warm" b.warm) b.families b.warm_hits
+    (b.sa.r_s /. Float.max 1e-9 b.cold.r_s)
+    (b.sa.r_s /. Float.max 1e-9 b.warm.r_s)
+
+let () =
+  let out =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_templates.json"
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let b = bench name in
+        Fmt.pr
+          "%-11s %3dd %2di  sa %6.2fs fom %.3f | cold %5.2fs x%4.1f fom %.3f \
+           | warm %5.2fs x%4.1f fom %.3f (%d fams, %d hits)@."
+          b.name b.devices b.islands b.sa.r_s b.sa.r_fom b.cold.r_s
+          (b.sa.r_s /. Float.max 1e-9 b.cold.r_s)
+          b.cold.r_fom b.warm.r_s
+          (b.sa.r_s /. Float.max 1e-9 b.warm.r_s)
+          b.warm.r_fom b.families b.warm_hits;
+        b)
+      circuits
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"templates\",\n  \"note\": \"cold/warm motif template \
+     cache vs conventional SA; warm_speedup_vs_sa is the headline\",\n\
+     \  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map json_row rows));
+  close_out oc;
+  Fmt.pr "wrote %s@." out

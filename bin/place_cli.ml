@@ -86,7 +86,10 @@ let run_cmd circuit_name kind perf moves seed restarts check_eval jobs draw
         let d = M.default_spec ~perf kind in
         { d with
           M.seed;
-          moves = (match kind with M.Sa -> moves | M.Prev | M.Eplace -> d.M.moves);
+          moves =
+            (match kind with
+            | M.Sa | M.Template -> moves
+            | M.Prev | M.Eplace -> d.M.moves);
           restarts = (if restarts > 0 then restarts else d.M.restarts);
           check_every = check_eval;
           quick }
@@ -142,7 +145,7 @@ let placer_conv =
 let placer_arg =
   Arg.(value & opt placer_conv M.Eplace
        & info [ "p"; "placer" ] ~docv:"METHOD"
-           ~doc:"Placement method: $(b,sa), $(b,prev), or $(b,eplace).")
+           ~doc:"Placement method: $(b,sa), $(b,prev), $(b,eplace), or $(b,template).")
 
 let perf_arg =
   Arg.(value & flag
@@ -150,7 +153,7 @@ let perf_arg =
 
 let moves_arg =
   Arg.(value & opt int 200_000
-       & info [ "moves" ] ~docv:"N" ~doc:"SA move budget.")
+       & info [ "moves" ] ~docv:"N" ~doc:"SA/template move budget.")
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")

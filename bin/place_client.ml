@@ -73,7 +73,10 @@ let spec_json_of_flags kind perf moves seed restarts =
   let s =
     { d with
       M.seed;
-      moves = (match kind with M.Sa -> moves | M.Prev | M.Eplace -> d.M.moves);
+      moves =
+        (match kind with
+        | M.Sa | M.Template -> moves
+        | M.Prev | M.Eplace -> d.M.moves);
       restarts = (if restarts > 0 then restarts else d.M.restarts) }
   in
   M.spec_to_json s
@@ -275,7 +278,7 @@ let placer_conv = Arg.enum (List.map (fun k -> (M.to_string k, k)) M.all)
 let placer_arg =
   Arg.(value & opt placer_conv M.Eplace
        & info [ "p"; "placer" ] ~docv:"METHOD"
-           ~doc:"Placement method: $(b,sa), $(b,prev), or $(b,eplace).")
+           ~doc:"Placement method: $(b,sa), $(b,prev), $(b,eplace), or $(b,template).")
 
 let perf_arg =
   Arg.(value & flag
@@ -283,7 +286,7 @@ let perf_arg =
 
 let moves_arg =
   Arg.(value & opt int 200_000
-       & info [ "moves" ] ~docv:"N" ~doc:"SA move budget.")
+       & info [ "moves" ] ~docv:"N" ~doc:"SA/template move budget.")
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")

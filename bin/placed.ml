@@ -100,6 +100,11 @@ type server = {
   q_lock : Mutex.t;
   q_cond : Condition.t;
   results : placement option Cache.t;
+  tstore : Templates.Template_store.t;
+      (* second cache tier: motif-keyed template families. Unlike
+         [results] — keyed on whole (netlist, constraints, spec) — a
+         template hit survives across distinct netlists that share a
+         motif, so a new circuit's job can still start warm. *)
   mutable stopping : bool;
   mutable submitted : int;
   mutable completed : int;
@@ -151,7 +156,8 @@ let run_placement (job : job) =
         }
   | None -> None
 
-let result_fields (job : job) ~cached ~wait_s (nh, ch) p =
+let result_fields (job : job) ~cached ~wait_s ~template_hits ~template_misses
+    (nh, ch) p =
   [
     ("type", j_str "result");
     ("id", j_str job.job_id);
@@ -161,6 +167,11 @@ let result_fields (job : job) ~cached ~wait_s (nh, ch) p =
     ("hpwl", j_num p.p_hpwl);
     ("runtime_s", j_num p.p_runtime_s);
     ("wait_s", j_num wait_s);
+    (* template-tier traffic this job caused: family lookups served
+       from the warm store vs packed fresh. Both 0 for result-cache
+       hits and non-template methods. *)
+    ("template_hits", j_int template_hits);
+    ("template_misses", j_int template_misses);
     ("netlist_hash", j_str nh);
     ("constraints_hash", j_str ch);
     ("spec_hash", j_str (M.spec_hash job.spec));
@@ -187,6 +198,9 @@ let process server (job : job) =
         let key =
           String.concat "/" [ nh; ch; M.spec_hash job.spec ]
         in
+        (* the scheduler runs one placement at a time, so the delta
+           between these snapshots is exactly this job's traffic *)
+        let t0 = Templates.Template_store.stats server.tstore in
         let computed = ref false in
         let compute () =
           computed := true;
@@ -219,12 +233,18 @@ let process server (job : job) =
         | Some p ->
             server.completed <- server.completed + 1;
             let cached = not !computed in
-            log server "job %s %s in %.2fs (key %s...)" job.job_id
+            let t1 = Templates.Template_store.stats server.tstore in
+            let template_hits = t1.Cache.hits - t0.Cache.hits
+            and template_misses = t1.Cache.misses - t0.Cache.misses in
+            log server "job %s %s in %.2fs (key %s..., tmpl %d/%d)"
+              job.job_id
               (if cached then "served from cache" else "placed")
               (Telemetry.now () -. now)
-              (String.sub key 0 8);
+              (String.sub key 0 8) template_hits template_misses;
             send job.conn
-              (Jsonio.Obj (result_fields job ~cached ~wait_s hashes p))
+              (Jsonio.Obj
+                 (result_fields job ~cached ~wait_s ~template_hits
+                    ~template_misses hashes p))
         | None ->
             server.completed <- server.completed + 1;
             send_error job.conn ~id:job.job_id
@@ -365,6 +385,7 @@ let handle_cancel server conn j =
 
 let handle_stats server conn =
   let s = Cache.stats server.results in
+  let ts = Templates.Template_store.stats server.tstore in
   Mutex.lock server.q_lock;
   let depth = Queue.length server.queue in
   let submitted = server.submitted
@@ -389,6 +410,20 @@ let handle_stats server conn =
                ("size", j_int s.Cache.size);
                ("capacity", j_int s.Cache.cap);
              ] );
+         ( "template_cache",
+           Jsonio.Obj
+             ([
+                ("hits", j_int ts.Cache.hits);
+                ("misses", j_int ts.Cache.misses);
+                ("evictions", j_int ts.Cache.evictions);
+                ("dedup_waits", j_int ts.Cache.dedup_waits);
+                ("size", j_int ts.Cache.size);
+                ("capacity", j_int ts.Cache.cap);
+              ]
+             @
+             match Templates.Template_store.dir server.tstore with
+             | Some d -> [ ("dir", j_str d) ]
+             | None -> []) );
        ])
 
 let handle_line server conn ~wake_accepter line =
@@ -437,18 +472,27 @@ let handle_conn server ~wake_accepter fd peer =
 
 (* ---------- main ---------- *)
 
-let serve socket_path jobs cache_capacity verbose =
+let serve socket_path jobs cache_capacity template_dir template_capacity
+    verbose =
   Pool.set_default_jobs jobs;
   (* a client that disconnects mid-stream must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  (* install the template tier before any job can run, so every
+     template placement in this process shares one store (and one
+     on-disk directory, when given) *)
+  let tstore =
+    Templates.Template_store.configure_default ~capacity:template_capacity
+      ?dir:template_dir ()
+  in
   let server =
     {
       queue = Queue.create ();
       q_lock = Mutex.create ();
       q_cond = Condition.create ();
       results = Cache.create ~capacity:cache_capacity ();
+      tstore;
       stopping = false;
       submitted = 0;
       completed = 0;
@@ -460,8 +504,11 @@ let serve socket_path jobs cache_capacity verbose =
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
   Unix.listen listen_fd 16;
-  Fmt.pr "placed: listening on %s (jobs %d, cache %d)@." socket_path jobs
-    cache_capacity;
+  Fmt.pr "placed: listening on %s (jobs %d, cache %d, template cache %d%s)@."
+    socket_path jobs cache_capacity template_capacity
+    (match template_dir with
+     | Some d -> Printf.sprintf " at %s" d
+     | None -> "");
   let sched = Thread.create (scheduler server) () in
   let wake_accepter () =
     match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
@@ -494,11 +541,12 @@ let serve socket_path jobs cache_capacity verbose =
   Thread.join sched;
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
   let s = Cache.stats server.results in
+  let ts = Templates.Template_store.stats server.tstore in
   Fmt.pr
     "placed: clean shutdown (%d submitted, %d completed, %d refused, \
-     cache %d/%d hits/misses)@."
+     cache %d/%d hits/misses, template %d/%d)@."
     server.submitted server.completed server.refused s.Cache.hits
-    s.Cache.misses;
+    s.Cache.misses ts.Cache.hits ts.Cache.misses;
   0
 
 open Cmdliner
@@ -518,6 +566,20 @@ let cache_arg =
        & info [ "cache-capacity" ] ~docv:"N"
            ~doc:"Result-cache entries before LRU eviction.")
 
+let template_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "template-dir" ] ~docv:"DIR"
+           ~doc:"Persist the motif template store to $(docv) as JSONL \
+                 files, so template families survive restarts. Without \
+                 it the store is in-memory only.")
+
+let template_cache_arg =
+  Arg.(value & opt int 256
+       & info [ "template-capacity" ] ~docv:"N"
+           ~doc:"Template-store families held in memory before LRU \
+                 eviction (evicted families reload from --template-dir \
+                 if set, else repack).")
+
 let verbose_arg =
   Arg.(value & flag
        & info [ "v"; "verbose" ] ~doc:"Log job lifecycle events to stderr.")
@@ -527,6 +589,7 @@ let cmd =
              Unix socket)" in
   Cmd.v
     (Cmd.info "placed" ~doc)
-    Term.(const serve $ socket_arg $ jobs_arg $ cache_arg $ verbose_arg)
+    Term.(const serve $ socket_arg $ jobs_arg $ cache_arg
+          $ template_dir_arg $ template_cache_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -486,6 +486,20 @@ let propose t rng =
       t.force_dirty.(b) <- true;
       t.undo <- U_island (b, old)
 
+(* Swap island [b] for a different packing of the same devices (a
+   template choice). Unlike the mirror move, the replacement may have a
+   different bounding box, so the per-island size arrays are updated —
+   and restored on revert. Stores the undo like [propose]. *)
+let replace_island t b (isl : Island.t) =
+  let st = t.st in
+  let old = st.islands.(b) in
+  st.islands.(b) <- isl;
+  st.widths.(b) <- isl.Island.w;
+  st.heights.(b) <- isl.Island.h;
+  flatten_island t b;
+  t.force_dirty.(b) <- true;
+  t.undo <- U_island (b, old)
+
 let commit t = t.undo <- U_none
 
 let revert t =
@@ -500,8 +514,12 @@ let revert t =
       Array.blit t.save_neg 0 st.sp.Seqpair.neg 0 n
   | U_island (b, old) ->
       st.islands.(b) <- old;
+      (* sizes changed only for template swaps; for mirrors this
+         rewrites the same values *)
+      st.widths.(b) <- old.Island.w;
+      st.heights.(b) <- old.Island.h;
       flatten_island t b;
-      (* the arena still holds the mirrored positions *)
+      (* the arena still holds the replaced positions *)
       t.force_dirty.(b) <- true);
   t.undo <- U_none
 

@@ -68,6 +68,13 @@ val propose : t -> Numerics.Rng.t -> unit
     mirror) to the state, remembering how to undo it. Draws exactly the
     random variates the historical annealer drew. *)
 
+val replace_island : t -> int -> Island.t -> unit
+(** [replace_island t b isl] swaps island [b] for a different packing
+    of the same devices — the template-composition move. The island's
+    width/height entries follow the replacement (unlike the mirror
+    move, the bounding box may change) and are restored by {!revert}.
+    Like {!propose}, the swap is pending until {!commit}/{!revert}. *)
+
 val commit : t -> unit
 (** Accept the pending move (forgets the undo). *)
 

@@ -85,7 +85,11 @@ let of_sym_group_vertical c (g : CS.sym_group) =
     axis_dx = Some axis;
   }
 
-(* Horizontal-axis groups: the same construction transposed. *)
+(* Horizontal-axis groups: the same construction transposed. The
+   transpose swaps the flip components faithfully ({fx; fy} becomes
+   {fy; fx}), so orientations carrying [fy] — e.g. a template stored
+   mirror-canonical and re-transposed — round-trip exactly instead of
+   collapsing onto the identity. *)
 let of_sym_group_horizontal c (g : CS.sym_group) =
   let v =
     of_sym_group_vertical c
@@ -100,9 +104,8 @@ let of_sym_group_horizontal c (g : CS.sym_group) =
             dx = p.dy;
             dy = p.dx;
             orient =
-              (if p.orient.Geometry.Orient.fx then
-                 Geometry.Orient.make ~fx:false ~fy:true
-               else Geometry.Orient.identity);
+              Geometry.Orient.make ~fx:p.orient.Geometry.Orient.fy
+                ~fy:p.orient.Geometry.Orient.fx;
           })
         v.devices;
     w = v.h;
@@ -149,7 +152,10 @@ let of_free_device c d =
   }
 
 (* Mirror an island about its vertical centreline (a legal SA move:
-   symmetry is preserved, pin positions change). *)
+   symmetry is preserved, pin positions change). The internal symmetry
+   axis mirrors with the devices; for the centred axes the generators
+   emit (axis = w/2) the reflection is a floating-point fixed point, so
+   existing goldens are unaffected. *)
 let mirror_x t =
   {
     t with
@@ -162,6 +168,7 @@ let mirror_x t =
             orient = Geometry.Orient.flip_x p.orient;
           })
         t.devices;
+    axis_dx = Option.map (fun a -> t.w -. a) t.axis_dx;
   }
 
 (* Decompose a circuit into islands: one per symmetry group, one per

@@ -22,7 +22,10 @@ val of_align_row : Netlist.Circuit.t -> int list -> t
 val of_free_device : Netlist.Circuit.t -> int -> t
 
 val mirror_x : t -> t
-(** Mirror about the island's vertical centreline (legal SA move). *)
+(** Mirror about the island's vertical centreline (legal SA move).
+    Device offsets, orientations ([flip_x] each) and the internal
+    symmetry axis all reflect; orientations round-trip exactly under a
+    double mirror. *)
 
 val decompose : Netlist.Circuit.t -> t list
 (** One island per symmetry group, per alignment cluster of remaining

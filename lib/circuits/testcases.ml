@@ -420,6 +420,83 @@ let scaling_vco ~stages =
       ("spec_freq_ghz", 3.9); ("spec_tune_pct", 17.1); ("spec_pn_dbc", 127.0) ];
   Builder.build b
 
+(* ----- Parametric hierarchical testcase for the template study -----
+
+   A chain of identical ~12-device OTA cells. Every cell instantiates
+   the same five motifs, so a template store warmed on one cell serves
+   all of them; the mirrored PMOS load reuses CC-OTA's "ml" block
+   verbatim (same dims, same constraint shape, same net fingerprint),
+   which is what the daemon's cross-netlist template-tier test keys on.
+   The grouped input pair (pair + self tail, no align/order pin) and
+   the cascode quad (two pairs on one axis) are deliberately left
+   unpinned so their Pareto families keep several row arrangements. *)
+
+let scaled ~devices =
+  let cells = max 1 ((devices + 11) / 12) in
+  let b =
+    Builder.create ~name:(Fmt.str "Scaled-%d" devices) ~perf_class:"ota"
+  in
+  let mid i suffix = Fmt.str "mid%d_%s" i suffix in
+  let heads = ref [] in
+  for i = 0 to cells - 1 do
+    let s = Fmt.str "c%d" i in
+    let inp = if i = 0 then "vin_p" else mid i "p" in
+    let inn = if i = 0 then "vin_n" else mid i "n" in
+    let outp = mid (i + 1) "p" and outn = mid (i + 1) "n" in
+    let d1 = s ^ "_d1" and d2 = s ^ "_d2" in
+    (* input pair fused with its tail into one symmetry group: the
+       tail (a self) can sit beside or above the pair, giving the
+       motif a genuine area/aspect trade-off *)
+    let mp = Builder.device b ~name:(s ^ "_dp_p") ~kind:D.Nmos ~w:1.6 ~h:1.1 in
+    let mn = Builder.device b ~name:(s ^ "_dp_n") ~kind:D.Nmos ~w:1.6 ~h:1.1 in
+    let mt = Builder.device b ~name:(s ^ "_dp_t") ~kind:D.Nmos ~w:2.2 ~h:1.1 in
+    Builder.connect b ~net:inp [ (mp, "g") ];
+    Builder.connect b ~net:inn [ (mn, "g") ];
+    Builder.connect b ~net:d1 [ (mp, "d") ];
+    Builder.connect b ~net:d2 [ (mn, "d") ];
+    Builder.connect b ~net:(s ^ "_tail") [ (mp, "s"); (mn, "s"); (mt, "d") ];
+    Builder.connect b ~net:"vbn" [ (mt, "g") ];
+    Builder.sym_group ~selfs:[ mt ] b [ (mp, mn) ];
+    (* cascode quad: two pairs share one axis, row order free *)
+    let ca = Builder.device b ~name:(s ^ "_cas_p") ~kind:D.Nmos ~w:1.4 ~h:1.0 in
+    let cb = Builder.device b ~name:(s ^ "_cas_n") ~kind:D.Nmos ~w:1.4 ~h:1.0 in
+    let ea = Builder.device b ~name:(s ^ "_out_p") ~kind:D.Pmos ~w:1.2 ~h:1.0 in
+    let eb = Builder.device b ~name:(s ^ "_out_n") ~kind:D.Pmos ~w:1.2 ~h:1.0 in
+    Builder.connect b ~net:d1 [ (ca, "s") ];
+    Builder.connect b ~net:d2 [ (cb, "s") ];
+    Builder.connect b ~net:"vcas" [ (ca, "g"); (cb, "g") ];
+    Builder.connect b ~net:outp [ (ca, "d"); (ea, "d") ];
+    Builder.connect b ~net:outn [ (cb, "d"); (eb, "d") ];
+    Builder.connect b ~net:"vcasp" [ (ea, "g"); (eb, "g") ];
+    Builder.connect b ~net:"vdd_c" [ (ea, "s"); (eb, "s") ];
+    Builder.sym_group b [ (ca, cb); (ea, eb) ];
+    (* mirrored PMOS load — CC-OTA's "ml" block, shared motif *)
+    let _ =
+      Blocks.load_pair ~w:1.6 ~h:1.0 b ~prefix:(s ^ "_ml") ~outp ~outn
+        ~bias:"vbp"
+    in
+    (* output buffer and reset switch *)
+    let _ =
+      Blocks.inverter b ~prefix:(s ^ "_ob") ~input:outp ~output:(s ^ "_buf")
+    in
+    let _ =
+      Blocks.switch b ~prefix:(s ^ "_rs") ~a:outp ~bnet:"vdd_sw" ~clk:"clkb"
+    in
+    heads := mp :: !heads
+  done;
+  Builder.connect b ~critical:true ~net:(mid cells "p") [];
+  Builder.connect b ~critical:true ~net:(mid cells "n") [];
+  (* cells flow left to right; one device per island, so the chain
+     orders islands without pinning any motif *)
+  if cells > 1 then Builder.order b (List.rev !heads);
+  Builder.set_meta b
+    [ ("cl_ff", 12.0);
+      ("gain_db_nom", 31.0); ("ugf_mhz_nom", 980.0); ("bw_mhz_nom", 60.0);
+      ("pm_deg_nom", 88.0);
+      ("spec_gain_db", 25.0); ("spec_ugf_mhz", 640.0); ("spec_bw_mhz", 42.0);
+      ("spec_pm_deg", 72.0) ];
+  Builder.build b
+
 (* ----- registry ----- *)
 
 let all_names =
@@ -437,7 +514,15 @@ let get = function
   | "VGA" -> Some (vga ())
   | "VCO1" -> Some (vco1 ())
   | "VCO2" -> Some (vco2 ())
-  | _ -> None
+  | name ->
+      (* "Scaled-<n>": the parametric hierarchical testcase *)
+      let pre = "Scaled-" in
+      let pl = String.length pre in
+      if String.length name > pl && String.equal (String.sub name 0 pl) pre then
+        match int_of_string_opt (String.sub name pl (String.length name - pl)) with
+        | Some n when n > 0 -> Some (scaled ~devices:n)
+        | Some _ | None -> None
+      else None
 
 let get_exn name =
   match get name with

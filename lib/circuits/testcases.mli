@@ -20,7 +20,9 @@ val all_names : string list
     SCF, VGA, VCO1, VCO2. *)
 
 val get : string -> Netlist.Circuit.t option
-(** [None] for unknown names; see {!all_names} for the registry. *)
+(** [None] for unknown names; see {!all_names} for the registry.
+    Additionally recognises ["Scaled-<n>"] for any positive [n] and
+    builds {!scaled}[ ~devices:n]. *)
 
 val get_exn : string -> Netlist.Circuit.t
 (** @raise Invalid_argument for unknown names. *)
@@ -30,3 +32,13 @@ val all : unit -> Netlist.Circuit.t list
 val scaling_vco : stages:int -> Netlist.Circuit.t
 (** Parametric differential ring VCO (about 5 devices per stage) for
     the scaling study; not part of the paper's testcase set. *)
+
+val scaled : devices:int -> Netlist.Circuit.t
+(** Parametric hierarchical testcase for the template study: a chain
+    of identical ~12-device OTA cells whose five motifs (grouped input
+    pair + tail, cascode quad, mirrored load, output buffer, reset
+    switch) repeat across cells — and whose load reuses CC-OTA's "ml"
+    block verbatim, so template families transfer across netlists.
+    [devices] is rounded up to a whole number of cells. Reachable by
+    name as ["Scaled-<n>"] through {!get}; not part of the paper's
+    testcase set. *)

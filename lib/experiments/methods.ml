@@ -6,16 +6,23 @@
    [stats] carried in each [outcome] (and whatever the installed sink
    reports) describe exactly one placement run. *)
 
-type kind = Sa | Prev | Eplace
+type kind = Sa | Prev | Eplace | Template
 
-let all = [ Sa; Prev; Eplace ]
+(* [Template] appended last: table builders index the first three
+   results positionally *)
+let all = [ Sa; Prev; Eplace; Template ]
 
-let to_string = function Sa -> "sa" | Prev -> "prev" | Eplace -> "eplace"
+let to_string = function
+  | Sa -> "sa"
+  | Prev -> "prev"
+  | Eplace -> "eplace"
+  | Template -> "template"
 
 let of_string = function
   | "sa" -> Some Sa
   | "prev" -> Some Prev
   | "eplace" -> Some Eplace
+  | "template" -> Some Template
   | _ -> None
 
 type stats = {
@@ -147,6 +154,42 @@ let sa_perf ?(moves = 120_000) ?(seed = 1) ?(restarts = 1) ?(alpha = 2.0)
         }
       in
       let layout, _ = Annealing.Sa_placer.place ~params c in
+      Some (layout, Telemetry.now () -. t0))
+
+(* The template-composition placer runs the SA schedule over a move
+   set that already knows good island packings, so it converges on a
+   fraction of the SA budget; the default is an eighth. *)
+let template_default_moves = sa_default_moves / 8
+
+let template ?(moves = template_default_moves) ?(seed = 1) ?(restarts = 2)
+    ?(wl_weight = 1.0) ?(area_weight = 1.0) ?(check_every = 0) () =
+  instrumented ~name:"Tmpl" (fun c ->
+      let t0 = Telemetry.now () in
+      let params =
+        { Annealing.Sa_placer.default_params with
+          Annealing.Sa_placer.seed; restarts; moves; wl_weight; area_weight;
+          check_every }
+      in
+      let layout, _best_cost = Templates.Template_placer.place ~params c in
+      Some (layout, Telemetry.now () -. t0))
+
+let template_perf ?(moves = 120_000) ?(seed = 1) ?(restarts = 1)
+    ?(alpha = 2.0) ?(check_every = 0) ?quick () =
+  instrumented ~name:"Tmpl-perf" (fun c ->
+      (* model training happens offline in the paper; exclude it *)
+      let trained = gnn_setup ?quick c in
+      let t0 = Telemetry.now () in
+      let params =
+        { Annealing.Sa_placer.default_params with
+          Annealing.Sa_placer.seed;
+          restarts;
+          moves;
+          perf = Some (Gnn_setup.phi_of_layout trained);
+          perf_alpha = alpha;
+          check_every;
+        }
+      in
+      let layout, _ = Templates.Template_placer.place ~params c in
       Some (layout, Telemetry.now () -. t0))
 
 let prev ?(params = Prevwork.Prev_analytical.default_params) () =
@@ -306,6 +349,15 @@ let default_spec ?(perf = false) kind =
         moves = (if perf then 120_000 else sa_default_moves);
         seed = 1; restarts = 1; alpha = 2.0; wl_weight = 1.0;
         area_weight = 1.0; check_every = 0; quick = false }
+  | Template ->
+      (* a restart pair is cheap for composition (each restart is an
+         eighth of an SA budget, and they anneal in parallel) and
+         guards against a single anneal stranding a cross-island
+         order chain *)
+      { kind; perf;
+        moves = (if perf then 120_000 else template_default_moves);
+        seed = 1; restarts = 2; alpha = 2.0; wl_weight = 1.0;
+        area_weight = 1.0; check_every = 0; quick = false }
   | Prev | Eplace ->
       (* [moves], [wl_weight], [area_weight] and [check_every] are
          SA-only; pinned here so naive clients hash consistently *)
@@ -321,6 +373,13 @@ let of_spec (s : spec) =
         ~check_every:s.check_every ()
   | Sa, true ->
       sa_perf ~moves:s.moves ~seed:s.seed ~restarts:s.restarts
+        ~alpha:s.alpha ~check_every:s.check_every ~quick:s.quick ()
+  | Template, false ->
+      template ~moves:s.moves ~seed:s.seed ~restarts:s.restarts
+        ~wl_weight:s.wl_weight ~area_weight:s.area_weight
+        ~check_every:s.check_every ()
+  | Template, true ->
+      template_perf ~moves:s.moves ~seed:s.seed ~restarts:s.restarts
         ~alpha:s.alpha ~check_every:s.check_every ~quick:s.quick ()
   | Prev, false ->
       let p = Prevwork.Prev_analytical.default_params in
@@ -444,7 +503,7 @@ let spec_of_json (j : Jsonio.t) : (spec, string) result =
                     Error
                       (Printf.sprintf
                          "field \"kind\": unknown method %S (expected sa, \
-                          prev or eplace)" s))
+                          prev, eplace or template)" s))
           in
           let* perf = bool_field "perf" in
           let perf = Option.value perf ~default:false in

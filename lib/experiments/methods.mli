@@ -1,15 +1,19 @@
 (** The compared placement methods behind one interface. *)
 
-(** The three placer families of the paper's comparison. Each has a
-    conventional and a performance-driven variant, selected separately
-    (the CLI's [--perf] flag, the [perf] parameters below). *)
-type kind = Sa | Prev | Eplace
+(** The three placer families of the paper's comparison, plus the
+    template-composition placer built on the motif cache
+    ({!Templates.Template_placer}). Each has a conventional and a
+    performance-driven variant, selected separately (the CLI's
+    [--perf] flag, the [perf] parameters below). *)
+type kind = Sa | Prev | Eplace | Template
 
 val all : kind list
-(** In the paper's column order: SA, prior work [11], ePlace-A. *)
+(** In the paper's column order: SA, prior work [11], ePlace-A —
+    [Template] appended last, so positional consumers of the first
+    three columns are unaffected. *)
 
 val to_string : kind -> string
-(** ["sa"], ["prev"], ["eplace"] — the CLI spelling. *)
+(** ["sa"], ["prev"], ["eplace"], ["template"] — the CLI spelling. *)
 
 val of_string : string -> kind option
 
@@ -50,6 +54,11 @@ type t = {
 }
 
 val sa_default_moves : int
+
+val template_default_moves : int
+(** The [Template] method's default budget: an eighth of
+    {!sa_default_moves} — composition starts from known-good island
+    packings and converges far sooner. *)
 
 (** {2 The serializable job spec}
 
@@ -120,6 +129,18 @@ val sa_perf :
   ?check_every:int -> ?quick:bool -> unit -> t
 (** Performance-driven SA [19]: GNN inference inside the cost.
     @deprecated Prefer [of_spec (default_spec ~perf:true Sa)]. *)
+
+val template :
+  ?moves:int -> ?seed:int -> ?restarts:int -> ?wl_weight:float ->
+  ?area_weight:float -> ?check_every:int -> unit -> t
+(** Template composition over the default {!Templates.Template_store}.
+    @deprecated Prefer [of_spec (default_spec Template)]. *)
+
+val template_perf :
+  ?moves:int -> ?seed:int -> ?restarts:int -> ?alpha:float ->
+  ?check_every:int -> ?quick:bool -> unit -> t
+(** Performance-driven template composition (GNN Phi in the cost).
+    @deprecated Prefer [of_spec (default_spec ~perf:true Template)]. *)
 
 val prev : ?params:Prevwork.Prev_analytical.params -> unit -> t
 (** @deprecated Prefer {!of_spec} unless a custom [params] record is

@@ -48,6 +48,14 @@ let spec_of_kind cfg ?(perf = false) (k : Methods.kind) =
         alpha = cfg.sa_alpha;
         check_every = cfg.check_eval;
         quick = cfg.quick }
+  | Methods.Template ->
+      (* an eighth of the SA budget, mirroring the default ratio *)
+      { s with
+        Methods.moves =
+          (if perf then cfg.sa_perf_moves else max 5_000 (cfg.sa_moves / 8));
+        alpha = cfg.sa_alpha;
+        check_every = cfg.check_eval;
+        quick = cfg.quick }
   | Methods.Prev | Methods.Eplace ->
       { s with
         Methods.restarts = cfg.restarts;
@@ -258,7 +266,7 @@ let table3 cfg =
   ( {
       TF.header =
         [ "Design"; "SA a"; "SA w"; "SA t"; "P11 a"; "P11 w"; "P11 t";
-          "eP a"; "eP w"; "eP t" ];
+          "eP a"; "eP w"; "eP t"; "Tmpl a"; "Tmpl w"; "Tmpl t" ];
       rows = rows @ [ avg ];
     },
     results )
@@ -327,7 +335,7 @@ let table5 cfg =
   ( {
       TF.header =
         [ "Design"; "SA conv"; "SA perf"; "P11 conv"; "P11 perf*";
-          "eP-A conv"; "eP-AP" ];
+          "eP-A conv"; "eP-AP"; "Tmpl conv"; "Tmpl perf" ];
       rows = rows @ [ avg ];
     },
     foms )
@@ -395,7 +403,7 @@ let table7 cfg =
   ( {
       TF.header =
         [ "Design"; "SAp a"; "SAp w"; "SAp t"; "P11p a"; "P11p w"; "P11p t";
-          "ePAP a"; "ePAP w"; "ePAP t" ];
+          "ePAP a"; "ePAP w"; "ePAP t"; "Tmplp a"; "Tmplp w"; "Tmplp t" ];
       rows = rows @ [ avg ];
     },
     results )

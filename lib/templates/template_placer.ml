@@ -1,0 +1,188 @@
+(* Template-composition placer: the SA schedule over an enlarged move
+   set. Moves 0-4 delegate to the engine's sequence-pair/mirror
+   proposals; move 5 swaps one island for another member of its Pareto
+   template family through {!Eval.replace_island}. With every family a
+   singleton the extra move is never drawn and the search degenerates
+   to the SA baseline's (on its own random stream). *)
+
+module Island = Annealing.Island
+module Eval = Annealing.Eval
+module Sa_placer = Annealing.Sa_placer
+
+let moves_counter = Telemetry.Counter.make "sa.moves"
+let accepted_counter = Telemetry.Counter.make "sa.accepted"
+let rejected_counter = Telemetry.Counter.make "sa.rejected"
+let evals_counter = Telemetry.Counter.make "sa.evals"
+let swaps_counter = Telemetry.Counter.make "tmpl.swaps"
+let best_cost_gauge = Telemetry.Gauge.make "sa.best_cost"
+
+let objective_of_params (p : Sa_placer.params) : Eval.objective =
+  {
+    Eval.area_weight = p.Sa_placer.area_weight;
+    wl_weight = p.Sa_placer.wl_weight;
+    order_penalty = p.Sa_placer.order_penalty;
+    perf = p.Sa_placer.perf;
+    perf_alpha = p.Sa_placer.perf_alpha;
+  }
+
+let same_point (a : Motif.packing) (b : Motif.packing) =
+  Float.equal a.Motif.pw b.Motif.pw
+  && Float.equal a.Motif.ph b.Motif.ph
+  && Float.equal a.Motif.p_hpwl b.Motif.p_hpwl
+
+(* Per-island candidate arrays: entry 0 is the island exactly as
+   {!Island.decompose} built it (so restarts start from the historical
+   initial configuration), the rest are family members instantiated
+   against this circuit's device ids. A stored family's own seed (or
+   any member coinciding with ours on (w, h, hpwl)) is dropped rather
+   than duplicated. *)
+let materialize store c islands =
+  Array.map
+    (fun isl ->
+      let m, slots, seed = Motif.of_island c isl in
+      let alts =
+        Array.to_list (Template_store.family store m ~seed)
+        |> List.filter (fun p -> not (same_point p seed))
+        |> List.map (fun p -> Motif.instantiate m ~slots p)
+      in
+      Array.of_list (isl :: alts))
+    islands
+
+let anneal ~(params : Sa_placer.params) ~candidates ~multi ~rng
+    (c : Netlist.Circuit.t) =
+  Telemetry.Span.with_ ~name:"gp" (fun () ->
+  let st = Eval.make_state rng c in
+  let eng =
+    Eval.make ~check_every:params.Sa_placer.check_every
+      (objective_of_params params) st
+  in
+  let n_islands = Array.length st.Eval.islands in
+  let choice = Array.make n_islands 0 in
+  let n_evals = ref 0 and n_accepted = ref 0 and n_rejected = ref 0 in
+  let n_swaps = ref 0 in
+  let cost_of () =
+    incr n_evals;
+    Eval.cost eng
+  in
+  (* one pending move per iteration: [Some (b, k)] when it was a
+     template swap, to record the choice on acceptance *)
+  let propose_move () =
+    if Array.length multi = 0 then begin
+      Eval.propose eng rng;
+      None
+    end
+    else if Numerics.Rng.int rng 6 = 5 then begin
+      let b = multi.(Numerics.Rng.int rng (Array.length multi)) in
+      let len = Array.length candidates.(b) in
+      let k0 = Numerics.Rng.int rng (len - 1) in
+      let k = if k0 >= choice.(b) then k0 + 1 else k0 in
+      Eval.replace_island eng b candidates.(b).(k);
+      Some (b, k)
+    end
+    else begin
+      Eval.propose eng rng;
+      None
+    end
+  in
+  let current = ref (cost_of ()) in
+  let best = ref !current in
+  let best_snapshot = ref (Eval.snapshot eng) in
+  let probe = 40 in
+  let uphill = ref 0.0 and n_up = ref 0 in
+  for _ = 1 to probe do
+    ignore (propose_move ());
+    let c' = cost_of () in
+    if c' > !current then begin
+      uphill := !uphill +. (c' -. !current);
+      incr n_up
+    end;
+    Eval.revert eng
+  done;
+  let t0 =
+    let avg = if !n_up = 0 then 0.05 else !uphill /. float_of_int !n_up in
+    -.avg /. log params.Sa_placer.accept0
+  in
+  let temp = ref (Float.max 1e-6 t0) in
+  (* SA's 14n^2 plateau length assumes the full 4M budget; at an
+     eighth of that a large circuit would see only a handful of
+     temperatures and quench. Cap the plateau so every budget gets at
+     least ~100 cooling stages. *)
+  let per_temp =
+    max 60 (min (14 * n_islands * n_islands) (params.Sa_placer.moves / 100))
+  in
+  let total = ref 0 in
+  while !total < params.Sa_placer.moves do
+    let upto = min params.Sa_placer.moves (!total + per_temp) in
+    while !total < upto do
+      incr total;
+      let swapped = propose_move () in
+      let c' = cost_of () in
+      let dc = c' -. !current in
+      if dc <= 0.0 || Numerics.Rng.float rng < exp (-.dc /. !temp) then begin
+        current := c';
+        Eval.commit eng;
+        incr n_accepted;
+        (match swapped with
+        | Some (b, k) ->
+            choice.(b) <- k;
+            incr n_swaps
+        | None -> ());
+        if c' < !best then begin
+          best := c';
+          best_snapshot := Eval.snapshot eng
+        end
+      end
+      else begin
+        incr n_rejected;
+        Eval.revert eng
+      end
+    done;
+    temp := !temp *. params.Sa_placer.cooling
+  done;
+  Telemetry.Counter.add moves_counter !total;
+  Telemetry.Counter.add evals_counter !n_evals;
+  Telemetry.Counter.add accepted_counter !n_accepted;
+  Telemetry.Counter.add rejected_counter !n_rejected;
+  Telemetry.Counter.add swaps_counter !n_swaps;
+  Eval.flush_counters eng;
+  (!best, !best_snapshot))
+
+let place ?(params = Sa_placer.default_params) ?store (c : Netlist.Circuit.t) =
+  let store =
+    match store with Some s -> s | None -> Template_store.default ()
+  in
+  (* decompose + family lookup happen here, on the calling domain; the
+     restart tasks below only read [candidates] *)
+  let islands = Array.of_list (Island.decompose c) in
+  let candidates = materialize store c islands in
+  let multi =
+    Array.to_list (Array.mapi (fun b cs -> (b, Array.length cs)) candidates)
+    |> List.filter_map (fun (b, len) -> if len > 1 then Some b else None)
+    |> Array.of_list
+  in
+  let runs =
+    if params.Sa_placer.restarts <= 1 then
+      [|
+        anneal ~params ~candidates ~multi
+          ~rng:(Numerics.Rng.create params.Sa_placer.seed)
+          c;
+      |]
+    else begin
+      let master = Numerics.Rng.create params.Sa_placer.seed in
+      let rngs = Numerics.Rng.split_n master params.Sa_placer.restarts in
+      Pool.map (Pool.default ())
+        (fun rng -> anneal ~params ~candidates ~multi ~rng c)
+        rngs
+    end
+  in
+  let best = ref runs.(0) in
+  Array.iter
+    (fun r ->
+      let cost, _ = r and best_cost, _ = !best in
+      if cost < best_cost then best := r)
+    runs;
+  let best_cost, best_layout = !best in
+  Telemetry.Gauge.set best_cost_gauge best_cost;
+  Telemetry.Span.with_ ~name:"dp" (fun () ->
+      Netlist.Layout.normalize best_layout);
+  (best_layout, best_cost)

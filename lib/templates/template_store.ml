@@ -1,0 +1,148 @@
+(* The Pareto template store. Families are immutable once published
+   (the Cache contract), so readers share arrays freely; the only
+   mutation — writing a family's JSONL file — happens inside the
+   materializing computation, serialised per key by the cache's
+   single-flight dedup, with a store-wide mutex guarding the
+   temp-file + rename pair against concurrent materializations of
+   different keys choosing the same temp name. *)
+
+let hits_counter = Telemetry.Counter.make "tmpl.hits"
+let misses_counter = Telemetry.Counter.make "tmpl.misses"
+let disk_loads_counter = Telemetry.Counter.make "tmpl.disk_loads"
+
+type t = {
+  cache : Motif.packing array Cache.t;
+  dir : string option;
+  io_mutex : Mutex.t;
+}
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d && parent <> "." then mkdir_p parent;
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let create ?(capacity = 256) ?dir () =
+  Option.iter mkdir_p dir;
+  { cache = Cache.create ~capacity (); dir; io_mutex = Mutex.create () }
+
+let dir t = t.dir
+let stats t = Cache.stats t.cache
+let family_path d key = Filename.concat d (key ^ ".jsonl")
+
+(* A family file is a header line {"motif":h,"size":k,"slots":n}
+   followed by k packing lines. Any malformed or mismatched file is
+   treated as absent: the family regenerates and overwrites it. *)
+let load_family ~key ~n path =
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let read_line () =
+          match input_line ic with
+          | line -> Some line
+          | exception End_of_file -> None
+        in
+        let header_ok =
+          match Option.map Jsonio.parse (read_line ()) with
+          | Some (Ok h) ->
+              Option.bind (Jsonio.member "motif" h) Jsonio.to_str
+                = Some key
+              && Option.bind (Jsonio.member "slots" h) Jsonio.to_int = Some n
+          | _ -> false
+        in
+        if not header_ok then None
+        else
+          let rec packings acc =
+            match read_line () with
+            | None -> Some (List.rev acc)
+            | Some line -> (
+                match
+                  Result.bind (Jsonio.parse line) Motif.packing_of_json
+                with
+                | Ok p when Array.length p.Motif.px = n -> packings (p :: acc)
+                | Ok _ | Error _ -> None)
+          in
+          match packings [] with
+          | Some (_ :: _ as ps) -> Some (Array.of_list ps)
+          | Some [] | None -> None)
+
+let store_family t ~key ~n fam =
+  match t.dir with
+  | None -> ()
+  | Some d ->
+      Mutex.lock t.io_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.io_mutex)
+        (fun () ->
+          let tmp = Filename.temp_file ~temp_dir:d "tmpl" ".part" in
+          let oc = open_out tmp in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc
+                (Jsonio.to_string
+                   (Jsonio.Obj
+                      [
+                        ("motif", Jsonio.Str key);
+                        ("size", Jsonio.Num (float_of_int (Array.length fam)));
+                        ("slots", Jsonio.Num (float_of_int n));
+                      ]));
+              output_char oc '\n';
+              Array.iter
+                (fun p ->
+                  output_string oc (Jsonio.to_string (Motif.packing_to_json p));
+                  output_char oc '\n')
+                fam);
+          Sys.rename tmp (family_path d key))
+
+let family t m ~seed =
+  let key = Motif.hash m in
+  let n = Motif.n_slots m in
+  let computed = ref false in
+  let fam =
+    Cache.get_or_compute t.cache ~key (fun () ->
+        computed := true;
+        Telemetry.Span.with_ ~name:"tmpl_pack" (fun () ->
+            let from_disk =
+              match t.dir with
+              | None -> None
+              | Some d -> load_family ~key ~n (family_path d key)
+            in
+            match from_disk with
+            | Some fam ->
+                Telemetry.Counter.incr disk_loads_counter;
+                fam
+            | None ->
+                let fam = Motif.candidates m ~seed in
+                store_family t ~key ~n fam;
+                fam))
+  in
+  (* single-flight waiters land here with [computed] unset: they got
+     the value without materializing, which is a hit — matching how
+     Cache.stats accounts dedup_waits *)
+  if !computed then Telemetry.Counter.incr misses_counter
+  else Telemetry.Counter.incr hits_counter;
+  fam
+
+(* placer-lint: allow D4 deliberate process-wide default store, configured once at daemon startup before jobs run; the store serialises every access behind the Cache lock and the Atomic guards the one-time installation *)
+let default_store : t option Atomic.t = Atomic.make None
+
+let configure_default ?capacity ?dir () =
+  let s = create ?capacity ?dir () in
+  Atomic.set default_store (Some s);
+  s
+
+let default () =
+  match Atomic.get default_store with
+  | Some s -> s
+  | None ->
+      let s = create () in
+      if Atomic.compare_and_set default_store None (Some s) then s
+      else
+        (match Atomic.get default_store with
+        | Some s' -> s'
+        | None -> s)

@@ -1,0 +1,45 @@
+(** The Pareto template store: per motif hash, the family of packed
+    sub-placements the composition placer chooses among.
+
+    Two tiers. The in-memory tier is a {!Cache} bounded LRU with
+    single-flight dedup, so concurrent daemon jobs materialize a motif
+    family exactly once. The optional disk tier persists each family
+    as one JSONL file ([<hash>.jsonl] under the store directory: a
+    header line, then one packing per line), written atomically via
+    temp-file + rename; a memory miss consults disk before generating.
+
+    Telemetry (per domain, merged by the pool as usual):
+    [tmpl.hits] / [tmpl.misses] count memory-tier lookups,
+    [tmpl.disk_loads] families served from disk, and span [tmpl_pack]
+    times family materialization (generation or disk load). *)
+
+type t
+
+val create : ?capacity:int -> ?dir:string -> unit -> t
+(** [capacity] bounds the number of families kept in memory (default
+    256). [dir] enables the disk tier; the directory is created if
+    missing. *)
+
+val family : t -> Motif.t -> seed:Motif.packing -> Motif.packing array
+(** The Pareto family for a motif (see {!Motif.candidates}): memory
+    tier first, then disk, then generation (which also persists when
+    the disk tier is on). Concurrent callers of the same missing hash
+    block on one materialization. The returned array is shared and
+    must not be mutated. *)
+
+val stats : t -> Cache.stats
+(** Memory-tier counters (hits include single-flight waits). *)
+
+val dir : t -> string option
+
+(** {2 Process default}
+
+    The daemon configures one store at startup and the [Template]
+    placer reaches it through {!default} when no explicit store is
+    passed — mirroring how {!Gnn_setup} shares its model cache. *)
+
+val configure_default : ?capacity:int -> ?dir:string -> unit -> t
+(** Install (and return) a fresh store as the process default. *)
+
+val default : unit -> t
+(** The process default, creating a memory-only store on first use. *)

@@ -1,0 +1,328 @@
+(* lib/templates: motif canonicalization, Pareto family invariants,
+   the persistent template store, and the composition placer.
+
+   The load-bearing properties: a motif hash depends only on seed-
+   independent structure (device ids and JSON field order must not
+   leak in), a family is a clean Pareto front with the seed first,
+   the JSONL store round-trips packings bit-exactly, and the Template
+   method matches SA-grade quality on the golden circuit. *)
+
+module Island = Annealing.Island
+module Motif = Templates.Motif
+module Store = Templates.Template_store
+module Tp = Templates.Template_placer
+module M = Experiments.Methods
+module Builder = Circuits.Builder
+module Blocks = Circuits.Blocks
+
+let motifs_of c =
+  List.map (fun isl -> Motif.of_island c isl) (Island.decompose c)
+
+let hashes_of c =
+  List.sort String.compare
+    (List.map (fun (m, _, _) -> Motif.hash m) (motifs_of c))
+
+(* Two structurally identical one-stage circuits whose device ids and
+   names differ: blocks added in opposite order, different prefixes. *)
+let stage ~flipped name =
+  let b = Builder.create ~name ~perf_class:"ota" in
+  let dp p =
+    ignore
+      (Blocks.diff_pair ~w:1.6 ~h:1.1 b ~prefix:p ~inp:"ip" ~inn:"in"
+         ~outp:"op" ~outn:"on" ~tail:"tl")
+  and ld p =
+    ignore (Blocks.load_pair ~w:1.6 ~h:1.0 b ~prefix:p ~outp:"op" ~outn:"on" ~bias:"vb")
+  in
+  if flipped then begin
+    ld "zz";
+    dp "aa"
+  end
+  else begin
+    dp "dp";
+    ld "ml"
+  end;
+  Builder.build b
+
+let motif_tests =
+  [
+    Alcotest.test_case "hash ignores device numbering and names" `Quick
+      (fun () ->
+        let a = stage ~flipped:false "A" and b = stage ~flipped:true "B" in
+        Alcotest.(check (list string))
+          "same motif hashes in any construction order" (hashes_of a)
+          (hashes_of b));
+    Alcotest.test_case "hash is canonical over JSON field order" `Quick
+      (fun () ->
+        let c = Circuits.Testcases.cc_ota () in
+        List.iter
+          (fun (m, _, _) ->
+            match Motif.to_json m with
+            | Jsonio.Obj fields ->
+                let shuffled = Jsonio.Obj (List.rev fields) in
+                Alcotest.(check string)
+                  "sorted encoding independent of field order"
+                  (Jsonio.to_string (Jsonio.sorted (Motif.to_json m)))
+                  (Jsonio.to_string (Jsonio.sorted shuffled))
+            | _ -> Alcotest.fail "motif json is not an object")
+          (motifs_of c));
+    Alcotest.test_case "distinct motifs hash apart" `Quick (fun () ->
+        let c = Circuits.Testcases.cc_ota () in
+        let hs = hashes_of c in
+        let dedup = List.sort_uniq String.compare hs in
+        (* CC-OTA: dp+cc+ml pairs, tail, bias row, cap pair are all
+           structurally different *)
+        Alcotest.(check int) "six distinct motifs" 6 (List.length dedup);
+        Alcotest.(check int) "no accidental collisions" (List.length hs)
+          (List.length dedup));
+    Alcotest.test_case "instantiate round-trips the decomposed island"
+      `Quick (fun () ->
+        let c = Circuits.Testcases.scaled ~devices:24 in
+        List.iter
+          (fun isl ->
+            let m, slots, seed = Motif.of_island c isl in
+            let isl' = Motif.instantiate m ~slots seed in
+            (* instantiate emits devices in canonical slot order, which
+               may differ from decompose order — the placement content
+               must be identical *)
+            let by_dev i =
+              List.sort
+                (fun a b -> compare a.Island.dev b.Island.dev)
+                i.Island.devices
+            in
+            Alcotest.(check (list int))
+              "same device set"
+              (List.map (fun d -> d.Island.dev) (by_dev isl))
+              (List.map (fun d -> d.Island.dev) (by_dev isl'));
+            List.iter2
+              (fun (d : Island.placed_dev) (d' : Island.placed_dev) ->
+                Alcotest.(check bool) "offsets bit-equal" true
+                  (Float.equal d.Island.dx d'.Island.dx
+                  && Float.equal d.Island.dy d'.Island.dy);
+                Alcotest.(check bool) "orientation preserved" true
+                  (d.Island.orient = d'.Island.orient))
+              (by_dev isl) (by_dev isl');
+            Alcotest.(check bool) "same bounding box" true
+              (Float.equal isl.Island.w isl'.Island.w
+              && Float.equal isl.Island.h isl'.Island.h))
+          (Island.decompose c));
+    Alcotest.test_case "mirror_x involution on every island" `Quick
+      (fun () ->
+        let c = Circuits.Testcases.scaled ~devices:24 in
+        List.iter
+          (fun isl ->
+            let isl' = Island.mirror_x (Island.mirror_x isl) in
+            List.iter2
+              (fun (d : Island.placed_dev) (d' : Island.placed_dev) ->
+                (* the offset reflection w -. (w -. dx) can round in
+                   the last ulp; the documented exact guarantee is on
+                   orientations *)
+                Alcotest.(check bool) "offset round-trips" true
+                  (Float.abs (d.Island.dx -. d'.Island.dx) < 1e-9
+                  && Float.abs (d.Island.dy -. d'.Island.dy) < 1e-9);
+                Alcotest.(check bool) "orient round-trips exactly" true
+                  (d.Island.orient = d'.Island.orient))
+              isl.Island.devices isl'.Island.devices)
+          (Island.decompose c))
+  ]
+
+(* ---- Pareto families ---- *)
+
+let dominates (a : Motif.packing) (b : Motif.packing) =
+  a.Motif.pw <= b.Motif.pw && a.Motif.ph <= b.Motif.ph
+  && a.Motif.p_hpwl <= b.Motif.p_hpwl
+  && (a.Motif.pw < b.Motif.pw || a.Motif.ph < b.Motif.ph
+     || a.Motif.p_hpwl < b.Motif.p_hpwl)
+
+let packing_equal (a : Motif.packing) (b : Motif.packing) =
+  Float.equal a.Motif.pw b.Motif.pw
+  && Float.equal a.Motif.ph b.Motif.ph
+  && Float.equal a.Motif.p_hpwl b.Motif.p_hpwl
+  && Array.for_all2 Float.equal a.Motif.px b.Motif.px
+  && Array.for_all2 Float.equal a.Motif.py b.Motif.py
+  && a.Motif.por = b.Motif.por
+
+let pareto_tests =
+  [
+    Alcotest.test_case "families are clean Pareto fronts, seed first"
+      `Quick (fun () ->
+        let c = Circuits.Testcases.scaled ~devices:24 in
+        List.iter
+          (fun (m, _, seed) ->
+            let fam = Motif.candidates m ~seed in
+            Alcotest.(check bool) "non-empty" true (Array.length fam > 0);
+            Alcotest.(check bool) "seed is entry zero" true
+              (packing_equal fam.(0) seed);
+            Array.iteri
+              (fun i a ->
+                Array.iteri
+                  (fun j b ->
+                    if i <> j && j > 0 then
+                      Alcotest.(check bool)
+                        "no non-seed member is dominated" false
+                        (dominates a b))
+                  fam)
+              fam)
+          (motifs_of c));
+    Alcotest.test_case "multi-row groups get non-singleton families"
+      `Quick (fun () ->
+        let c = Circuits.Testcases.scaled ~devices:12 in
+        let sizes =
+          List.map (fun (m, _, seed) -> Array.length (Motif.candidates m ~seed))
+            (motifs_of c)
+        in
+        Alcotest.(check bool)
+          (Fmt.str "some family has alternatives (%a)"
+             Fmt.(list ~sep:comma int) sizes)
+          true
+          (List.exists (fun n -> n > 1) sizes));
+    Alcotest.test_case "candidate generation is deterministic" `Quick
+      (fun () ->
+        let c = Circuits.Testcases.cc_ota () in
+        List.iter
+          (fun (m, _, seed) ->
+            let f1 = Motif.candidates m ~seed
+            and f2 = Motif.candidates m ~seed in
+            Alcotest.(check int) "same size" (Array.length f1)
+              (Array.length f2);
+            Array.iteri
+              (fun i p -> Alcotest.(check bool) "bit-equal" true
+                  (packing_equal p f2.(i)))
+              f1)
+          (motifs_of c))
+  ]
+
+(* ---- the store ---- *)
+
+let with_tmp_dir f =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tmplstore-%d" (Unix.getpid ()))
+  in
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  (try rm d with Sys_error _ -> ());
+  Fun.protect ~finally:(fun () -> try rm d with Sys_error _ -> ())
+    (fun () -> f d)
+
+let store_tests =
+  [
+    Alcotest.test_case "JSONL persistence round-trips bit-exactly" `Quick
+      (fun () ->
+        with_tmp_dir (fun dir ->
+            let c = Circuits.Testcases.scaled ~devices:12 in
+            let s1 = Store.create ~dir () in
+            let fams1 =
+              List.map (fun (m, _, seed) -> Store.family s1 m ~seed)
+                (motifs_of c)
+            in
+            (* a fresh store over the same directory must serve the
+               same families from disk, bit for bit *)
+            let s2 = Store.create ~dir () in
+            let fams2 =
+              List.map (fun (m, _, seed) -> Store.family s2 m ~seed)
+                (motifs_of c)
+            in
+            List.iter2
+              (fun f1 f2 ->
+                Alcotest.(check int) "family size survives" (Array.length f1)
+                  (Array.length f2);
+                Array.iteri
+                  (fun i p ->
+                    Alcotest.(check bool) "packing bit-equal" true
+                      (packing_equal p f2.(i)))
+                  f1)
+              fams1 fams2));
+    Alcotest.test_case "packing json decode rejects malformed input"
+      `Quick (fun () ->
+        let c = Circuits.Testcases.cc_ota () in
+        let m, _, seed = List.hd (motifs_of c) in
+        let j = Motif.packing_to_json seed in
+        (match Motif.packing_of_json j with
+        | Ok p -> Alcotest.(check bool) "round-trip" true (packing_equal p seed)
+        | Error e -> Alcotest.failf "decode failed: %s" e);
+        (match Motif.packing_of_json (Jsonio.Str "nope") with
+        | Ok _ -> Alcotest.fail "accepted a string"
+        | Error _ -> ());
+        ignore m);
+    Alcotest.test_case "concurrent family requests dedupe (4-domain \
+                        hammer)" `Quick (fun () ->
+        let c = Circuits.Testcases.cc_ota () in
+        let m, _, seed = List.hd (motifs_of c) in
+        let store = Store.create () in
+        let fams =
+          Pool.with_pool ~jobs:4 (fun p ->
+              Pool.map p
+                (fun _ ->
+                  (* placer-lint: allow P2 hammering one motif from every task is the point of this test; the store serialises access behind the Cache lock *)
+                  Store.family store m ~seed)
+                (Array.init 8 Fun.id))
+        in
+        let s = Store.stats store in
+        Alcotest.(check int) "one computation" 1 s.Cache.misses;
+        Alcotest.(check int) "seven hits" 7 s.Cache.hits;
+        Array.iter
+          (fun f ->
+            Alcotest.(check int) "same family everywhere"
+              (Array.length fams.(0)) (Array.length f))
+          fams)
+  ]
+
+(* ---- the composition placer ---- *)
+
+let placer_tests =
+  [
+    Alcotest.test_case "template method matches SA quality on CC-OTA"
+      `Quick (fun () ->
+        let c = Circuits.Testcases.cc_ota () in
+        let run spec =
+          match (M.of_spec spec).M.run c with
+          | Some o -> o.M.layout
+          | None -> Alcotest.fail "placement failed"
+        in
+        let sa =
+          run { (M.default_spec M.Sa) with M.moves = 200_000 }
+        in
+        let tmpl =
+          run { (M.default_spec M.Template) with M.moves = 25_000 }
+        in
+        Alcotest.(check int) "template layout is legal" 0
+          (List.length (Netlist.Checks.all tmpl));
+        let ratio = Netlist.Layout.area tmpl /. Netlist.Layout.area sa in
+        Alcotest.(check bool)
+          (Fmt.str "area within 25%% of SA (ratio %.3f)" ratio)
+          true
+          (ratio < 1.25));
+    Alcotest.test_case "template placement is deterministic" `Quick
+      (fun () ->
+        let c = Circuits.Testcases.scaled ~devices:24 in
+        let place () =
+          let store = Store.create () in
+          let l, cost = Tp.place ~store c in
+          (Netlist.Io.placement_to_string l, cost)
+        in
+        let l1, c1 = place () and l2, c2 = place () in
+        Alcotest.(check string) "bit-identical layout text" l1 l2;
+        Alcotest.(check bool) "bit-identical cost" true (Float.equal c1 c2));
+    Alcotest.test_case "spec round-trips through json" `Quick (fun () ->
+        let s = M.default_spec M.Template in
+        match M.spec_of_json (M.spec_to_json s) with
+        | Ok s' ->
+            Alcotest.(check string) "same canonical form" (M.spec_canonical s)
+              (M.spec_canonical s');
+            Alcotest.(check string) "same hash" (M.spec_hash s)
+              (M.spec_hash s')
+        | Error e -> Alcotest.failf "decode failed: %s" e)
+  ]
+
+let suites =
+  [
+    ("templates.motif", motif_tests);
+    ("templates.pareto", pareto_tests);
+    ("templates.store", store_tests);
+    ("templates.placer", placer_tests);
+  ]
