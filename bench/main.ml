@@ -39,7 +39,7 @@ let run_table3 cfg =
   Experiments.Table_fmt.render Fmt.stdout t;
   say "@.per-phase runtime breakdown (s):@.";
   Experiments.Table_fmt.render Fmt.stdout
-    (Experiments.Run.phase_table [ "SA"; "P11"; "eP"; "Tmpl" ] results)
+    (Experiments.Run.phase_table [ "SA"; "P11"; "eP"; "Tmpl"; "Math" ] results)
 
 let run_table4 cfg =
   banner "Table IV: detailed placement only, same GP input"
@@ -65,7 +65,7 @@ let run_table7 cfg =
   Experiments.Table_fmt.render Fmt.stdout t;
   say "@.per-phase runtime breakdown (s; GNN = offline setup):@.";
   Experiments.Table_fmt.render Fmt.stdout
-    (Experiments.Run.phase_table [ "SAp"; "P11p"; "ePAP"; "Tmplp" ] results)
+    (Experiments.Run.phase_table [ "SAp"; "P11p"; "ePAP"; "Tmplp"; "Mathp" ] results)
 
 let run_fig5 cfg =
   banner "Fig. 5: HPWL-area tradeoff points on CM-OTA1"

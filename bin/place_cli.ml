@@ -72,7 +72,7 @@ let report circuit (o : M.outcome) =
     e.Perfsim.Fom.metrics
 
 let run_cmd circuit_name kind perf moves seed restarts check_eval jobs draw
-    quick trace metrics_out =
+    quick trace metrics_out window node_budget cycles =
   Pool.set_default_jobs jobs;
   match Circuits.Testcases.get circuit_name with
   | None ->
@@ -88,11 +88,25 @@ let run_cmd circuit_name kind perf moves seed restarts check_eval jobs draw
           M.seed;
           moves =
             (match kind with
-            | M.Sa | M.Template -> moves
+            | M.Sa | M.Template | M.Matheuristic -> moves
             | M.Prev | M.Eplace -> d.M.moves);
           restarts = (if restarts > 0 then restarts else d.M.restarts);
           check_every = check_eval;
-          quick }
+          quick;
+          params =
+            (match (kind, d.M.params) with
+            | M.Matheuristic, M.Mh_params mp ->
+                M.Mh_params
+                  {
+                    M.mh_window =
+                      (if window > 0 then window else mp.M.mh_window);
+                    mh_node_budget =
+                      (if node_budget > 0 then node_budget
+                       else mp.M.mh_node_budget);
+                    mh_cycles =
+                      (if cycles > 0 then cycles else mp.M.mh_cycles);
+                  }
+            | _, p -> p) }
       in
       let m = M.of_spec spec in
       (* The jsonl sink streams span records as they close, so it must
@@ -145,7 +159,8 @@ let placer_conv =
 let placer_arg =
   Arg.(value & opt placer_conv M.Eplace
        & info [ "p"; "placer" ] ~docv:"METHOD"
-           ~doc:"Placement method: $(b,sa), $(b,prev), $(b,eplace), or $(b,template).")
+           ~doc:"Placement method: $(b,sa), $(b,prev), $(b,eplace), \
+                 $(b,template), or $(b,matheuristic).")
 
 let perf_arg =
   Arg.(value & flag
@@ -199,6 +214,25 @@ let metrics_out_arg =
            ~doc:"Stream telemetry (spans, counters, gauges) to $(docv) \
                  as JSON lines.")
 
+let window_arg =
+  Arg.(value & opt int 0
+       & info [ "window" ] ~docv:"K"
+           ~doc:"Matheuristic: islands per ILP window. 0 keeps the \
+                 family default.")
+
+let node_budget_arg =
+  Arg.(value & opt int 0
+       & info [ "node-budget" ] ~docv:"N"
+           ~doc:"Matheuristic: branch & bound nodes per window solve \
+                 (the ILP is budgeted in nodes, not wall-clock, so runs \
+                 stay reproducible). 0 keeps the family default.")
+
+let cycles_arg =
+  Arg.(value & opt int 0
+       & info [ "cycles" ] ~docv:"N"
+           ~doc:"Matheuristic: SA-then-windows alternations. 0 keeps \
+                 the family default.")
+
 let cmd =
   let doc = "analog IC placement (reproduction of DATE'22 study)" in
   Cmd.v
@@ -206,6 +240,7 @@ let cmd =
     Term.(
       const run_cmd $ circuit_arg $ placer_arg $ perf_arg $ moves_arg
       $ seed_arg $ restarts_arg $ check_eval_arg $ jobs_arg $ draw_arg
-      $ quick_arg $ trace_arg $ metrics_out_arg)
+      $ quick_arg $ trace_arg $ metrics_out_arg $ window_arg
+      $ node_budget_arg $ cycles_arg)
 
 let () = exit (Cmd.eval' cmd)

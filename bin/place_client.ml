@@ -20,19 +20,43 @@ let j_num f = Jsonio.Num f
 let j_int i = Jsonio.Num (float_of_int i)
 let j_bool b = Jsonio.Bool b
 
-let connect path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
-   with Unix.Unix_error (err, _, _) ->
-     Fmt.epr "cannot connect to %s: %s (is placed running?)@." path
-       (Unix.error_message err);
-     exit 1);
-  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+(* A client racing the daemon's startup sees ENOENT (socket file not
+   bound yet) or ECONNREFUSED (stale file from a previous run, no
+   listener behind it). Both resolve themselves once the server is up,
+   so retry with capped exponential backoff until [wait_s] runs out
+   instead of failing the race; any other error is immediately fatal. *)
+let connect ?(wait_s = 5.0) path =
+  let deadline = Telemetry.now () +. wait_s in
+  let rec attempt delay =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+    | exception
+        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT) as err, _, _) ->
+        Unix.close fd;
+        if Telemetry.now () >= deadline then begin
+          Fmt.epr "cannot connect to %s: %s (is placed running?)@." path
+            (Unix.error_message err);
+          exit 1
+        end;
+        Unix.sleepf delay;
+        attempt (Float.min 0.5 (2.0 *. delay))
+    | exception Unix.Unix_error (err, _, _) ->
+        Unix.close fd;
+        Fmt.epr "cannot connect to %s: %s@." path (Unix.error_message err);
+        exit 1
+  in
+  attempt 0.02
 
 let send oc v =
   output_string oc (Jsonio.to_string v);
   output_char oc '\n';
   flush oc
+
+(* Every request carries the wire-protocol version (see DESIGN.md);
+   the server rejects versions it does not speak with a structured
+   error instead of misreading them. *)
+let req fields = Jsonio.Obj (("v", j_int 1) :: fields)
 
 let recv ic =
   match input_line ic with
@@ -75,14 +99,14 @@ let spec_json_of_flags kind perf moves seed restarts =
       M.seed;
       moves =
         (match kind with
-        | M.Sa | M.Template -> moves
+        | M.Sa | M.Template | M.Matheuristic -> moves
         | M.Prev | M.Eplace -> d.M.moves);
       restarts = (if restarts > 0 then restarts else d.M.restarts) }
   in
   M.spec_to_json s
 
 let place_req ~id ~circuit ~spec ~stream ~layout ~deadline =
-  Jsonio.Obj
+  req
     ([
        ("op", j_str "place");
        ("id", j_str id);
@@ -137,7 +161,7 @@ let cache_counter stats_j field =
 let run_bench ic oc ~n ~distinct ~circuits ~kind ~perf ~moves ~out =
   let distinct = max 1 distinct in
   let get_stats () =
-    send oc (Jsonio.Obj [ ("op", j_str "stats") ]);
+    send oc (req [ ("op", j_str "stats") ]);
     recv ic
   in
   let before = get_stats () in
@@ -205,18 +229,18 @@ let run_cmd socket ping stats shutdown bench distinct out circuit circuits_opt
     kind perf moves seed restarts stream deadline no_layout =
   let ic, oc = connect socket in
   if ping then begin
-    send oc (Jsonio.Obj [ ("op", j_str "ping") ]);
+    send oc (req [ ("op", j_str "ping") ]);
     let j = recv ic in
     Fmt.pr "%s@." (Jsonio.to_string j);
     if String.equal (typ j) "pong" then 0 else 1
   end
   else if stats then begin
-    send oc (Jsonio.Obj [ ("op", j_str "stats") ]);
+    send oc (req [ ("op", j_str "stats") ]);
     Fmt.pr "%s@." (Jsonio.to_string (recv ic));
     0
   end
   else if shutdown then begin
-    send oc (Jsonio.Obj [ ("op", j_str "shutdown") ]);
+    send oc (req [ ("op", j_str "shutdown") ]);
     Fmt.pr "%s@." (Jsonio.to_string (recv ic));
     0
   end
@@ -278,7 +302,8 @@ let placer_conv = Arg.enum (List.map (fun k -> (M.to_string k, k)) M.all)
 let placer_arg =
   Arg.(value & opt placer_conv M.Eplace
        & info [ "p"; "placer" ] ~docv:"METHOD"
-           ~doc:"Placement method: $(b,sa), $(b,prev), $(b,eplace), or $(b,template).")
+           ~doc:"Placement method: $(b,sa), $(b,prev), $(b,eplace), \
+                 $(b,template), or $(b,matheuristic).")
 
 let perf_arg =
   Arg.(value & flag

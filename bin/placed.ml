@@ -7,23 +7,33 @@
    hash, spec hash) so identical requests cost one placement. Per-run
    telemetry can be streamed back live through the JSONL sink.
 
-   Wire protocol (one JSON object per line; see README "Running the
-   service"):
+   Wire protocol v1 (one JSON object per line; full schema in
+   DESIGN.md "Wire protocol", summary in README "Running the
+   service"). Requests may carry "v": absent or 1 is accepted, any
+   other value gets a structured error, so an incompatible future
+   client fails loudly instead of being misread. Unknown request
+   fields are ignored (clients may extend), unknown spec fields are
+   rejected (a misspelled knob must not silently run with defaults).
+   Every response carries "v":1; telemetry stream lines (span/counter/
+   gauge, from the JSONL sink) are not protocol responses and carry no
+   version.
 
-     -> {"op":"place","id":"j1","circuit":"CC-OTA","spec":{"kind":"eplace"},
-         "deadline_s":60,"stream":false,"layout":true}
+     -> {"v":1,"op":"place","id":"j1","circuit":"CC-OTA",
+         "spec":{"kind":"eplace"},"deadline_s":60,"stream":false,
+         "layout":true}
      -> {"op":"place","netlist":"circuit ad-hoc ota\n...","spec":{...}}
      -> {"op":"cancel","id":"j1"}
      -> {"op":"stats"} | {"op":"ping"} | {"op":"shutdown"}
 
-     <- {"type":"queued","id":"j1","spec_hash":"..."}
+     <- {"v":1,"type":"queued","id":"j1","spec_hash":"..."}
      <- {"type":"span",...} {"type":"counter",...}     (stream:true only)
-     <- {"type":"result","id":"j1","ok":true,"cached":false,
+     <- {"v":1,"type":"result","id":"j1","ok":true,"cached":false,
          "area":...,"hpwl":...,"runtime_s":...,"wait_s":...,
          "netlist_hash":"...","constraints_hash":"...","spec_hash":"...",
          "layout":"place ..."}
-     <- {"type":"result","id":"j1","ok":false,"error":"..."}
-     <- {"type":"stats",...} | {"type":"pong"} | {"type":"bye"}
+     <- {"v":1,"type":"result","id":"j1","ok":false,"error":"..."}
+     <- {"v":1,"type":"stats",...} | {"v":1,"type":"pong"}
+        | {"v":1,"type":"bye"}
 
    Concurrency: one accepter (the main thread), one handler thread per
    connection (parsing and queueing only), and a single scheduler
@@ -52,8 +62,15 @@ type conn = {
 
 (* Every protocol line goes through here: one line per value, flushed,
    under the connection's write lock. A dead peer (closed socket) just
-   marks the connection; the scheduler must never die on EPIPE. *)
+   marks the connection; the scheduler must never die on EPIPE. The
+   wire version is stamped here so no response can forget it. *)
 let send conn (v : Jsonio.t) =
+  let v =
+    match v with
+    | Jsonio.Obj fields when not (List.mem_assoc "v" fields) ->
+        Jsonio.Obj (("v", j_int 1) :: fields)
+    | _ -> v
+  in
   Mutex.lock conn.oc_lock;
   (try
      if conn.alive then begin
@@ -430,6 +447,25 @@ let handle_line server conn ~wake_accepter line =
   match Jsonio.parse line with
   | Error e -> send_error conn (Printf.sprintf "bad request: %s" e)
   | Ok j -> (
+      let version =
+        match Jsonio.member "v" j with
+        | None -> Ok ()  (* v0 clients predate the field *)
+        | Some vj -> (
+            match Jsonio.to_int vj with
+            | Some 1 -> Ok ()
+            | Some n ->
+                Error
+                  (Printf.sprintf
+                     "unsupported protocol version %d (this server speaks 1)"
+                     n)
+            | None -> Error "field \"v\": expected an integer")
+      in
+      match version with
+      | Error e ->
+          send_error conn
+            ?id:(Option.bind (Jsonio.member "id" j) Jsonio.to_str)
+            e
+      | Ok () -> (
       match Option.bind (Jsonio.member "op" j) Jsonio.to_str with
       | Some "place" -> handle_place server conn j
       | Some "cancel" -> handle_cancel server conn j
@@ -449,7 +485,7 @@ let handle_line server conn ~wake_accepter line =
              [stopping] after every accept *)
           wake_accepter ()
       | Some op -> send_error conn (Printf.sprintf "unknown op %S" op)
-      | None -> send_error conn "missing \"op\"")
+      | None -> send_error conn "missing \"op\""))
 
 let handle_conn server ~wake_accepter fd peer =
   let ic = Unix.in_channel_of_descr fd in

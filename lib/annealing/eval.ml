@@ -500,6 +500,21 @@ let replace_island t b (isl : Island.t) =
   t.force_dirty.(b) <- true;
   t.undo <- U_island (b, old)
 
+(* Rewrite both permutations outright — the matheuristic window move:
+   the caller re-ordered a subset of islands (an exact ILP subproblem)
+   and rebuilt the full permutations around it. Pending until
+   commit/revert, exactly like [propose]'s swap-both move. *)
+let set_order t ~pos ~neg =
+  let st = t.st in
+  let n = Array.length st.islands in
+  if Array.length pos <> n || Array.length neg <> n then
+    invalid_arg "Eval.set_order: permutation size mismatch";
+  Array.blit st.sp.Seqpair.pos 0 t.save_pos 0 n;
+  Array.blit st.sp.Seqpair.neg 0 t.save_neg 0 n;
+  Array.blit pos 0 st.sp.Seqpair.pos 0 n;
+  Array.blit neg 0 st.sp.Seqpair.neg 0 n;
+  t.undo <- U_both
+
 let commit t = t.undo <- U_none
 
 let revert t =

@@ -75,6 +75,14 @@ val replace_island : t -> int -> Island.t -> unit
     move, the bounding box may change) and are restored by {!revert}.
     Like {!propose}, the swap is pending until {!commit}/{!revert}. *)
 
+val set_order : t -> pos:int array -> neg:int array -> unit
+(** [set_order t ~pos ~neg] replaces both sequence-pair permutations —
+    the matheuristic window move, where an exact ILP re-ordered a
+    subset of islands and the caller rebuilt the full permutations
+    around the result. Like {!propose}, the change is pending until
+    {!commit}/{!revert}.
+    @raise Invalid_argument on a size mismatch. *)
+
 val commit : t -> unit
 (** Accept the pending move (forgets the undo). *)
 

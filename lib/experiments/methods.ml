@@ -6,23 +6,25 @@
    [stats] carried in each [outcome] (and whatever the installed sink
    reports) describe exactly one placement run. *)
 
-type kind = Sa | Prev | Eplace | Template
+type kind = Sa | Prev | Eplace | Template | Matheuristic
 
-(* [Template] appended last: table builders index the first three
-   results positionally *)
-let all = [ Sa; Prev; Eplace; Template ]
+(* [Template] and [Matheuristic] appended last: table builders index
+   the first three results positionally *)
+let all = [ Sa; Prev; Eplace; Template; Matheuristic ]
 
 let to_string = function
   | Sa -> "sa"
   | Prev -> "prev"
   | Eplace -> "eplace"
   | Template -> "template"
+  | Matheuristic -> "matheuristic"
 
 let of_string = function
   | "sa" -> Some Sa
   | "prev" -> Some Prev
   | "eplace" -> Some Eplace
   | "template" -> Some Template
+  | "matheuristic" -> Some Matheuristic
   | _ -> None
 
 type stats = {
@@ -125,72 +127,12 @@ let gnn_setup ?quick c =
    limit" framing: large enough to be well converged. *)
 let sa_default_moves = 4_000_000
 
-let sa ?(moves = sa_default_moves) ?(seed = 1) ?(restarts = 1)
-    ?(wl_weight = 1.0) ?(area_weight = 1.0) ?(check_every = 0) () =
-  instrumented ~name:"SA" (fun c ->
-      let t0 = Telemetry.now () in
-      let params =
-        { Annealing.Sa_placer.default_params with
-          Annealing.Sa_placer.seed; restarts; moves; wl_weight; area_weight;
-          check_every }
-      in
-      let layout, _best_cost = Annealing.Sa_placer.place ~params c in
-      Some (layout, Telemetry.now () -. t0))
-
-let sa_perf ?(moves = 120_000) ?(seed = 1) ?(restarts = 1) ?(alpha = 2.0)
-    ?(check_every = 0) ?quick () =
-  instrumented ~name:"SA-perf" (fun c ->
-      (* model training happens offline in the paper; exclude it *)
-      let trained = gnn_setup ?quick c in
-      let t0 = Telemetry.now () in
-      let params =
-        { Annealing.Sa_placer.default_params with
-          Annealing.Sa_placer.seed;
-          restarts;
-          moves;
-          perf = Some (Gnn_setup.phi_of_layout trained);
-          perf_alpha = alpha;
-          check_every;
-        }
-      in
-      let layout, _ = Annealing.Sa_placer.place ~params c in
-      Some (layout, Telemetry.now () -. t0))
-
 (* The template-composition placer runs the SA schedule over a move
    set that already knows good island packings, so it converges on a
-   fraction of the SA budget; the default is an eighth. *)
+   fraction of the SA budget; the default is an eighth. The
+   matheuristic gets the same discount: its exact window phase does
+   the fine ordering work the tail of the SA schedule would. *)
 let template_default_moves = sa_default_moves / 8
-
-let template ?(moves = template_default_moves) ?(seed = 1) ?(restarts = 2)
-    ?(wl_weight = 1.0) ?(area_weight = 1.0) ?(check_every = 0) () =
-  instrumented ~name:"Tmpl" (fun c ->
-      let t0 = Telemetry.now () in
-      let params =
-        { Annealing.Sa_placer.default_params with
-          Annealing.Sa_placer.seed; restarts; moves; wl_weight; area_weight;
-          check_every }
-      in
-      let layout, _best_cost = Templates.Template_placer.place ~params c in
-      Some (layout, Telemetry.now () -. t0))
-
-let template_perf ?(moves = 120_000) ?(seed = 1) ?(restarts = 1)
-    ?(alpha = 2.0) ?(check_every = 0) ?quick () =
-  instrumented ~name:"Tmpl-perf" (fun c ->
-      (* model training happens offline in the paper; exclude it *)
-      let trained = gnn_setup ?quick c in
-      let t0 = Telemetry.now () in
-      let params =
-        { Annealing.Sa_placer.default_params with
-          Annealing.Sa_placer.seed;
-          restarts;
-          moves;
-          perf = Some (Gnn_setup.phi_of_layout trained);
-          perf_alpha = alpha;
-          check_every;
-        }
-      in
-      let layout, _ = Templates.Template_placer.place ~params c in
-      Some (layout, Telemetry.now () -. t0))
 
 let prev ?(params = Prevwork.Prev_analytical.default_params) () =
   instrumented ~name:"Prev[11]" (fun c ->
@@ -325,10 +267,21 @@ let eplace_ap ?(params = Eplace.Eplace_a.default_params) ?(alpha = 60.0)
    builds (tables, CLI, bench, the placement service): a pure record
    with a canonical JSON form, so a placement request can be shipped
    over a socket, logged, diffed, and content-hashed for the service's
-   result cache. The optional-argument constructors above remain as
-   thin escape hatches for callers that need non-default engine
-   params, but everything spec-expressible should go through
-   [of_spec]. *)
+   result cache. [of_spec] owns every runner body; the optional-
+   argument constructors below it are thin wrappers that fill a spec,
+   so equivalent jobs hash identically no matter which door a caller
+   came through. *)
+
+(* Versioned per-family parameter block ("params" in the JSON form,
+   carrying ["v"]: 1). Families without knobs beyond the common spec
+   fields use [Default_params] — and emit no "params" field at all, so
+   the canonical hashes of pre-existing kinds are unchanged. *)
+type mh_params = { mh_window : int; mh_node_budget : int; mh_cycles : int }
+
+type family_params = Default_params | Mh_params of mh_params
+
+let default_mh_params = { mh_window = 4; mh_node_budget = 50; mh_cycles = 4 }
+
 type spec = {
   kind : kind;
   perf : bool;
@@ -340,6 +293,7 @@ type spec = {
   area_weight : float;
   check_every : int;
   quick : bool;
+  params : family_params;
 }
 
 let default_spec ?(perf = false) kind =
@@ -348,7 +302,8 @@ let default_spec ?(perf = false) kind =
       { kind; perf;
         moves = (if perf then 120_000 else sa_default_moves);
         seed = 1; restarts = 1; alpha = 2.0; wl_weight = 1.0;
-        area_weight = 1.0; check_every = 0; quick = false }
+        area_weight = 1.0; check_every = 0; quick = false;
+        params = Default_params }
   | Template ->
       (* a restart pair is cheap for composition (each restart is an
          eighth of an SA budget, and they anneal in parallel) and
@@ -357,30 +312,92 @@ let default_spec ?(perf = false) kind =
       { kind; perf;
         moves = (if perf then 120_000 else template_default_moves);
         seed = 1; restarts = 2; alpha = 2.0; wl_weight = 1.0;
-        area_weight = 1.0; check_every = 0; quick = false }
+        area_weight = 1.0; check_every = 0; quick = false;
+        params = Default_params }
+  | Matheuristic ->
+      { kind; perf;
+        moves = (if perf then 120_000 else template_default_moves);
+        seed = 1; restarts = 1; alpha = 2.0; wl_weight = 1.0;
+        area_weight = 1.0; check_every = 0; quick = false;
+        params = Mh_params default_mh_params }
   | Prev | Eplace ->
       (* [moves], [wl_weight], [area_weight] and [check_every] are
          SA-only; pinned here so naive clients hash consistently *)
       { kind; perf; moves = 0; seed = 1; restarts = 5; alpha = 60.0;
         wl_weight = 1.0; area_weight = 1.0; check_every = 0;
-        quick = false }
+        quick = false; params = Default_params }
+
+let sa_params_of_spec (s : spec) ~perf =
+  { Annealing.Sa_placer.default_params with
+    Annealing.Sa_placer.seed = s.seed;
+    restarts = s.restarts;
+    moves = s.moves;
+    wl_weight = s.wl_weight;
+    area_weight = s.area_weight;
+    perf;
+    perf_alpha = s.alpha;
+    check_every = s.check_every }
 
 let of_spec (s : spec) =
   match (s.kind, s.perf) with
   | Sa, false ->
-      sa ~moves:s.moves ~seed:s.seed ~restarts:s.restarts
-        ~wl_weight:s.wl_weight ~area_weight:s.area_weight
-        ~check_every:s.check_every ()
+      instrumented ~name:"SA" (fun c ->
+          let t0 = Telemetry.now () in
+          let params = sa_params_of_spec s ~perf:None in
+          let layout, _best_cost = Annealing.Sa_placer.place ~params c in
+          Some (layout, Telemetry.now () -. t0))
   | Sa, true ->
-      sa_perf ~moves:s.moves ~seed:s.seed ~restarts:s.restarts
-        ~alpha:s.alpha ~check_every:s.check_every ~quick:s.quick ()
+      instrumented ~name:"SA-perf" (fun c ->
+          (* model training happens offline in the paper; exclude it *)
+          let trained = gnn_setup ~quick:s.quick c in
+          let t0 = Telemetry.now () in
+          let params =
+            sa_params_of_spec s
+              ~perf:(Some (Gnn_setup.phi_of_layout trained))
+          in
+          let layout, _ = Annealing.Sa_placer.place ~params c in
+          Some (layout, Telemetry.now () -. t0))
   | Template, false ->
-      template ~moves:s.moves ~seed:s.seed ~restarts:s.restarts
-        ~wl_weight:s.wl_weight ~area_weight:s.area_weight
-        ~check_every:s.check_every ()
+      instrumented ~name:"Tmpl" (fun c ->
+          let t0 = Telemetry.now () in
+          let params = sa_params_of_spec s ~perf:None in
+          let layout, _best_cost = Templates.Template_placer.place ~params c in
+          Some (layout, Telemetry.now () -. t0))
   | Template, true ->
-      template_perf ~moves:s.moves ~seed:s.seed ~restarts:s.restarts
-        ~alpha:s.alpha ~check_every:s.check_every ~quick:s.quick ()
+      instrumented ~name:"Tmpl-perf" (fun c ->
+          (* model training happens offline in the paper; exclude it *)
+          let trained = gnn_setup ~quick:s.quick c in
+          let t0 = Telemetry.now () in
+          let params =
+            sa_params_of_spec s
+              ~perf:(Some (Gnn_setup.phi_of_layout trained))
+          in
+          let layout, _ = Templates.Template_placer.place ~params c in
+          Some (layout, Telemetry.now () -. t0))
+  | Matheuristic, perf ->
+      let mh =
+        match s.params with
+        | Mh_params m -> m
+        | Default_params -> default_mh_params
+      in
+      instrumented ~name:(if perf then "Math-perf" else "Math") (fun c ->
+          let phi =
+            if perf then
+              (* model training happens offline in the paper *)
+              Some (Gnn_setup.phi_of_layout (gnn_setup ~quick:s.quick c))
+            else None
+          in
+          let t0 = Telemetry.now () in
+          let params =
+            {
+              Matheuristic.Mh_placer.sa = sa_params_of_spec s ~perf:phi;
+              cycles = mh.mh_cycles;
+              window = mh.mh_window;
+              node_budget = mh.mh_node_budget;
+            }
+          in
+          let layout, _best_cost = Matheuristic.Mh_placer.place ~params c in
+          Some (layout, Telemetry.now () -. t0))
   | Prev, false ->
       let p = Prevwork.Prev_analytical.default_params in
       prev
@@ -418,6 +435,51 @@ let of_spec (s : spec) =
                    Eplace.Gp_params.seed = s.seed } }
         ~alpha:s.alpha ~quick:s.quick ()
 
+(* ----- optional-argument constructors: thin wrappers over [of_spec] -----
+
+   These fill a spec and defer to [of_spec], so a job built here and
+   the equivalent JSON request hash and run identically. Defaults that
+   differ from [default_spec] (e.g. [template_perf]'s single restart)
+   live in the wrapper signature, preserving each constructor's
+   historical behaviour. *)
+
+let sa ?(moves = sa_default_moves) ?(seed = 1) ?(restarts = 1)
+    ?(wl_weight = 1.0) ?(area_weight = 1.0) ?(check_every = 0) () =
+  of_spec
+    { (default_spec Sa) with
+      moves; seed; restarts; wl_weight; area_weight; check_every }
+
+let sa_perf ?(moves = 120_000) ?(seed = 1) ?(restarts = 1) ?(alpha = 2.0)
+    ?(check_every = 0) ?(quick = false) () =
+  of_spec
+    { (default_spec ~perf:true Sa) with
+      moves; seed; restarts; alpha; check_every; quick }
+
+let template ?(moves = template_default_moves) ?(seed = 1) ?(restarts = 2)
+    ?(wl_weight = 1.0) ?(area_weight = 1.0) ?(check_every = 0) () =
+  of_spec
+    { (default_spec Template) with
+      moves; seed; restarts; wl_weight; area_weight; check_every }
+
+let template_perf ?(moves = 120_000) ?(seed = 1) ?(restarts = 1)
+    ?(alpha = 2.0) ?(check_every = 0) ?(quick = false) () =
+  of_spec
+    { (default_spec ~perf:true Template) with
+      moves; seed; restarts; alpha; check_every; quick }
+
+let matheuristic ?(moves = template_default_moves) ?(seed = 1)
+    ?(restarts = 1) ?(wl_weight = 1.0) ?(area_weight = 1.0)
+    ?(check_every = 0) ?(window = default_mh_params.mh_window)
+    ?(node_budget = default_mh_params.mh_node_budget)
+    ?(cycles = default_mh_params.mh_cycles) () =
+  of_spec
+    { (default_spec Matheuristic) with
+      moves; seed; restarts; wl_weight; area_weight; check_every;
+      params =
+        Mh_params
+          { mh_window = window; mh_node_budget = node_budget;
+            mh_cycles = cycles } }
+
 (* ----- canonical serialization -----
 
    Field order in [spec_to_json] is already alphabetical, and
@@ -425,29 +487,99 @@ let of_spec (s : spec) =
    therefore [spec_hash] — is independent of how a client ordered its
    JSON fields. *)
 
+let params_version = 1
+
 let spec_to_json (s : spec) : Jsonio.t =
+  let params_field =
+    match s.params with
+    | Default_params -> []
+    | Mh_params m ->
+        [
+          ( "params",
+            Jsonio.Obj
+              [
+                ("cycles", Jsonio.Num (float_of_int m.mh_cycles));
+                ( "node_budget",
+                  Jsonio.Num (float_of_int m.mh_node_budget) );
+                ("v", Jsonio.Num (float_of_int params_version));
+                ("window", Jsonio.Num (float_of_int m.mh_window));
+              ] );
+        ]
+  in
   Jsonio.Obj
-    [
-      ("alpha", Jsonio.Num s.alpha);
-      ("area_weight", Jsonio.Num s.area_weight);
-      ("check_every", Jsonio.Num (float_of_int s.check_every));
-      ("kind", Jsonio.Str (to_string s.kind));
-      ("moves", Jsonio.Num (float_of_int s.moves));
-      ("perf", Jsonio.Bool s.perf);
-      ("quick", Jsonio.Bool s.quick);
-      ("restarts", Jsonio.Num (float_of_int s.restarts));
-      ("seed", Jsonio.Num (float_of_int s.seed));
-      ("wl_weight", Jsonio.Num s.wl_weight);
-    ]
+    ([
+       ("alpha", Jsonio.Num s.alpha);
+       ("area_weight", Jsonio.Num s.area_weight);
+       ("check_every", Jsonio.Num (float_of_int s.check_every));
+       ("kind", Jsonio.Str (to_string s.kind));
+       ("moves", Jsonio.Num (float_of_int s.moves));
+     ]
+    @ params_field
+    @ [
+        ("perf", Jsonio.Bool s.perf);
+        ("quick", Jsonio.Bool s.quick);
+        ("restarts", Jsonio.Num (float_of_int s.restarts));
+        ("seed", Jsonio.Num (float_of_int s.seed));
+        ("wl_weight", Jsonio.Num s.wl_weight);
+      ])
 
 (* Strict field-by-field decoding: [kind] is required, every other
    field defaults from [default_spec ~perf kind], and unknown fields
    are rejected — a misspelled knob in a service request must fail
    loudly, not silently run with defaults. *)
+(* The "params" block is itself strict and versioned: unknown
+   subfields are rejected like unknown top-level fields, and a "v"
+   other than [params_version] is refused so a future incompatible
+   layout can be introduced without silently misreading old ones. *)
+let mh_params_of_json (j : Jsonio.t) : (family_params, string) result =
+  let known = [ "cycles"; "node_budget"; "v"; "window" ] in
+  match j with
+  | Jsonio.Obj fields -> (
+      let unknown =
+        List.filter (fun (k, _) -> not (List.mem k known)) fields
+      in
+      match unknown with
+      | (k, _) :: _ -> Error (Printf.sprintf "unknown params field %S" k)
+      | [] -> (
+          let int_field name =
+            match Jsonio.member name j with
+            | None -> Ok None
+            | Some v -> (
+                match Jsonio.to_int v with
+                | Some i -> Ok (Some i)
+                | None ->
+                    Error
+                      (Printf.sprintf "params field %S: expected an integer"
+                         name))
+          in
+          let ( let* ) = Result.bind in
+          let* v = int_field "v" in
+          match v with
+          | Some v when v <> params_version ->
+              Error
+                (Printf.sprintf
+                   "params field \"v\": unsupported version %d (this build \
+                    speaks %d)"
+                   v params_version)
+          | _ ->
+              let* window = int_field "window" in
+              let* node_budget = int_field "node_budget" in
+              let* cycles = int_field "cycles" in
+              let d = default_mh_params in
+              let v d' o = Option.value o ~default:d' in
+              Ok
+                (Mh_params
+                   {
+                     mh_window = v d.mh_window window;
+                     mh_node_budget = v d.mh_node_budget node_budget;
+                     mh_cycles = v d.mh_cycles cycles;
+                   })))
+  | _ -> Error "spec field \"params\": expected an object"
+
 let spec_of_json (j : Jsonio.t) : (spec, string) result =
   let known =
-    [ "alpha"; "area_weight"; "check_every"; "kind"; "moves"; "perf";
-      "quick"; "restarts"; "seed"; "wl_weight" ]
+    [ "alpha"; "area_weight"; "check_every"; "kind"; "moves"; "params";
+      "perf"; "quick"; "restarts"; "seed"; "wl_weight" ]
   in
   match j with
   | Jsonio.Obj fields -> (
@@ -503,7 +635,7 @@ let spec_of_json (j : Jsonio.t) : (spec, string) result =
                     Error
                       (Printf.sprintf
                          "field \"kind\": unknown method %S (expected sa, \
-                          prev, eplace or template)" s))
+                          prev, eplace, template or matheuristic)" s))
           in
           let* perf = bool_field "perf" in
           let perf = Option.value perf ~default:false in
@@ -516,6 +648,19 @@ let spec_of_json (j : Jsonio.t) : (spec, string) result =
           let* area_weight = float_field "area_weight" in
           let* check_every = int_field "check_every" in
           let* quick = bool_field "quick" in
+          let* params =
+            match Jsonio.member "params" j with
+            | None -> Ok d.params
+            | Some pj -> (
+                match kind with
+                | Matheuristic -> mh_params_of_json pj
+                | Sa | Prev | Eplace | Template ->
+                    Error
+                      (Printf.sprintf
+                         "field \"params\": the %s family takes no params \
+                          block"
+                         (to_string kind)))
+          in
           let v d' o = Option.value o ~default:d' in
           Ok
             { kind; perf;
@@ -527,6 +672,7 @@ let spec_of_json (j : Jsonio.t) : (spec, string) result =
               area_weight = v d.area_weight area_weight;
               check_every = v d.check_every check_every;
               quick = v d.quick quick;
+              params;
             }))
   | _ -> Error "spec must be a JSON object"
 

@@ -2,18 +2,21 @@
 
 (** The three placer families of the paper's comparison, plus the
     template-composition placer built on the motif cache
-    ({!Templates.Template_placer}). Each has a conventional and a
+    ({!Templates.Template_placer}) and the matheuristic that
+    alternates SA global moves with exact ILP window re-optimization
+    ({!Matheuristic.Mh_placer}). Each has a conventional and a
     performance-driven variant, selected separately (the CLI's
     [--perf] flag, the [perf] parameters below). *)
-type kind = Sa | Prev | Eplace | Template
+type kind = Sa | Prev | Eplace | Template | Matheuristic
 
 val all : kind list
 (** In the paper's column order: SA, prior work [11], ePlace-A —
-    [Template] appended last, so positional consumers of the first
-    three columns are unaffected. *)
+    [Template] and [Matheuristic] appended last, so positional
+    consumers of the first three columns are unaffected. *)
 
 val to_string : kind -> string
-(** ["sa"], ["prev"], ["eplace"], ["template"] — the CLI spelling. *)
+(** ["sa"], ["prev"], ["eplace"], ["template"], ["matheuristic"] —
+    the CLI spelling. *)
 
 val of_string : string -> kind option
 
@@ -48,7 +51,14 @@ type outcome = {
   stats : stats;
 }
 
-type t = {
+(** A runnable method. The record is private: callers read the fields
+    but construction is confined to this module — {!of_spec} for
+    everything spec-expressible (the spec-filling constructors below
+    are thin wrappers over it), plus the escape hatches taking full
+    engine parameter records. A [t] can therefore always be traced to
+    one construction point, and spec-built ones to a serializable,
+    hashable job. *)
+type t = private {
   method_name : string;
   run : Netlist.Circuit.t -> outcome option;
 }
@@ -66,9 +76,28 @@ val template_default_moves : int
     knob the tables, the CLI and the placement service vary, has a
     canonical JSON encoding, and content-hashes stably (field order in
     a client's JSON does not change the hash). [of_spec] is the single
-    construction point — the optional-argument constructors below are
-    retained only as thin escape hatches for callers that need
-    non-default engine parameter records. *)
+    construction point: the spec-filling constructors below wrap it,
+    and only the [Prev]/[Eplace] escape hatches taking full engine
+    parameter records bypass it.
+
+    Family-specific knobs beyond the common fields live in the
+    versioned [params] block ({!family_params}); families without any
+    use {!Default_params} and serialize without a ["params"] field, so
+    their canonical hashes are unchanged from before the block
+    existed. *)
+
+type mh_params = {
+  mh_window : int;  (** islands per exact ILP window *)
+  mh_node_budget : int;  (** branch & bound nodes per window solve *)
+  mh_cycles : int;  (** global-phase / ILP-phase alternations *)
+}
+(** The matheuristic family's knobs (JSON subfields ["window"],
+    ["node_budget"], ["cycles"], plus the version tag ["v"]). *)
+
+type family_params = Default_params | Mh_params of mh_params
+
+val default_mh_params : mh_params
+
 type spec = {
   kind : kind;
   perf : bool;  (** performance-driven variant (trains/uses the GNN) *)
@@ -82,6 +111,7 @@ type spec = {
   area_weight : float;  (** SA only *)
   check_every : int;  (** SA debug cross-check period; 0 disables *)
   quick : bool;  (** reduced GNN training budget ([perf] only) *)
+  params : family_params;  (** versioned family-specific block *)
 }
 
 val default_spec : ?perf:bool -> kind -> spec
@@ -96,7 +126,9 @@ val of_spec : spec -> t
 val spec_to_json : spec -> Jsonio.t
 val spec_of_json : Jsonio.t -> (spec, string) result
 (** Strict decoding: ["kind"] is required, other fields default from
-    {!default_spec}, unknown fields are an error. *)
+    {!default_spec}, unknown fields are an error — including inside
+    the ["params"] block, whose ["v"] must be absent or this build's
+    version, and which only the matheuristic family accepts. *)
 
 val spec_of_string : string -> (spec, string) result
 (** Parse then decode. *)
@@ -141,6 +173,15 @@ val template_perf :
   ?check_every:int -> ?quick:bool -> unit -> t
 (** Performance-driven template composition (GNN Phi in the cost).
     @deprecated Prefer [of_spec (default_spec ~perf:true Template)]. *)
+
+val matheuristic :
+  ?moves:int -> ?seed:int -> ?restarts:int -> ?wl_weight:float ->
+  ?area_weight:float -> ?check_every:int -> ?window:int ->
+  ?node_budget:int -> ?cycles:int -> unit -> t
+(** SA global moves alternating with exact ILP re-optimization of
+    [window]-island neighbourhoods ({!Matheuristic.Mh_placer}).
+    @deprecated Prefer [of_spec (default_spec Matheuristic)] with a
+    {!Mh_params} override. *)
 
 val prev : ?params:Prevwork.Prev_analytical.params -> unit -> t
 (** @deprecated Prefer {!of_spec} unless a custom [params] record is

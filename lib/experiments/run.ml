@@ -48,7 +48,7 @@ let spec_of_kind cfg ?(perf = false) (k : Methods.kind) =
         alpha = cfg.sa_alpha;
         check_every = cfg.check_eval;
         quick = cfg.quick }
-  | Methods.Template ->
+  | Methods.Template | Methods.Matheuristic ->
       (* an eighth of the SA budget, mirroring the default ratio *)
       { s with
         Methods.moves =
@@ -266,7 +266,8 @@ let table3 cfg =
   ( {
       TF.header =
         [ "Design"; "SA a"; "SA w"; "SA t"; "P11 a"; "P11 w"; "P11 t";
-          "eP a"; "eP w"; "eP t"; "Tmpl a"; "Tmpl w"; "Tmpl t" ];
+          "eP a"; "eP w"; "eP t"; "Tmpl a"; "Tmpl w"; "Tmpl t";
+          "Math a"; "Math w"; "Math t" ];
       rows = rows @ [ avg ];
     },
     results )
@@ -335,7 +336,8 @@ let table5 cfg =
   ( {
       TF.header =
         [ "Design"; "SA conv"; "SA perf"; "P11 conv"; "P11 perf*";
-          "eP-A conv"; "eP-AP"; "Tmpl conv"; "Tmpl perf" ];
+          "eP-A conv"; "eP-AP"; "Tmpl conv"; "Tmpl perf"; "Math conv";
+          "Math perf" ];
       rows = rows @ [ avg ];
     },
     foms )
@@ -403,7 +405,8 @@ let table7 cfg =
   ( {
       TF.header =
         [ "Design"; "SAp a"; "SAp w"; "SAp t"; "P11p a"; "P11p w"; "P11p t";
-          "ePAP a"; "ePAP w"; "ePAP t"; "Tmplp a"; "Tmplp w"; "Tmplp t" ];
+          "ePAP a"; "ePAP w"; "ePAP t"; "Tmplp a"; "Tmplp w"; "Tmplp t";
+          "Mathp a"; "Mathp w"; "Mathp t" ];
       rows = rows @ [ avg ];
     },
     results )

@@ -1,0 +1,440 @@
+(* Matheuristic cycle: SA global moves through the incremental Eval
+   engine, alternating with exact ILP re-optimization of island
+   windows (Window_ilp). The ILP is a proposal generator, not an
+   oracle: a window optimum minimizes a linearized local surrogate
+   (window HPWL + envelope), so each proposed re-ordering is re-priced
+   by the true incremental cost and committed only if it does not
+   regress — the engine's bit-equality contract survives the exact
+   phase untouched. *)
+
+module Island = Annealing.Island
+module Eval = Annealing.Eval
+module Sa_placer = Annealing.Sa_placer
+module Seqpair = Annealing.Seqpair
+
+type params = {
+  sa : Sa_placer.params;
+  cycles : int;
+  window : int;
+  node_budget : int;
+}
+
+let default_params =
+  {
+    sa =
+      { Sa_placer.default_params with
+        Sa_placer.restarts = 1;
+        moves = Sa_placer.default_params.Sa_placer.moves / 8 };
+    cycles = 4;
+    window = 4;
+    node_budget = 50;
+  }
+
+let moves_counter = Telemetry.Counter.make "sa.moves"
+let accepted_counter = Telemetry.Counter.make "sa.accepted"
+let rejected_counter = Telemetry.Counter.make "sa.rejected"
+let evals_counter = Telemetry.Counter.make "sa.evals"
+let windows_counter = Telemetry.Counter.make "mh.windows"
+let win_accept_counter = Telemetry.Counter.make "mh.window_accepts"
+let win_reject_counter = Telemetry.Counter.make "mh.window_rejects"
+let best_cost_gauge = Telemetry.Gauge.make "sa.best_cost"
+
+let objective_of_params (p : Sa_placer.params) : Eval.objective =
+  {
+    Eval.area_weight = p.Sa_placer.area_weight;
+    wl_weight = p.Sa_placer.wl_weight;
+    order_penalty = p.Sa_placer.order_penalty;
+    perf = p.Sa_placer.perf;
+    perf_alpha = p.Sa_placer.perf_alpha;
+  }
+
+(* Per-anneal window scratch, sized once: device->item map, island
+   membership, device offsets within the current window's islands, and
+   the permutation buffers a window rewrite builds into. Only entries
+   belonging to the current window are ever written, and they are
+   cleared again when the window is done. *)
+type scratch = {
+  view : Netlist.Netview.t;
+  dev_item : int array;  (* device id -> window item index, or -1 *)
+  dev_dx : float array;  (* device centre offset from island LL *)
+  dev_dy : float array;
+  dev_or : Geometry.Orient.t array;
+  in_window : bool array;  (* island id -> member of current window *)
+  pos_buf : int array;
+  neg_buf : int array;
+}
+
+let make_scratch c n_islands =
+  let nd = Netlist.Circuit.n_devices c in
+  {
+    view = Netlist.Netview.of_circuit c;
+    dev_item = Array.make nd (-1);
+    dev_dx = Array.make nd 0.0;
+    dev_dy = Array.make nd 0.0;
+    dev_or = Array.make nd Geometry.Orient.identity;
+    in_window = Array.make n_islands false;
+    pos_buf = Array.make n_islands 0;
+    neg_buf = Array.make n_islands 0;
+  }
+
+let mark sc (st : Eval.state) ws =
+  Array.iteri
+    (fun it b ->
+      sc.in_window.(b) <- true;
+      List.iter
+        (fun (p : Island.placed_dev) ->
+          sc.dev_item.(p.Island.dev) <- it;
+          sc.dev_dx.(p.Island.dev) <- p.Island.dx;
+          sc.dev_dy.(p.Island.dev) <- p.Island.dy;
+          sc.dev_or.(p.Island.dev) <- p.Island.orient)
+        st.Eval.islands.(b).Island.devices)
+    ws
+
+let unmark sc (st : Eval.state) ws =
+  Array.iter
+    (fun b ->
+      sc.in_window.(b) <- false;
+      List.iter
+        (fun (p : Island.placed_dev) -> sc.dev_item.(p.Island.dev) <- -1)
+        st.Eval.islands.(b).Island.devices)
+    ws
+
+(* Cut the window [ws] (island ids, already marked in [sc]) out of the
+   engine's current arena. Requires the arena to be in sync with the
+   state (call [Eval.cost] first). The frame is the bounding box the
+   window's islands occupy in the current packing: sequence-pair
+   packing separates any left-of (above) chain by at least the chain's
+   summed widths (heights), so the current relative ordering is always
+   feasible inside it and the ILP optimum can never price worse than
+   the configuration we are trying to beat. Orderings that need more
+   room than the window occupies today are priced out, which is the
+   compaction pressure the true cost's area term exerts. Pins outside
+   the window are frozen at their snapshot positions, clamped to the
+   frame — the clamp keeps the LP non-negative and caps the pull of
+   far-away pins without losing its direction. *)
+let build_inst eng sc (ws : int array) =
+  let st = Eval.state eng in
+  let c = st.Eval.circuit in
+  let snap = Eval.snapshot eng in
+  let items =
+    Array.map
+      (fun b -> { Window_ilp.iw = st.Eval.widths.(b); ih = st.Eval.heights.(b) })
+      ws
+  in
+  let net_ids =
+    Array.to_list ws
+    |> List.concat_map (fun b ->
+           List.concat_map
+             (fun (p : Island.placed_dev) ->
+               Array.to_list
+                 (Netlist.Netview.nets_of_device sc.view p.Island.dev))
+             st.Eval.islands.(b).Island.devices)
+    |> List.sort_uniq compare
+    |> List.filter (Netlist.Netview.active sc.view)
+  in
+  (* current bounding box of the window's islands (layout stores
+     device centres; an island's lower-left is any member's centre
+     minus its within-island centre offset) *)
+  let minx = ref infinity and maxx = ref neg_infinity in
+  let miny = ref infinity and maxy = ref neg_infinity in
+  Array.iter
+    (fun b ->
+      match st.Eval.islands.(b).Island.devices with
+      | [] -> ()
+      | p :: _ ->
+          let llx = snap.Netlist.Layout.xs.(p.Island.dev) -. p.Island.dx in
+          let lly = snap.Netlist.Layout.ys.(p.Island.dev) -. p.Island.dy in
+          if llx < !minx then minx := llx;
+          if lly < !miny then miny := lly;
+          if llx +. st.Eval.widths.(b) > !maxx then
+            maxx := llx +. st.Eval.widths.(b);
+          if lly +. st.Eval.heights.(b) > !maxy then
+            maxy := lly +. st.Eval.heights.(b))
+    ws;
+  let ox0 = !minx and oy0 = !miny in
+  (* tiny slack absorbs the round-off of re-deriving pack sums *)
+  let frame_w = !maxx -. !minx +. 1e-6 in
+  let frame_h = !maxy -. !miny +. 1e-6 in
+  let clamp v hi = Float.max 0.0 (Float.min hi v) in
+  let weight_sum = ref 0.0 in
+  let nets =
+    List.map
+      (fun e ->
+        let net = Netlist.Circuit.net c e in
+        weight_sum := !weight_sum +. net.Netlist.Net.weight;
+        (* The HPWL bound rows only ever bind at a pin set's per-axis
+           min/max, so pins collapse losslessly to bounding corners:
+           the net's frozen pins to one or two absolute corners (rails
+           touching a hundred outside devices would otherwise dominate
+           the LP), and its member pins to per-item offset corners. *)
+        let fminx = ref infinity and fmaxx = ref neg_infinity in
+        let fminy = ref infinity and fmaxy = ref neg_infinity in
+        let k = Array.length ws in
+        let iminx = Array.make k infinity
+        and imaxx = Array.make k neg_infinity
+        and iminy = Array.make k infinity
+        and imaxy = Array.make k neg_infinity in
+        Array.iter
+          (fun (tm : Netlist.Net.terminal) ->
+            let d = tm.Netlist.Net.dev in
+            if sc.dev_item.(d) >= 0 then begin
+              let it = sc.dev_item.(d) in
+              let dd = Netlist.Circuit.device c d in
+              let pn = dd.Netlist.Device.pins.(tm.Netlist.Net.pin) in
+              let ox', oy' =
+                Geometry.Orient.apply_offset sc.dev_or.(d)
+                  ~w:dd.Netlist.Device.w ~h:dd.Netlist.Device.h
+                  ~ox:pn.Netlist.Device.ox ~oy:pn.Netlist.Device.oy
+              in
+              let px = sc.dev_dx.(d) -. (0.5 *. dd.Netlist.Device.w) +. ox' in
+              let py = sc.dev_dy.(d) -. (0.5 *. dd.Netlist.Device.h) +. oy' in
+              if px < iminx.(it) then iminx.(it) <- px;
+              if px > imaxx.(it) then imaxx.(it) <- px;
+              if py < iminy.(it) then iminy.(it) <- py;
+              if py > imaxy.(it) then imaxy.(it) <- py
+            end
+            else begin
+              let pt = Netlist.Layout.pin_position snap tm in
+              let x = clamp (pt.Geometry.Point.x -. ox0) frame_w in
+              let y = clamp (pt.Geometry.Point.y -. oy0) frame_h in
+              if x < !fminx then fminx := x;
+              if x > !fmaxx then fmaxx := x;
+              if y < !fminy then fminy := y;
+              if y > !fmaxy then fmaxy := y
+            end)
+          net.Netlist.Net.terminals;
+        let corners item minx maxx miny maxy =
+          if minx > maxx then []
+          else if Float.equal minx maxx && Float.equal miny maxy then
+            [ { Window_ilp.p_item = item; p_x = minx; p_y = miny } ]
+          else
+            [
+              { Window_ilp.p_item = item; p_x = minx; p_y = miny };
+              { Window_ilp.p_item = item; p_x = maxx; p_y = maxy };
+            ]
+        in
+        let member_pins =
+          List.concat
+            (List.init k (fun it ->
+                 corners (Some it) iminx.(it) imaxx.(it) iminy.(it) imaxy.(it)))
+        in
+        { Window_ilp.n_weight = net.Netlist.Net.weight;
+          n_pins = member_pins @ corners None !fminx !fmaxx !fminy !fmaxy })
+      net_ids
+  in
+  (* envelope pressure commensurate with the cost blend: mean net
+     weight, scaled by the run's area-vs-wirelength weight ratio *)
+  let mean_w =
+    match net_ids with
+    | [] -> 1.0
+    | _ -> !weight_sum /. float_of_int (List.length net_ids)
+  in
+  let obj = Eval.objective eng in
+  let ratio =
+    if obj.Eval.wl_weight > 0.0 then obj.Eval.area_weight /. obj.Eval.wl_weight
+    else 1.0
+  in
+  {
+    Window_ilp.items;
+    nets;
+    frame_w;
+    frame_h;
+    area_lambda = Float.max 0.0 (mean_w *. ratio);
+  }
+
+(* Rebuild the full permutations around a solved window: the window's
+   members keep the position slots they occupy, re-ordered per the ILP
+   ranks, and everything else stays put. *)
+let apply_orders eng sc (ws : int array) (sol : Window_ilp.solved) =
+  let st = Eval.state eng in
+  let n = Array.length st.Eval.islands in
+  let sp = st.Eval.sp in
+  let rewrite src dst order =
+    Array.blit src 0 dst 0 n;
+    let r = ref 0 in
+    for p = 0 to n - 1 do
+      if sc.in_window.(src.(p)) then begin
+        dst.(p) <- ws.(order.(!r));
+        incr r
+      end
+    done
+  in
+  rewrite sp.Seqpair.pos sc.pos_buf sol.Window_ilp.sol_pos;
+  rewrite sp.Seqpair.neg sc.neg_buf sol.Window_ilp.sol_neg;
+  Eval.set_order eng ~pos:sc.pos_buf ~neg:sc.neg_buf
+
+(* One full matheuristic run on its own pre-split random streams. *)
+let anneal ~(params : params) ~rng ~on_window (c : Netlist.Circuit.t) =
+  let streams = Numerics.Rng.split_n rng 2 in
+  let rng_sa = streams.(0) and rng_win = streams.(1) in
+  let sa = params.sa in
+  let st = Eval.make_state rng_sa c in
+  let eng =
+    Eval.make ~check_every:sa.Sa_placer.check_every (objective_of_params sa) st
+  in
+  let n = Array.length st.Eval.islands in
+  let sc = make_scratch c n in
+  let n_evals = ref 0 and n_accepted = ref 0 and n_rejected = ref 0 in
+  let n_moves = ref 0 in
+  let n_windows = ref 0 and n_wacc = ref 0 and n_wrej = ref 0 in
+  let cost_of () =
+    incr n_evals;
+    Eval.cost eng
+  in
+  let current = ref 0.0 and best = ref infinity in
+  let best_snapshot = ref None in
+  let note_best c' =
+    if c' < !best then begin
+      best := c';
+      best_snapshot := Some (Eval.snapshot eng)
+    end
+  in
+  let temp = ref 1.0 in
+  (* initial evaluation + temperature probe, as in the SA schedule *)
+  Telemetry.Span.with_ ~name:"gp" (fun () ->
+      current := cost_of ();
+      best := !current;
+      best_snapshot := Some (Eval.snapshot eng);
+      let probe = 40 in
+      let uphill = ref 0.0 and n_up = ref 0 in
+      for _ = 1 to probe do
+        Eval.propose eng rng_sa;
+        let c' = cost_of () in
+        if c' > !current then begin
+          uphill := !uphill +. (c' -. !current);
+          incr n_up
+        end;
+        Eval.revert eng
+      done;
+      let t0 =
+        let avg = if !n_up = 0 then 0.05 else !uphill /. float_of_int !n_up in
+        -.avg /. log sa.Sa_placer.accept0
+      in
+      temp := Float.max 1e-6 t0);
+  (* short budgets see few plateaus under SA's 14n^2 rule; cap like the
+     template placer so every budget cools through ~100 stages *)
+  let per_temp =
+    max 60 (min (14 * n * n) (max 1 (sa.Sa_placer.moves / 100)))
+  in
+  let per_cycle = max 1 (sa.Sa_placer.moves / max 1 params.cycles) in
+  let global_phase budget =
+    Telemetry.Span.with_ ~name:"gp" (fun () ->
+        let total = ref 0 in
+        while !total < budget do
+          let upto = min budget (!total + per_temp) in
+          while !total < upto do
+            incr total;
+            Eval.propose eng rng_sa;
+            let c' = cost_of () in
+            let dc = c' -. !current in
+            if
+              dc <= 0.0
+              || Numerics.Rng.float rng_sa < exp (-.dc /. !temp)
+            then begin
+              current := c';
+              Eval.commit eng;
+              incr n_accepted;
+              note_best c'
+            end
+            else begin
+              incr n_rejected;
+              Eval.revert eng
+            end
+          done;
+          temp := !temp *. sa.Sa_placer.cooling
+        done;
+        n_moves := !n_moves + !total)
+  in
+  let window_phase () =
+    let k = min params.window n in
+    if k >= 2 then
+      Telemetry.Span.with_ ~name:"dp" (fun () ->
+          (* sliding windows along Gamma+, one island of overlap,
+             rotated by a per-cycle phase from the window stream; the
+             phase stays below both the stride and the last legal
+             start, so every sweep solves at least one window *)
+          let stride = max 1 (k - 1) in
+          let offset =
+            Numerics.Rng.int rng_win (max 1 (min stride (n - k + 1)))
+          in
+          let s = ref offset in
+          while !s + k <= n do
+            (* re-sync the arena (the previous decision may have been
+               a revert, which leaves it stale until the next cost) *)
+            current := cost_of ();
+            let ws = Array.init k (fun i -> st.Eval.sp.Seqpair.pos.(!s + i)) in
+            mark sc st ws;
+            let inst = build_inst eng sc ws in
+            let sol =
+              Telemetry.Span.with_ ~name:"ilp" (fun () ->
+                  Window_ilp.solve ~node_budget:params.node_budget inst)
+            in
+            incr n_windows;
+            (match sol with
+            | None -> ()
+            | Some sol ->
+                apply_orders eng sc ws sol;
+                let before = !current in
+                let c' = cost_of () in
+                if c' <= before then begin
+                  Eval.commit eng;
+                  current := c';
+                  incr n_wacc;
+                  note_best c';
+                  on_window ~accepted:true ~before ~after:c'
+                end
+                else begin
+                  Eval.revert eng;
+                  incr n_wrej;
+                  on_window ~accepted:false ~before ~after:c'
+                end);
+            unmark sc st ws;
+            s := !s + stride
+          done)
+  in
+  for _cycle = 1 to max 1 params.cycles do
+    global_phase per_cycle;
+    window_phase ()
+  done;
+  Telemetry.Counter.add moves_counter !n_moves;
+  Telemetry.Counter.add evals_counter !n_evals;
+  Telemetry.Counter.add accepted_counter !n_accepted;
+  Telemetry.Counter.add rejected_counter !n_rejected;
+  Telemetry.Counter.add windows_counter !n_windows;
+  Telemetry.Counter.add win_accept_counter !n_wacc;
+  Telemetry.Counter.add win_reject_counter !n_wrej;
+  Eval.flush_counters eng;
+  match !best_snapshot with
+  | Some snap -> (!best, snap)
+  | None -> assert false (* the initial evaluation always set it *)
+
+let place ?(params = default_params)
+    ?(on_window = fun ~accepted:_ ~before:_ ~after:_ -> ())
+    (c : Netlist.Circuit.t) =
+  let runs =
+    if params.sa.Sa_placer.restarts <= 1 then
+      [|
+        anneal ~params
+          ~rng:(Numerics.Rng.create params.sa.Sa_placer.seed)
+          ~on_window c;
+      |]
+    else begin
+      let master = Numerics.Rng.create params.sa.Sa_placer.seed in
+      let rngs = Numerics.Rng.split_n master params.sa.Sa_placer.restarts in
+      Pool.map (Pool.default ())
+        (fun rng -> anneal ~params ~rng ~on_window c)
+        rngs
+    end
+  in
+  (* best final cost wins; ties break to the lowest restart index *)
+  let best = ref runs.(0) in
+  Array.iter
+    (fun r ->
+      let cost, _ = r and best_cost, _ = !best in
+      if cost < best_cost then best := r)
+    runs;
+  let best_cost, best_layout = !best in
+  Telemetry.Gauge.set best_cost_gauge best_cost;
+  Telemetry.Span.with_ ~name:"dp" (fun () ->
+      Netlist.Layout.normalize best_layout);
+  (best_layout, best_cost)

@@ -1,0 +1,47 @@
+(** Matheuristic placer: SA-style global moves alternating with exact
+    ILP re-optimization of bounded windows.
+
+    Each cycle runs a slice of the annealing schedule through the
+    incremental {!Annealing.Eval} engine (the "gp" telemetry phase),
+    then sweeps sliding windows of [window] islands — whole symmetry
+    islands, never split — re-solving each window's sequence pair
+    exactly with {!Window_ilp} (the "dp" phase; the solves themselves
+    are timed under the nested "ilp" span). An ILP proposal is applied
+    through {!Annealing.Eval.set_order} and gated by the true
+    incremental cost: it is committed only when it lowers or preserves
+    the current cost, and reverted otherwise, so the engine's
+    bit-equality contract extends through the exact phase.
+
+    Determinism: restarts pre-split the master stream with
+    {!Numerics.Rng.split_n} and fan out on the {!Pool} (task-order
+    results, ties to the lowest restart index); within a restart the
+    annealing and window-selection streams are split once up front; and
+    the ILP is time-boxed by a node budget, never wall clock.
+
+    Telemetry counters: [mh.windows] windows solved, [mh.window_accepts]
+    /[mh.window_rejects] the gate's decisions, plus the usual [sa.*]
+    series from the global phase. *)
+
+type params = {
+  sa : Annealing.Sa_placer.params;
+      (** the global-move schedule: seed, restarts, move budget (total
+          across cycles, per restart), weights, cooling, perf term *)
+  cycles : int;  (** global-phase / ILP-phase alternations *)
+  window : int;  (** islands per ILP window (>= 2 to do anything) *)
+  node_budget : int;  (** branch & bound nodes per window solve *)
+}
+
+val default_params : params
+(** One restart, an eighth of the SA move budget split over 4 cycles,
+    windows of 4 islands at 50 nodes each -- past ~50 nodes per window,
+    extra proof effort was measured to buy almost nothing. *)
+
+val place :
+  ?params:params ->
+  ?on_window:(accepted:bool -> before:float -> after:float -> unit) ->
+  Netlist.Circuit.t ->
+  Netlist.Layout.t * float
+(** Best layout and its annealing cost. [on_window] observes every
+    window decision (the test probe for the accept-only-if-improved
+    invariant); with [restarts > 1] it runs on the pool's worker
+    domains, so callers passing one should keep [restarts = 1]. *)
