@@ -6,15 +6,17 @@
 
 let usage =
   "lint_cli [--root DIR] [--exclude SUBSTR]... [--format text|json|sarif]\n\
-  \         [--out FILE] [--dump-summaries] PATH...\n\
+  \         [--out FILE] [--dump-summaries] [--explain RULE] PATH...\n\
    Scans PATH... (directories, .cmt or .cmti files) and reports\n\
    determinism/parallel-safety findings as file:line:col [RULE].\n\
    --exclude skips any unit whose .cmt path or source path contains\n\
    SUBSTR. --format json/sarif emit machine-readable reports (CI\n\
    artifacts, code-scanning annotation). --dump-summaries prints the\n\
    interprocedural effect summaries instead of findings, for\n\
-   reviewable summary drift in diffs. Exit status: 0 clean, 1 when\n\
-   findings survive, 2 usage error."
+   reviewable summary drift in diffs. --explain RULE prints only that\n\
+   rule's findings, each followed by its flow trace (for C1: the call\n\
+   path from the cache entry point to the ambient read). Exit status:\n\
+   0 clean, 1 when findings survive, 2 usage error."
 
 let () =
   let root = ref "." in
@@ -22,6 +24,7 @@ let () =
   let format = ref "text" in
   let out = ref "" in
   let dump_summaries = ref false in
+  let explain = ref "" in
   let paths = ref [] in
   let spec =
     [
@@ -42,6 +45,9 @@ let () =
       ( "--dump-summaries",
         Arg.Set dump_summaries,
         " print the per-function effect summaries and exit 0" );
+      ( "--explain",
+        Arg.Set_string explain,
+        "RULE print only RULE's findings, each with its flow trace" );
     ]
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
@@ -58,6 +64,31 @@ let () =
   if !dump_summaries then begin
     output (Lint.Summaries.dump report.Lint.r_summaries ^ "\n");
     exit 0
+  end;
+  if !explain <> "" then begin
+    let rule =
+      match Lint.rule_of_string !explain with
+      | Some r -> r
+      | None ->
+          Printf.eprintf "lint_cli: --explain: unknown rule '%s'\n" !explain;
+          exit 2
+    in
+    let findings =
+      List.filter (fun f -> f.Lint.rule = rule) report.Lint.r_findings
+    in
+    let b = Buffer.create 1024 in
+    List.iter
+      (fun f ->
+        Buffer.add_string b (Lint.to_string f ^ "\n");
+        List.iter
+          (fun step -> Buffer.add_string b ("    " ^ step ^ "\n"))
+          f.Lint.trace)
+      findings;
+    Buffer.add_string b
+      (Printf.sprintf "placer-lint: %d %s finding(s)\n" (List.length findings)
+         (Lint.rule_name rule));
+    output (Buffer.contents b);
+    exit (if findings = [] then 0 else 1)
   end;
   match !format with
   | "json" ->

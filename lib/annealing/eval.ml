@@ -157,6 +157,7 @@ let weighted_span (t : t) e_id =
     if py > !ymax then ymax := py
   done;
   t.net_weight.(e_id) *. (!xmax -. !xmin +. (!ymax -. !ymin))
+[@@placer_lint.hot]
 
 (* Repack and bring the arena and the net cache up to date with the
    current state, touching only what moved since the last evaluation. *)
@@ -202,6 +203,7 @@ let refresh t =
     t.net_cache.(e) <- weighted_span t e
   done;
   t.pending_hits <- t.pending_hits + (Array.length t.active_ids - !n_dirty)
+[@@placer_lint.hot]
 
 (* Cache re-sum in ascending net id — the order Layout.hpwl folds in,
    so the total is bit-identical to the full fold (inactive nets
@@ -212,6 +214,7 @@ let hpwl_of_cache t =
     acc := !acc +. t.net_cache.(t.active_ids.(k))
   done;
   !acc
+[@@placer_lint.hot]
 
 (* Die bounding box over device rectangles, replicating
    Rect.of_center/bounding_box arithmetic without the intermediate
@@ -262,6 +265,7 @@ let ordering_penalty t =
     if gap < -1e-4 then acc := !acc +. -.gap
   done;
   !acc
+[@@placer_lint.hot]
 
 let combine t ~area ~hpwl ~ord layout =
   let base =
@@ -484,7 +488,9 @@ let propose t rng =
       st.islands.(b) <- Island.mirror_x old;
       flatten_island t b;
       t.force_dirty.(b) <- true;
+      (* placer-lint: allow A1 the undo record is one two-word block per mirror move (1 in 5 proposals), freed on commit; storing it is the undo protocol *)
       t.undo <- U_island (b, old)
+[@@placer_lint.hot]
 
 (* Swap island [b] for a different packing of the same devices (a
    template choice). Unlike the mirror move, the replacement may have a
@@ -514,8 +520,9 @@ let set_order t ~pos ~neg =
   Array.blit pos 0 st.sp.Seqpair.pos 0 n;
   Array.blit neg 0 st.sp.Seqpair.neg 0 n;
   t.undo <- U_both
+[@@placer_lint.hot]
 
-let commit t = t.undo <- U_none
+let commit t = t.undo <- U_none [@@placer_lint.hot]
 
 let revert t =
   let st = t.st in
@@ -537,5 +544,6 @@ let revert t =
       (* the arena still holds the replaced positions *)
       t.force_dirty.(b) <- true);
   t.undo <- U_none
+[@@placer_lint.hot]
 
 let snapshot t = Netlist.Layout.copy t.arena

@@ -10,6 +10,16 @@
     hits a key receives the same (physically equal) value, so cached
     values must never be mutated.
 
+    The key-soundness contract is enforced by placer-lint (DESIGN.md
+    §7): every [get_or_compute] call site is a cache entry point whose
+    thunk is closed over the call graph — rule {b C1} reports ambient
+    state (env vars, clock, filesystem, hash-order iteration,
+    domain-local storage, module-level mutable reads) the key cannot
+    capture, and rule {b C2} reports a thunk input whose root never
+    reaches the [~key] expression. Sites that intentionally relax the
+    contract carry a reasoned [placer-lint: allow] stating why a
+    cross-state hit is still correct.
+
     {2 Concurrency}
 
     All operations are thread- and domain-safe; one mutex serialises

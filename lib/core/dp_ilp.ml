@@ -30,11 +30,12 @@ type params = {
   flip : flip_strategy;
   max_nodes : int;  (* branch-and-bound budget per axis (Flip_exact) *)
   time_limit : float;
+  debug : bool;  (* print per-axis ILP status on infeasibility *)
 }
 
 let default_params =
   { mu = 0.35; zeta = 0.55; flip = Flip_round; max_nodes = 60;
-    time_limit = 10.0 }
+    time_limit = 10.0; debug = false }
 
 type axis = Place_common.Sep_plan.axis = X_axis | Y_axis
 
@@ -268,7 +269,7 @@ let solve_axis (p : params) (c : Netlist.Circuit.t) ~(axis : axis)
           nodes = r.I.nodes;
         }
   | I.Ilp_infeasible | I.Ilp_unbounded ->
-      if Sys.getenv_opt "DP_DEBUG" <> None then
+      if p.debug then
         Fmt.epr "dp_ilp: axis %s status %s nodes %d@."
           (match axis with X_axis -> "X" | Y_axis -> "Y")
           (match r.I.status with

@@ -14,6 +14,11 @@ type params = {
   flip : flip_strategy;
   max_nodes : int;  (** branch-and-bound node budget (Flip_exact) *)
   time_limit : float;
+  debug : bool;
+      (** print per-axis ILP status to stderr when an axis comes back
+          infeasible/unbounded (was the [DP_DEBUG] env var — an
+          explicit flag so cached runs stay a pure function of their
+          spec; placer-lint rule C1) *)
 }
 
 val default_params : params

@@ -13,18 +13,27 @@ type cfg = {
   alpha : float;  (* Eq. 5 weight for the analytical perf term *)
   sa_alpha : float;
   check_eval : int;  (* SA: cross-check incremental cost every N evals *)
+  scaled_sizes : int list;
+      (* extra "Scaled-<n>" generator circuits appended to the paper's
+         ten seed designs in table3/table7 — the size axis *)
 }
 
 let default_cfg =
   { quick = false; sa_moves = Methods.sa_default_moves;
     sa_perf_moves = 120_000; restarts = 5; alpha = 60.0; sa_alpha = 2.0;
-    check_eval = 0 }
+    check_eval = 0; scaled_sizes = [ 120; 240 ] }
 
 let quick_cfg =
   { quick = true; sa_moves = 40_000; sa_perf_moves = 15_000; restarts = 2;
-    alpha = 60.0; sa_alpha = 2.0; check_eval = 0 }
+    alpha = 60.0; sa_alpha = 2.0; check_eval = 0; scaled_sizes = [ 40 ] }
 
 let all_circuits = Circuits.Testcases.all_names
+
+(* table3/table7 run the seed designs plus the configured scaled
+   circuits, so the size axis appears alongside the paper's rows. *)
+let table_circuits cfg =
+  all_circuits
+  @ List.map (fun n -> Printf.sprintf "Scaled-%d" n) cfg.scaled_sizes
 
 let area_hpwl l = (Netlist.Layout.area l, Netlist.Layout.hpwl l)
 
@@ -235,8 +244,9 @@ let phase_table method_names (results : method_row list list) =
   { TF.header; rows }
 
 let table3 cfg =
+  let circuits = table_circuits cfg in
   let methods = List.map (method_of_kind cfg) Methods.all in
-  let results = List.map (fun m -> run_method m all_circuits) methods in
+  let results = List.map (fun m -> run_method m circuits) methods in
   let rows =
     List.mapi
       (fun i design ->
@@ -246,7 +256,7 @@ let table3 cfg =
                let r = List.nth rows i in
                [ TF.f1 r.area; TF.f1 r.hpwl; TF.f2 r.runtime ])
              results)
-      all_circuits
+      circuits
   in
   let ref_rows = List.nth results 2 in
   let avg =
@@ -374,8 +384,9 @@ let table6 cfg =
 (* ---------- Table VII: perf-driven area/HPWL/runtime ---------- *)
 
 let table7 cfg =
+  let circuits = table_circuits cfg in
   let methods = List.map (method_of_kind cfg ~perf:true) Methods.all in
-  let results = List.map (fun m -> run_method m all_circuits) methods in
+  let results = List.map (fun m -> run_method m circuits) methods in
   let rows =
     List.mapi
       (fun i design ->
@@ -385,7 +396,7 @@ let table7 cfg =
                let r = List.nth rows i in
                [ TF.f1 r.area; TF.f1 r.hpwl; TF.f2 r.runtime ])
              results)
-      all_circuits
+      circuits
   in
   let ref_rows = List.nth results 2 in
   let avg =

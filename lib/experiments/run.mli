@@ -12,6 +12,12 @@ type cfg = {
   check_eval : int;
       (** SA debug: cross-check the incremental cost engine against a
           full recomputation every N evaluations (0 disables) *)
+  scaled_sizes : int list;
+      (** device counts of extra ["Scaled-<n>"] generator circuits
+          ({!Circuits.Testcases.scaled}) appended to the seed designs
+          in {!table3} and {!table7}, adding the size axis to the
+          paper tables; [[120; 240]] in {!default_cfg}, a single small
+          [[40]] in {!quick_cfg} so smoke runs stay cheap *)
 }
 
 val default_cfg : cfg

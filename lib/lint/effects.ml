@@ -89,6 +89,26 @@ let normalize s =
 module Summaries = struct
   type kind = Pure | Local_mutation | Shared_mutation
 
+  (* One direct ambient-input read: state a function can observe that
+     is not reachable from its arguments. Tokens: "env:<NAME>" /
+     "env:?", "clock", "fsread", "hash-order", "dls", "rng", and
+     "global:<Dotted.name>" for a deref of module-level mutable
+     state. [Deps] closes these over the call graph from every cache
+     entry point (rule C1). *)
+  type ambient = {
+    am_token : string;
+    am_file : string;
+    am_line : int;
+  }
+
+  let ambient_compare a b =
+    match String.compare a.am_token b.am_token with
+    | 0 -> (
+        match String.compare a.am_file b.am_file with
+        | 0 -> Int.compare a.am_line b.am_line
+        | c -> c)
+    | c -> c
+
   type summary = {
     s_name : string;  (** canonical dotted name, e.g. ["Numerics.Rng.float"] *)
     s_unit : string;  (** compilation unit that defines it *)
@@ -102,6 +122,8 @@ module Summaries = struct
     s_assumed : bool;  (** sanctioned unit: summary assumed, not computed *)
     s_local_allocs : int;  (** mutable allocations proven task-local *)
     s_escaping_allocs : int;  (** mutable allocations that escape *)
+    s_ambient : ambient list;  (** direct ambient-input reads (sorted) *)
+    s_hot : bool;  (** carries the [[@@placer_lint.hot]] attribute *)
   }
 
   type t = summary SMap.t
@@ -143,6 +165,13 @@ module Summaries = struct
       Buffer.add_string b
         (Printf.sprintf " allocs=%d/%d-escaping" s.s_local_allocs
            s.s_escaping_allocs);
+    if s.s_ambient <> [] then
+      Buffer.add_string b
+        (" ambient="
+        ^ String.concat ","
+            (List.sort_uniq String.compare
+               (List.map (fun a -> a.am_token) s.s_ambient)));
+    if s.s_hot then Buffer.add_string b " hot";
     if s.s_assumed then Buffer.add_string b " (assumed)";
     Buffer.contents b
 
@@ -161,6 +190,9 @@ let summary_equal a b =
   && Bool.equal a.s_unknown_calls b.s_unknown_calls
   && Int.equal a.s_local_allocs b.s_local_allocs
   && Int.equal a.s_escaping_allocs b.s_escaping_allocs
+  && List.equal
+       (fun x y -> ambient_compare x y = 0)
+       a.s_ambient b.s_ambient
 
 (* ----- name tables ----- *)
 
@@ -258,6 +290,40 @@ let is_global_rng n =
   String.starts_with ~prefix:"Random." n
   || String.starts_with ~prefix:"Stdlib.Random." n
 
+(* ----- ambient inputs (the C1 lattice) -----
+
+   Checked *before* the pure-name fallthrough in [dispatch_named]:
+   "Sys." and "Domain." are in [pure_prefixes] because they mutate
+   nothing, but [Sys.getenv] and [Domain.DLS.get] are anything but
+   ambient-free. Per-function direct reads land on the summary; the
+   closure over the call graph is [Deps]'s job. *)
+
+let env_read_names = [ "Sys.getenv"; "Sys.getenv_opt" ]
+
+let clock_names =
+  [ "Unix.gettimeofday"; "Unix.time"; "Unix.times"; "Sys.time" ]
+
+let fsread_names =
+  [
+    "Sys.file_exists"; "Sys.is_directory"; "Sys.readdir"; "Sys.getcwd";
+    "open_in"; "open_in_bin"; "input_line"; "input_value"; "really_input";
+    "really_input_string"; "input"; "input_char"; "input_byte";
+  ]
+
+let fsread_prefixes = [ "In_channel." ]
+let hash_order_names = [ "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.hash" ]
+let dls_names = [ "Domain.DLS.get" ]
+
+(* Reading derefs: when the subject classifies to module-level state,
+   the read is an ambient input (the write half is D4's business).
+   Reads through parameters or locals are not ambient — they arrived
+   via the arguments. *)
+let deref_names =
+  [
+    "!"; "Array.get"; "Array.unsafe_get"; "Bytes.get"; "Hashtbl.find";
+    "Hashtbl.find_opt"; "Atomic.get"; "Queue.peek";
+  ]
+
 let fanout_tails = [ "Pool.map"; "Pool.map_list"; "Pool.run_all" ]
 
 (* [Some "Pool.map"] when the normalized callee name is a pool fan-out. *)
@@ -294,6 +360,7 @@ type acc = {
   mutable c_rng : bool;
   mutable c_unknown : bool;
   mutable c_allocs : alloc list;
+  mutable c_ambient : ambient list;
 }
 
 let fresh_acc () =
@@ -305,6 +372,7 @@ let fresh_acc () =
     c_rng = false;
     c_unknown = false;
     c_allocs = [];
+    c_ambient = [];
   }
 
 type fn = {
@@ -312,6 +380,7 @@ type fn = {
   f_unit : string;
   f_file : string;
   f_expr : Typedtree.expression;
+  f_hot : bool;  (* binding carries [@@placer_lint.hot] *)
 }
 
 type unit_ctx = {
@@ -540,6 +609,52 @@ let record_write ctx ~loc ?via target =
                t.t_fanout name via_s)
       | _ -> ())
 
+let record_ambient ctx ~loc token =
+  let line, _ = pos_of loc in
+  ctx.cx_acc.c_ambient <-
+    { am_token = token; am_file = ctx.cx_uc.uc_file; am_line = line }
+    :: ctx.cx_acc.c_ambient
+
+(* A deref whose subject is module-level mutable state is an ambient
+   read of that global. *)
+let ambient_global ctx ~loc tgt =
+  match head_path tgt with
+  | Some (p, ty) -> (
+      match classify ctx p ty with
+      | Tglobal g -> record_ambient ctx ~loc ("global:" ^ g)
+      | Tparam _ | Tlocal _ | Tcaptured _ | Topaque -> ())
+  | None -> ()
+
+let ambient_named ctx ~loc n raw args =
+  if List.mem n env_read_names then
+    let token =
+      match nolabel_args args with
+      | {
+          Typedtree.exp_desc =
+            Typedtree.Texp_constant (Asttypes.Const_string (v, _, _));
+          _;
+        }
+        :: _ ->
+          "env:" ^ v
+      | _ -> "env:?"
+    in
+    record_ambient ctx ~loc token
+  else if List.mem n clock_names then record_ambient ctx ~loc "clock"
+  else if
+    List.mem n fsread_names
+    || List.exists
+         (fun pfx -> String.starts_with ~prefix:pfx n)
+         fsread_prefixes
+  then record_ambient ctx ~loc "fsread"
+  else if List.mem n hash_order_names then
+    record_ambient ctx ~loc "hash-order"
+  else if List.mem n dls_names then record_ambient ctx ~loc "dls"
+  else if is_global_rng raw then record_ambient ctx ~loc "rng"
+  else if List.mem n deref_names then
+    match nolabel_args args with
+    | tgt :: _ -> ambient_global ctx ~loc tgt
+    | [] -> ()
+
 (* ----- the expression walk (shared by both phases) ----- *)
 
 let register_local ctx id b =
@@ -598,6 +713,9 @@ and visit ctx sub (e : Typedtree.expression) =
       | None -> ());
       mark_escape ctx v
   | Texp_ident (p, _, _) -> handle_ident ctx e p
+  | Texp_field (e1, _, ld) ->
+      if ld.Types.lbl_mut = Asttypes.Mutable then
+        ambient_global ctx ~loc:e.exp_loc e1
   | Texp_construct (_, _, args) -> List.iter (mark_escape ctx) args
   | Texp_tuple es -> List.iter (mark_escape ctx) es
   | Texp_array es -> List.iter (mark_escape ctx) es
@@ -670,14 +788,18 @@ and handle_call ctx (e : Typedtree.expression) fexpr args =
                           (SMap.find_opt key ctx.cx_eng.eg_labels)
                       in
                       merge_summary ctx ~loc:e.exp_loc s labels args
-                  | None -> dispatch_named ctx unknown (Path.name p) args))
-          | None -> dispatch_named ctx unknown (Path.name p) args))
+                  | None ->
+                      dispatch_named ctx ~loc:e.exp_loc unknown (Path.name p)
+                        args))
+          | None ->
+              dispatch_named ctx ~loc:e.exp_loc unknown (Path.name p) args))
   | _ -> unknown ()
 
 (* A callee with no summary: stdlib and friends, classified by name. *)
-and dispatch_named ctx unknown raw args =
+and dispatch_named ctx ~loc unknown raw args =
   let n = strip_stdlib raw in
   let acc = ctx.cx_acc in
+  ambient_named ctx ~loc n raw args;
   match List.assoc_opt n write_prims with
   | Some positions ->
       let nolabels = nolabel_args args in
@@ -809,6 +931,12 @@ let harvest_unit (u : unit_info) =
         match v.vb_expr.exp_desc with
         | Typedtree.Texp_function _ ->
             let key = display id in
+            let hot =
+              List.exists
+                (fun (a : Parsetree.attribute) ->
+                  String.equal a.attr_name.txt "placer_lint.hot")
+                v.vb_attributes
+            in
             fn_idents := SMap.add (Ident.unique_name id) key !fn_idents;
             fns :=
               {
@@ -816,6 +944,7 @@ let harvest_unit (u : unit_info) =
                 f_unit = u.eu_name;
                 f_file = u.eu_file;
                 f_expr = v.vb_expr;
+                f_hot = hot;
               }
               :: !fns
         | _ -> scripts := v.vb_expr :: !scripts)
@@ -928,6 +1057,8 @@ let assumed_summary fn =
     s_assumed = true;
     s_local_allocs = 0;
     s_escaping_allocs = 0;
+    s_ambient = [];
+    s_hot = fn.f_hot;
   }
 
 let summary_of_acc fn ~nparams (acc : acc) =
@@ -948,6 +1079,8 @@ let summary_of_acc fn ~nparams (acc : acc) =
     s_assumed = false;
     s_local_allocs = List.length locals;
     s_escaping_allocs = List.length escaping;
+    s_ambient = List.sort_uniq ambient_compare acc.c_ambient;
+    s_hot = fn.f_hot;
   }
 
 let eval_fn eng uc fn =
@@ -1031,6 +1164,19 @@ let check_site eng emit queue st =
           List.iter (analyze_task eng st emit queue) (collect_lambdas task))
 
 (* ----- driver ----- *)
+
+(* Everything the dependence pass ([Deps]) needs from phase 1: the
+   harvested units (typed trees + per-unit name tables), the finished
+   summaries behind the engine, the reference-closure call graph, and
+   the function table. *)
+type program = {
+  pr_harvested : harvested list;
+  pr_eng : engine;
+  pr_edges : (string, string list) Hashtbl.t;
+  pr_by_key : fn SMap.t;
+  pr_known : SSet.t;
+  pr_sanctioned : string -> bool;
+}
 
 let analyze ~sanctioned units =
   let harvested = List.map harvest_unit units in
@@ -1175,4 +1321,14 @@ let analyze ~sanctioned units =
       [] sorted
     |> List.rev
   in
-  (deduped, !sums)
+  let program =
+    {
+      pr_harvested = harvested;
+      pr_eng = eng;
+      pr_edges = edges;
+      pr_by_key = by_key;
+      pr_known = known;
+      pr_sanctioned = sanctioned;
+    }
+  in
+  (deduped, !sums, program)

@@ -19,7 +19,20 @@
 module SMap = Map.Make (String)
 module SSet = Set.Make (String)
 
-type rule = D1 | D2 | D3 | D4 | F1 | H1 | P1 | P2 | R1 | Bad_suppress
+type rule =
+  | D1
+  | D2
+  | D3
+  | D4
+  | F1
+  | H1
+  | P1
+  | P2
+  | R1
+  | C1
+  | C2
+  | A1
+  | Bad_suppress
 
 let rule_name = function
   | D1 -> "D1"
@@ -31,6 +44,9 @@ let rule_name = function
   | P1 -> "P1"
   | P2 -> "P2"
   | R1 -> "R1"
+  | C1 -> "C1"
+  | C2 -> "C2"
+  | A1 -> "A1"
   | Bad_suppress -> "SUPPRESS"
 
 let rule_of_string = function
@@ -43,9 +59,13 @@ let rule_of_string = function
   | "P1" -> Some P1
   | "P2" -> Some P2
   | "R1" -> Some R1
+  | "C1" -> Some C1
+  | "C2" -> Some C2
+  | "A1" -> Some A1
   | _ -> None
 
-let all_rules = [ D1; D2; D3; D4; F1; H1; P1; P2; R1; Bad_suppress ]
+let all_rules =
+  [ D1; D2; D3; D4; F1; H1; P1; P2; R1; C1; C2; A1; Bad_suppress ]
 
 (* One-line rule documentation, shared by --help-style output and the
    SARIF rule table. *)
@@ -59,6 +79,9 @@ let rule_doc = function
   | P1 -> "Pool task writes shared (module-level) mutable state"
   | P2 -> "Pool task writes a mutable captured from the enclosing scope"
   | R1 -> "Pool task consumes an Rng.t shared across tasks (not pre-split)"
+  | C1 -> "cached computation reads ambient state not captured by its key"
+  | C2 -> "thunk input that influences the cached value is missing from the key"
+  | A1 -> "heap allocation inside a [@@placer_lint.hot] function"
   | Bad_suppress -> "malformed placer-lint suppression comment"
 
 type finding = {
@@ -67,6 +90,9 @@ type finding = {
   col : int;
   rule : rule;
   message : string;
+  trace : string list;
+      (* C1/C2 flow trace (cache entry point -> ambient read), shown by
+         --explain; [] for every other rule *)
 }
 
 let to_string f =
@@ -85,7 +111,12 @@ let allowed_by_path rule file =
   | D1 -> String.starts_with ~prefix:"lib/telemetry/" file
   | D2 -> String.equal file "lib/numerics/rng.ml"
   | D4 -> String.starts_with ~prefix:"lib/pool/" file
-  | D3 | F1 | H1 | P1 | P2 | R1 | Bad_suppress -> false
+  | C1 | C2 ->
+      (* tests exercise the cache machinery deliberately (hammers, LRU
+         eviction probes); the lint fixtures must still fire *)
+      String.starts_with ~prefix:"test/" file
+      && not (String.starts_with ~prefix:"test/lint_fixtures/" file)
+  | D3 | F1 | H1 | P1 | P2 | R1 | A1 | Bad_suppress -> false
 
 (* The sanctioned channel for cross-domain effects: per-domain
    telemetry collectors and the pool's own internals. Their functions
@@ -271,14 +302,16 @@ let contains_mutable tbl ~unit_name ty =
 
 type supp = { s_line : int; s_rule : string; s_reason : string }
 
-let find_sub line sub =
+let find_sub_from line sub start =
   let n = String.length line and m = String.length sub in
   let rec at i =
     if i + m > n then None
     else if String.sub line i m = sub then Some i
     else at (i + 1)
   in
-  at 0
+  at start
+
+let find_sub line sub = find_sub_from line sub 0
 
 (* A rule id is uppercase alphanumeric starting with a letter. Prose
    that merely mentions the tool name, or the tag inside a string
@@ -291,48 +324,61 @@ let rule_shaped s =
        (function 'A' .. 'Z' | '0' .. '9' -> true | _ -> false)
        s
 
+(* Several tags may share one line ([(* placer-lint: allow C1 ... *)
+   (* placer-lint: allow C2 ... *)]): scan every occurrence of the
+   marker, not just the first. A reason runs to the next "*)" or the
+   next marker, whichever comes first. *)
 let parse_suppressions text =
   let supps = ref [] in
   let lineno = ref 0 in
   String.split_on_char '\n' text
   |> List.iter (fun line ->
          incr lineno;
-         match find_sub line "placer-lint:" with
-         | None -> ()
-         | Some i ->
-             let rest =
-               String.trim
-                 (String.sub line
-                    (i + String.length "placer-lint:")
-                    (String.length line - i - String.length "placer-lint:"))
-             in
-             if String.starts_with ~prefix:"allow " rest then begin
+         let rec scan start =
+           match find_sub_from line "placer-lint:" start with
+           | None -> ()
+           | Some i ->
+               let after = i + String.length "placer-lint:" in
+               let stop =
+                 Option.value ~default:(String.length line)
+                   (find_sub_from line "placer-lint:" after)
+               in
                let rest =
-                 String.trim (String.sub rest 6 (String.length rest - 6))
+                 String.trim (String.sub line after (stop - after))
                in
-               let rule_txt, tail =
-                 match String.index_opt rest ' ' with
-                 | Some j ->
-                     ( String.sub rest 0 j,
-                       String.sub rest (j + 1) (String.length rest - j - 1)
-                     )
-                 | None -> (rest, "")
-               in
-               let rule_txt =
-                 match find_sub rule_txt "*)" with
-                 | Some j -> String.trim (String.sub rule_txt 0 j)
-                 | None -> rule_txt
-               in
-               let reason =
-                 match find_sub tail "*)" with
-                 | Some j -> String.trim (String.sub tail 0 j)
-                 | None -> String.trim tail
-               in
-               if rule_shaped rule_txt then
-                 supps :=
-                   { s_line = !lineno; s_rule = rule_txt; s_reason = reason }
-                   :: !supps
-             end);
+               (if String.starts_with ~prefix:"allow " rest then
+                  let rest =
+                    String.trim (String.sub rest 6 (String.length rest - 6))
+                  in
+                  let rule_txt, tail =
+                    match String.index_opt rest ' ' with
+                    | Some j ->
+                        ( String.sub rest 0 j,
+                          String.sub rest (j + 1)
+                            (String.length rest - j - 1) )
+                    | None -> (rest, "")
+                  in
+                  let rule_txt =
+                    match find_sub rule_txt "*)" with
+                    | Some j -> String.trim (String.sub rule_txt 0 j)
+                    | None -> rule_txt
+                  in
+                  let reason =
+                    match find_sub tail "*)" with
+                    | Some j -> String.trim (String.sub tail 0 j)
+                    | None -> String.trim tail
+                  in
+                  if rule_shaped rule_txt then
+                    supps :=
+                      {
+                        s_line = !lineno;
+                        s_rule = rule_txt;
+                        s_reason = reason;
+                      }
+                      :: !supps);
+               scan after
+         in
+         scan 0);
   List.rev !supps
 
 (* ----- pass 2: the rules ----- *)
@@ -597,7 +643,7 @@ let check_unit ~tbl ~root ~extra u =
   let emit loc rule message =
     if not (allowed_by_path rule u.u_file) then begin
       let line, col = pos_of loc in
-      raw := { file = u.u_file; line; col; rule; message } :: !raw
+      raw := { file = u.u_file; line; col; rule; message; trace = [] } :: !raw
     end
   in
   check_expressions ~tbl ~unit_name:u.u_name emit u.u_str;
@@ -628,11 +674,12 @@ let check_unit ~tbl ~root ~extra u =
           line = s.s_line;
           col = 1;
           rule = Bad_suppress;
+          trace = [];
           message =
             (if rule_of_string s.s_rule = None then
                Printf.sprintf
                  "suppression names unknown rule '%s' (expected D1-D4, F1, \
-                  H1, P1, P2 or R1)"
+                  H1, P1, P2, R1, C1, C2 or A1)"
                  s.s_rule
              else
                Printf.sprintf
@@ -665,6 +712,20 @@ let finding_of_effect (f : Effects.finding) =
     col = f.Effects.e_col;
     rule;
     message = f.Effects.e_message;
+    trace = [];
+  }
+
+let finding_of_dep (f : Deps.finding) =
+  let rule =
+    match f.Deps.d_rule with Deps.C1 -> C1 | Deps.C2 -> C2 | Deps.A1 -> A1
+  in
+  {
+    file = f.Deps.d_file;
+    line = f.Deps.d_line;
+    col = f.Deps.d_col;
+    rule;
+    message = f.Deps.d_message;
+    trace = f.Deps.d_trace;
   }
 
 let analyze ?(excludes = []) ~root paths =
@@ -696,7 +757,7 @@ let analyze ?(excludes = []) ~root paths =
   List.iter
     (fun u -> collect_decls_str tbl ~unit_name:u.u_name ~mods:[] u.u_str)
     units;
-  let eff_findings, summaries =
+  let eff_findings, summaries, program =
     Effects.analyze ~sanctioned:sanctioned_unit
       (List.map
          (fun u ->
@@ -707,13 +768,26 @@ let analyze ?(excludes = []) ~root paths =
            })
          units)
   in
+  let dep_findings =
+    List.filter
+      (fun (f : Deps.finding) ->
+        let rule =
+          match f.Deps.d_rule with
+          | Deps.C1 -> C1
+          | Deps.C2 -> C2
+          | Deps.A1 -> A1
+        in
+        not (allowed_by_path rule f.Deps.d_file))
+      (Deps.check program)
+  in
   let eff_by_file =
     List.fold_left
-      (fun m f ->
-        let lf = finding_of_effect f in
+      (fun m lf ->
         let prev = Option.value ~default:[] (SMap.find_opt lf.file m) in
         SMap.add lf.file (lf :: prev) m)
-      SMap.empty eff_findings
+      SMap.empty
+      (List.map finding_of_effect eff_findings
+      @ List.map finding_of_dep dep_findings)
   in
   let findings =
     List.concat_map
@@ -770,10 +844,18 @@ let counts_of findings =
     all_rules
 
 let finding_json f =
+  let trace =
+    match f.trace with
+    | [] -> ""
+    | t ->
+        Printf.sprintf ",\"trace\":[%s]"
+          (String.concat ","
+             (List.map (fun s -> "\"" ^ json_escape s ^ "\"") t))
+  in
   Printf.sprintf
-    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"%s}"
     (json_escape f.file) f.line f.col (rule_name f.rule)
-    (json_escape f.message)
+    (json_escape f.message) trace
 
 (* The shape documented in README and pinned by test_lint:
    {"tool":"placer-lint","units":N,

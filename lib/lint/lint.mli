@@ -15,7 +15,17 @@
     every [Pool.map]/[map_list]/[run_all] task closure in "task mode":
     P1 (no writes to shared state), P2 (no writes to captured
     mutables) and R1 (no shared [Rng.t] streams — pre-split with
-    [Rng.split_n]). *)
+    [Rng.split_n]).
+
+    A third, dependence pass ({!Deps}) layers cache-key soundness on
+    the same summaries: every [Cache.get_or_compute] call site is a
+    cache entry point whose thunk is closed over the call graph; C1
+    reports ambient inputs (env vars, clock, filesystem, hash order,
+    domain-local storage, module-level mutable reads) observable from
+    the cached computation, C2 reports thunk inputs whose root is not
+    reachable from the [~key] expression, and A1 reports heap
+    allocation inside functions marked [[@@placer_lint.hot]] (the SA
+    propose/commit path, the matheuristic window re-pricing). *)
 
 type rule =
   | D1  (** wall-clock read outside [lib/telemetry] *)
@@ -34,6 +44,20 @@ type rule =
   | R1  (** a Pool task consumes an [Rng.t] that is captured or
             global instead of a pre-split ([Rng.split_n]) per-task
             stream *)
+  | C1  (** a cached computation (thunk of [Cache.get_or_compute],
+            closed over the call graph) reads ambient state — env
+            vars, wall clock, filesystem, hash-order iteration,
+            domain-local storage, module-level mutable derefs — that
+            its key cannot capture: a hit may return a value computed
+            under different ambient state *)
+  | C2  (** a thunk input (free variable expanded to its root
+            parameters through the enclosing let-bindings) is not
+            reachable from the [~key] expression: two calls differing
+            only in that input collide on one cache entry *)
+  | A1  (** heap allocation inside a function marked
+            [[@@placer_lint.hot]] — pins the allocation-free per-move
+            contract of the incremental SA engine; [ref] accumulators
+            are deliberately exempt *)
   | Bad_suppress
       (** malformed [(* placer-lint: allow RULE reason *)]: unknown
           rule name or missing reason *)
@@ -42,8 +66,8 @@ val rule_name : rule -> string
 val rule_of_string : string -> rule option
 
 val all_rules : rule list
-(** Every rule, in report order (D1..D4, F1, H1, P1, P2, R1,
-    SUPPRESS). *)
+(** Every rule, in report order (D1..D4, F1, H1, P1, P2, R1, C1, C2,
+    A1, SUPPRESS). *)
 
 val rule_doc : rule -> string
 (** One-line description, used by the SARIF rule table. *)
@@ -55,6 +79,10 @@ type finding = {
   col : int;
   rule : rule;
   message : string;
+  trace : string list;
+      (** C1/C2 flow trace — the call path from the cache entry point
+          to the ambient read (or the key-root summary for C2) —
+          printed by [lint_cli --explain]; [[]] for other rules *)
 }
 
 val to_string : finding -> string
@@ -94,7 +122,8 @@ val to_json : report -> string
 (** One-object JSON document:
     [{"tool":"placer-lint","units":N,"counts":{"D1":n,...},
       "findings":[{"file":...,"line":...,"col":...,"rule":...,
-      "message":...},...]}] *)
+      "message":...},...]}]. Findings with a flow trace carry an
+    additional ["trace"] string array. *)
 
 val to_sarif : report -> string
 (** SARIF 2.1.0 (single run, one result per finding) for CI code

@@ -249,6 +249,7 @@ let apply_orders eng sc (ws : int array) (sol : Window_ilp.solved) =
   let st = Eval.state eng in
   let n = Array.length st.Eval.islands in
   let sp = st.Eval.sp in
+  (* placer-lint: allow A1 one closure per solved window (dozens per run, not per move); the permutation buffers themselves are preallocated in the scratch *)
   let rewrite src dst order =
     Array.blit src 0 dst 0 n;
     let r = ref 0 in
@@ -262,6 +263,7 @@ let apply_orders eng sc (ws : int array) (sol : Window_ilp.solved) =
   rewrite sp.Seqpair.pos sc.pos_buf sol.Window_ilp.sol_pos;
   rewrite sp.Seqpair.neg sc.neg_buf sol.Window_ilp.sol_neg;
   Eval.set_order eng ~pos:sc.pos_buf ~neg:sc.neg_buf
+[@@placer_lint.hot]
 
 (* One full matheuristic run on its own pre-split random streams. *)
 let anneal ~(params : params) ~rng ~on_window (c : Netlist.Circuit.t) =

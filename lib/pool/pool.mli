@@ -18,7 +18,10 @@
       callee), {b P2} rejects writes to a mutable value captured from
       the enclosing scope and still reachable after the join, and
       {b R1} rejects consuming a captured or global [Rng.t] instead of
-      a pre-split per-task stream.
+      a pre-split per-task stream. The same summaries feed the cache
+      rules {b C1}/{b C2} (a task that memoises through [Cache] must
+      key every input it reads) and the hot-path rule {b A1} (a task
+      body marked [[@@placer_lint.hot]] must not allocate per move).
     - Results are returned in input order, whatever the steal order.
     - Each task runs under {!Telemetry.capture}; the snapshots are
       merged into the caller's collector in task order at the join, so

@@ -104,6 +104,7 @@ let family t m ~seed =
   let n = Motif.n_slots m in
   let computed = ref false in
   let fam =
+    (* placer-lint: allow C1 family files are content-addressed by motif hash and written atomically (tmp+rename); a malformed or missing file regenerates the same Pareto family *) (* placer-lint: allow C2 cross-seed family sharing is the tier's point: any seed's family is a valid Pareto set for the motif, and composition re-anneals on the caller's own stream *)
     Cache.get_or_compute t.cache ~key (fun () ->
         computed := true;
         Telemetry.Span.with_ ~name:"tmpl_pack" (fun () ->

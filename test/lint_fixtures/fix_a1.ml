@@ -1,0 +1,26 @@
+(* A1 fixture: heap allocation inside [@@placer_lint.hot] functions.
+   [centroid] allocates a boxed pair and [doubled] calls an allocating
+   stdlib producer — exactly two A1 findings. [sum] is the sanctioned
+   idiom (a local ref accumulator, deliberately exempt) and must stay
+   quiet, as must [cold_pairs], which allocates but is not hot. *)
+
+let centroid xs ys =
+  let sx = ref 0.0 and sy = ref 0.0 in
+  for i = 0 to Array.length xs - 1 do
+    sx := !sx +. xs.(i);
+    sy := !sy +. ys.(i)
+  done;
+  (!sx, !sy)
+[@@placer_lint.hot]
+
+let doubled l = List.map succ l [@@placer_lint.hot]
+
+let sum a =
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. a.(i)
+  done;
+  !s
+[@@placer_lint.hot]
+
+let cold_pairs a = Array.to_list a

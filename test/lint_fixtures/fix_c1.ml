@@ -1,0 +1,16 @@
+(* C1 fixture: the cached computation reads an env var the key never
+   captured, one call away from the entry point — the thunk calls a
+   helper whose effect summary carries the ambient read, so the
+   finding exercises the interprocedural closure and its flow trace.
+   Exactly one C1 must fire, at the get_or_compute site. *)
+
+let store : int Cache.t = Cache.create ~capacity:4 ()
+
+let ambient_scale () =
+  match Sys.getenv_opt "FIXTURE_SCALE" with
+  | Some s -> int_of_string s
+  | None -> 1
+
+let area ~w ~h =
+  let key = string_of_int w ^ "x" ^ string_of_int h in
+  Cache.get_or_compute store ~key (fun () -> w * h * ambient_scale ())

@@ -1,0 +1,11 @@
+(* C2 fixture: the thunk's result depends on a parameter ([scale])
+   whose root never reaches the ~key expression — two calls differing
+   only in [scale] collide on one entry. The key goes through a local
+   let-binding so the finding exercises root expansion. Exactly one C2
+   must fire (and no C1: the thunk reads nothing ambient). *)
+
+let store : int Cache.t = Cache.create ~capacity:4 ()
+
+let area ~name ~w ~scale =
+  let key = "area:" ^ name ^ ":" ^ string_of_int w in
+  Cache.get_or_compute store ~key (fun () -> w * scale)

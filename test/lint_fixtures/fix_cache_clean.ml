@@ -1,0 +1,10 @@
+(* Quiet cache fixture: every input the thunk touches is reachable
+   from the key, and the computation reads nothing ambient — C1 and C2
+   must both stay silent here (pinned by the expected.lint diff: this
+   file contributes no findings at all). *)
+
+let store : int Cache.t = Cache.create ~capacity:4 ()
+
+let area ~w ~h =
+  let key = string_of_int w ^ "x" ^ string_of_int h in
+  Cache.get_or_compute store ~key (fun () -> w * h)

@@ -222,6 +222,90 @@ let json_tests =
               (Option.bind (Jsonio.member "b" j) Jsonio.to_bool);
             Alcotest.(check (option int)) "absent" None
               (Option.bind (Jsonio.member "zz" j) Jsonio.to_int));
+    Alcotest.test_case "deep nesting parses and round trips" `Quick
+      (fun () ->
+        (* the parser is recursive, so the depth this must survive is
+           bounded by the stack — 2000 is far beyond any wire message
+           while staying well inside the default stack *)
+        let depth = 2000 in
+        let b = Buffer.create (4 * depth) in
+        for _ = 1 to depth do Buffer.add_char b '[' done;
+        Buffer.add_string b "42";
+        for _ = 1 to depth do Buffer.add_char b ']' done;
+        let s = Buffer.contents b in
+        match Jsonio.parse s with
+        | Error e -> Alcotest.failf "deep parse: %s" e
+        | Ok j ->
+            Alcotest.(check string) "round trip" s (Jsonio.to_string j);
+            let rec unwrap = function
+              | Jsonio.Arr [ x ] -> unwrap x
+              | Jsonio.Num n -> n
+              | _ -> Alcotest.fail "unexpected shape"
+            in
+            Alcotest.(check (float 0.0)) "innermost value" 42.0 (unwrap j));
+    Alcotest.test_case "string escapes decode and re-encode" `Quick
+      (fun () ->
+        (* \uXXXX decodes to UTF-8; raw control characters re-encode as
+           \u escapes (or their short forms), so a printed value never
+           contains a literal control byte *)
+        (match Jsonio.parse {|"Aé€"|} with
+        | Ok (Jsonio.Str s) ->
+            Alcotest.(check string) "BMP code points to UTF-8"
+              "A\xc3\xa9\xe2\x82\xac" s
+        | Ok _ -> Alcotest.fail "not a string"
+        | Error e -> Alcotest.failf "unicode escapes: %s" e);
+        (match Jsonio.parse "\"\\u0001\\n\\t\"" with
+        | Ok (Jsonio.Str s) ->
+            Alcotest.(check string) "control escapes decode" "\x01\n\t" s
+        | Ok _ -> Alcotest.fail "not a string"
+        | Error e -> Alcotest.failf "control escapes: %s" e);
+        let printed = Jsonio.to_string (Jsonio.Str "\x01\x1f\n") in
+        Alcotest.(check bool) "no raw control bytes in output" false
+          (String.exists (fun c -> Char.code c < 0x20) printed);
+        (match Jsonio.parse printed with
+        | Ok (Jsonio.Str s) ->
+            Alcotest.(check string) "escaped output re-parses" "\x01\x1f\n" s
+        | _ -> Alcotest.fail "printed control string must re-parse");
+        List.iter
+          (fun s ->
+            match Jsonio.parse s with
+            | Ok _ -> Alcotest.failf "accepted %s" s
+            | Error _ -> ())
+          [ {|"\u12"|}; {|"\u12zz"|}; {|"\q"|} ]);
+    Alcotest.test_case "duplicate keys keep order, member takes first"
+      `Quick (fun () ->
+        match Jsonio.parse {|{"k":1,"k":2,"j":3}|} with
+        | Error e -> Alcotest.failf "duplicate keys: %s" e
+        | Ok j ->
+            Alcotest.(check (option int)) "member returns the first"
+              (Some 1)
+              (Option.bind (Jsonio.member "k" j) Jsonio.to_int);
+            Alcotest.(check string) "printer keeps both, in order"
+              {|{"k":1,"k":2,"j":3}|} (Jsonio.to_string j));
+    Alcotest.test_case "canonical sorted form round trips bit-exact" `Quick
+      (fun () ->
+        (* every cache key hashes the sorted form; canonicalization must
+           be a fixpoint and must survive a print/parse cycle, or the
+           same spec could hash two ways *)
+        let src =
+          {|{"z":[{"b":1,"a":[1.5,-0.25,"é"]},null],"a":{"y":true,"x":"s\n"},"m":7}|}
+        in
+        match Jsonio.parse src with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok j -> (
+            let canon = Jsonio.to_string (Jsonio.sorted j) in
+            match Jsonio.parse canon with
+            | Error e -> Alcotest.failf "canonical form must re-parse: %s" e
+            | Ok j2 ->
+                Alcotest.(check string) "print-parse-sort-print fixpoint"
+                  canon
+                  (Jsonio.to_string (Jsonio.sorted j2));
+                Alcotest.(check bool) "keys are sorted" true
+                  (match Jsonio.sorted j with
+                  | Jsonio.Obj fields ->
+                      let ks = List.map fst fields in
+                      ks = List.sort compare ks
+                  | _ -> false)));
   ]
 
 let suites =

@@ -234,6 +234,51 @@ let tests =
     Alcotest.test_case "clean parallel code stays quiet" `Quick (fun () ->
         check_quiet "fix_par_clean.ml";
         check_quiet "fix_scc.ml");
+    Alcotest.test_case "C1 fires once on an env read behind the cache" `Quick
+      (fun () ->
+        (* the thunk reaches Sys.getenv_opt through a helper call, so
+           this also pins the interprocedural closure *)
+        check_only_rule "fix_c1.ml" Lint.C1);
+    Alcotest.test_case "C1 carries the cache-to-read flow trace" `Quick
+      (fun () ->
+        match
+          List.find_opt
+            (fun f -> in_file "fix_c1.ml" f && f.Lint.rule = Lint.C1)
+            (findings ())
+        with
+        | None -> Alcotest.fail "no C1 finding"
+        | Some f ->
+            Alcotest.(check bool) "trace starts at the site" true
+              (match f.Lint.trace with
+              | first :: _ -> contains first "Cache.get_or_compute site"
+              | [] -> false);
+            Alcotest.(check bool) "trace walks through the helper" true
+              (List.exists (fun s -> contains s "ambient_scale") f.Lint.trace);
+            Alcotest.(check bool) "trace ends at the env read" true
+              (List.exists
+                 (fun s -> contains s "env:FIXTURE_SCALE")
+                 f.Lint.trace));
+    Alcotest.test_case "C2 fires once on a key that misses an input" `Quick
+      (fun () ->
+        check_only_rule "fix_c2.ml" Lint.C2;
+        match
+          List.find_opt
+            (fun f -> in_file "fix_c2.ml" f && f.Lint.rule = Lint.C2)
+            (findings ())
+        with
+        | None -> Alcotest.fail "no C2 finding"
+        | Some f ->
+            Alcotest.(check bool) "names the missing input" true
+              (contains f.Lint.message "'scale'"));
+    Alcotest.test_case "A1 fires per allocation in hot functions" `Quick
+      (fun () ->
+        (* the tuple in centroid and the List.map in doubled; the ref
+           accumulator in sum and the cold allocator stay quiet *)
+        check_count "two allocations" "fix_a1.ml" Lint.A1 2;
+        Alcotest.(check int) "nothing else in the file" 2
+          (List.length (List.filter (in_file "fix_a1.ml") (findings ()))));
+    Alcotest.test_case "sound caches and exempt refs stay quiet" `Quick
+      (fun () -> check_quiet "fix_cache_clean.ml");
     Alcotest.test_case "SCC fixpoint pins recursive effect summaries" `Quick
       (fun () ->
         let sums = (Lazy.force fixture_scan).Lint.r_summaries in
