@@ -6,7 +6,8 @@
 
 let usage =
   "lint_cli [--root DIR] [--exclude SUBSTR]... [--format text|json|sarif]\n\
-  \         [--out FILE] [--dump-summaries] [--explain RULE] PATH...\n\
+  \         [--out FILE] [--dump-summaries] [--explain RULE]\n\
+  \         [--list-allows] PATH...\n\
    Scans PATH... (directories, .cmt or .cmti files) and reports\n\
    determinism/parallel-safety findings as file:line:col [RULE].\n\
    --exclude skips any unit whose .cmt path or source path contains\n\
@@ -15,8 +16,11 @@ let usage =
    interprocedural effect summaries instead of findings, for\n\
    reviewable summary drift in diffs. --explain RULE prints only that\n\
    rule's findings, each followed by its flow trace (for C1: the call\n\
-   path from the cache entry point to the ambient read). Exit status:\n\
-   0 clean, 1 when findings survive, 2 usage error."
+   path from the cache entry point to the ambient read; for N2: the\n\
+   obligation-forwarding chain down to the unguarded primitive).\n\
+   --list-allows prints every reasoned suppression as\n\
+   file:line [RULE] reason, for a one-pass audit of the allow budget.\n\
+   Exit status: 0 clean, 1 when findings survive, 2 usage error."
 
 let () =
   let root = ref "." in
@@ -24,6 +28,7 @@ let () =
   let format = ref "text" in
   let out = ref "" in
   let dump_summaries = ref false in
+  let list_allows = ref false in
   let explain = ref "" in
   let paths = ref [] in
   let spec =
@@ -48,6 +53,9 @@ let () =
       ( "--explain",
         Arg.Set_string explain,
         "RULE print only RULE's findings, each with its flow trace" );
+      ( "--list-allows",
+        Arg.Set list_allows,
+        " print every reasoned allow suppression and exit 0" );
     ]
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
@@ -63,6 +71,20 @@ let () =
   in
   if !dump_summaries then begin
     output (Lint.Summaries.dump report.Lint.r_summaries ^ "\n");
+    exit 0
+  end;
+  if !list_allows then begin
+    let b = Buffer.create 1024 in
+    List.iter
+      (fun (a : Lint.allow) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s:%d [%s] %s\n" a.Lint.al_file a.Lint.al_line
+             a.Lint.al_rule a.Lint.al_reason))
+      report.Lint.r_allows;
+    Buffer.add_string b
+      (Printf.sprintf "placer-lint: %d reasoned allow(s)\n"
+         (List.length report.Lint.r_allows));
+    output (Buffer.contents b);
     exit 0
   end;
   if !explain <> "" then begin

@@ -105,6 +105,7 @@ let run_cmd circuit_name kind perf moves seed restarts check_eval jobs draw
                        else mp.M.mh_node_budget);
                     mh_cycles =
                       (if cycles > 0 then cycles else mp.M.mh_cycles);
+                    mh_walk_neg = mp.M.mh_walk_neg;
                   }
             | _, p -> p) }
       in

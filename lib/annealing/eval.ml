@@ -269,8 +269,11 @@ let ordering_penalty t =
 
 let combine t ~area ~hpwl ~ord layout =
   let base =
+    (* placer-lint: allow N2 area0 is clamped >= 1e-9 by Float.max in set_baseline *)
     (t.obj.area_weight *. (area /. t.area0))
+    (* placer-lint: allow N2 hpwl0 is clamped >= 1e-9 by Float.max in set_baseline *)
     +. (t.obj.wl_weight *. (hpwl /. t.hpwl0))
+    (* placer-lint: allow N2 span0 is clamped >= 1.0 by Float.max in set_baseline *)
     +. (t.obj.order_penalty *. (ord /. t.span0))
   in
   match t.obj.perf with

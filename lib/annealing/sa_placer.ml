@@ -85,6 +85,7 @@ let anneal ~params ~rng (c : Netlist.Circuit.t) =
   done;
   let t0 =
     let avg = if !n_up = 0 then 0.05 else !uphill /. float_of_int !n_up in
+    (* placer-lint: allow N2 accept0 is a tuning constant in (0,1) (default 0.85), so log accept0 is negative and nonzero *)
     -.avg /. log params.accept0
   in
   let temp = ref (Float.max 1e-6 t0) in
@@ -98,6 +99,7 @@ let anneal ~params ~rng (c : Netlist.Circuit.t) =
       Eval.propose eng rng;
       let c' = cost_of () in
       let dc = c' -. !current in
+      (* placer-lint: allow N2 temp starts at Float.max 1e-6 t0 and is only ever multiplied by the positive cooling factor *)
       if dc <= 0.0 || Numerics.Rng.float rng < exp (-.dc /. !temp) then begin
         current := c';
         Eval.commit eng;

@@ -23,6 +23,8 @@ let create ~region ~nx ~ny ~target =
   { grid = Bin_grid.create ~region ~nx ~ny; target; dmap = Numerics.Matrix.create nx ny }
 
 let bell ~w ~wb d =
+  (* wb > 0 and w >= 0 make both bell denominators strictly positive (N2) *)
+  if wb <= 0.0 || w < 0.0 then invalid_arg "Bell.bell: extent";
   let d = abs_float d in
   let r1 = (0.5 *. w) +. wb in
   let r2 = (0.5 *. w) +. (2.0 *. wb) in
@@ -37,6 +39,7 @@ let bell ~w ~wb d =
   else 0.0
 
 let bell_deriv ~w ~wb d =
+  if wb <= 0.0 || w < 0.0 then invalid_arg "Bell.bell_deriv: extent";
   let s = if d < 0.0 then -1.0 else 1.0 in
   let ad = abs_float d in
   let r1 = (0.5 *. w) +. wb in
@@ -53,6 +56,7 @@ let bell_deriv ~w ~wb d =
 
 (* Bins whose centre may receive weight from a device centred at c. *)
 let bin_range1d ~c ~w ~wb ~x0 ~n =
+  if wb <= 0.0 then invalid_arg "Bell.bin_range1d: bin size";
   let r = (0.5 *. w) +. (2.0 *. wb) in
   let lo = int_of_float (Float.floor ((c -. r -. x0) /. wb -. 0.5)) in
   let hi = int_of_float (Float.ceil ((c +. r -. x0) /. wb -. 0.5)) in

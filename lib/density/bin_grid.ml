@@ -29,6 +29,9 @@ let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
 (* Call [f ix iy area] for each bin overlapping [r], with the exact
    overlap area. The rectangle is clipped to the grid region. *)
 let splat g (r : Geometry.Rect.t) ~f =
+  (* bw/bh > 0 is a create invariant; restating it here makes the
+     floor/ceil divisors provably positive (N2) *)
+  if g.bw <= 0.0 || g.bh <= 0.0 then invalid_arg "Bin_grid.splat: bin size";
   let xr0 = g.x0 and yr0 = g.y0 in
   let xr1 = g.x0 +. (float_of_int g.nx *. g.bw) in
   let yr1 = g.y0 +. (float_of_int g.ny *. g.bh) in

@@ -26,7 +26,10 @@ let create ~region ~nx ~ny =
 
 let compute t (rects : Geometry.Rect.t array) =
   let g = t.grid in
-  let inv_ba = 1.0 /. Bin_grid.bin_area g in
+  let ba = Bin_grid.bin_area g in
+  (* positive bin area is a Bin_grid.create invariant (N2) *)
+  if ba <= 0.0 then invalid_arg "Electrostatic.compute: bin area";
+  let inv_ba = 1.0 /. ba in
   for i = 0 to g.Bin_grid.nx - 1 do
     for j = 0 to g.Bin_grid.ny - 1 do
       Numerics.Matrix.set t.density i j 0.0
@@ -64,6 +67,7 @@ let grad t (r : Geometry.Rect.t) =
   Bin_grid.splat t.grid r ~f:(fun i j a ->
       fx := !fx +. (a *. Numerics.Matrix.get f.Numerics.Spectral.ex i j);
       fy := !fy +. (a *. Numerics.Matrix.get f.Numerics.Spectral.ey i j));
+  (* placer-lint: allow N2 bw and bh are > 0 by the Bin_grid.create invariant *)
   ( -. !fx /. t.grid.Bin_grid.bw, -. !fy /. t.grid.Bin_grid.bh )
 
 (* Density overflow: fraction of total movable area sitting above the

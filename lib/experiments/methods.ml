@@ -276,11 +276,17 @@ let eplace_ap ?(params = Eplace.Eplace_a.default_params) ?(alpha = 60.0)
    carrying ["v"]: 1). Families without knobs beyond the common spec
    fields use [Default_params] — and emit no "params" field at all, so
    the canonical hashes of pre-existing kinds are unchanged. *)
-type mh_params = { mh_window : int; mh_node_budget : int; mh_cycles : int }
+type mh_params = {
+  mh_window : int;
+  mh_node_budget : int;
+  mh_cycles : int;
+  mh_walk_neg : bool;
+}
 
 type family_params = Default_params | Mh_params of mh_params
 
-let default_mh_params = { mh_window = 4; mh_node_budget = 50; mh_cycles = 4 }
+let default_mh_params =
+  { mh_window = 4; mh_node_budget = 50; mh_cycles = 4; mh_walk_neg = false }
 
 type spec = {
   kind : kind;
@@ -394,6 +400,7 @@ let of_spec (s : spec) =
               cycles = mh.mh_cycles;
               window = mh.mh_window;
               node_budget = mh.mh_node_budget;
+              walk_neg = mh.mh_walk_neg;
             }
           in
           let layout, _best_cost = Matheuristic.Mh_placer.place ~params c in
@@ -471,14 +478,15 @@ let matheuristic ?(moves = template_default_moves) ?(seed = 1)
     ?(restarts = 1) ?(wl_weight = 1.0) ?(area_weight = 1.0)
     ?(check_every = 0) ?(window = default_mh_params.mh_window)
     ?(node_budget = default_mh_params.mh_node_budget)
-    ?(cycles = default_mh_params.mh_cycles) () =
+    ?(cycles = default_mh_params.mh_cycles)
+    ?(walk_neg = default_mh_params.mh_walk_neg) () =
   of_spec
     { (default_spec Matheuristic) with
       moves; seed; restarts; wl_weight; area_weight; check_every;
       params =
         Mh_params
           { mh_window = window; mh_node_budget = node_budget;
-            mh_cycles = cycles } }
+            mh_cycles = cycles; mh_walk_neg = walk_neg } }
 
 (* ----- canonical serialization -----
 
@@ -494,16 +502,20 @@ let spec_to_json (s : spec) : Jsonio.t =
     match s.params with
     | Default_params -> []
     | Mh_params m ->
+        (* "walk_neg" is emitted only when set: specs predating the
+           knob keep their canonical string (and hash) byte-for-byte *)
         [
           ( "params",
             Jsonio.Obj
-              [
-                ("cycles", Jsonio.Num (float_of_int m.mh_cycles));
-                ( "node_budget",
-                  Jsonio.Num (float_of_int m.mh_node_budget) );
-                ("v", Jsonio.Num (float_of_int params_version));
-                ("window", Jsonio.Num (float_of_int m.mh_window));
-              ] );
+              ([
+                 ("cycles", Jsonio.Num (float_of_int m.mh_cycles));
+                 ( "node_budget",
+                   Jsonio.Num (float_of_int m.mh_node_budget) );
+                 ("v", Jsonio.Num (float_of_int params_version));
+               ]
+              @ (if m.mh_walk_neg then [ ("walk_neg", Jsonio.Bool true) ]
+                 else [])
+              @ [ ("window", Jsonio.Num (float_of_int m.mh_window)) ]) );
         ]
   in
   Jsonio.Obj
@@ -532,7 +544,7 @@ let spec_to_json (s : spec) : Jsonio.t =
    other than [params_version] is refused so a future incompatible
    layout can be introduced without silently misreading old ones. *)
 let mh_params_of_json (j : Jsonio.t) : (family_params, string) result =
-  let known = [ "cycles"; "node_budget"; "v"; "window" ] in
+  let known = [ "cycles"; "node_budget"; "v"; "walk_neg"; "window" ] in
   match j with
   | Jsonio.Obj fields -> (
       let unknown =
@@ -565,6 +577,15 @@ let mh_params_of_json (j : Jsonio.t) : (family_params, string) result =
               let* window = int_field "window" in
               let* node_budget = int_field "node_budget" in
               let* cycles = int_field "cycles" in
+              let* walk_neg =
+                match Jsonio.member "walk_neg" j with
+                | None -> Ok None
+                | Some v -> (
+                    match Jsonio.to_bool v with
+                    | Some b -> Ok (Some b)
+                    | None ->
+                        Error "params field \"walk_neg\": expected a boolean")
+              in
               let d = default_mh_params in
               let v d' o = Option.value o ~default:d' in
               Ok
@@ -573,6 +594,7 @@ let mh_params_of_json (j : Jsonio.t) : (family_params, string) result =
                      mh_window = v d.mh_window window;
                      mh_node_budget = v d.mh_node_budget node_budget;
                      mh_cycles = v d.mh_cycles cycles;
+                     mh_walk_neg = v d.mh_walk_neg walk_neg;
                    })))
   | _ -> Error "spec field \"params\": expected an object"
 

@@ -90,9 +90,14 @@ type mh_params = {
   mh_window : int;  (** islands per exact ILP window *)
   mh_node_budget : int;  (** branch & bound nodes per window solve *)
   mh_cycles : int;  (** global-phase / ILP-phase alternations *)
+  mh_walk_neg : bool;
+      (** also sweep ILP windows along the negative sequence (vertical
+          neighbourhoods); see {!Matheuristic.Mh_placer.params} *)
 }
 (** The matheuristic family's knobs (JSON subfields ["window"],
-    ["node_budget"], ["cycles"], plus the version tag ["v"]). *)
+    ["node_budget"], ["cycles"], ["walk_neg"], plus the version tag
+    ["v"]). ["walk_neg"] serializes only when [true], so specs that
+    predate the knob keep their canonical string and hash unchanged. *)
 
 type family_params = Default_params | Mh_params of mh_params
 
@@ -177,7 +182,7 @@ val template_perf :
 val matheuristic :
   ?moves:int -> ?seed:int -> ?restarts:int -> ?wl_weight:float ->
   ?area_weight:float -> ?check_every:int -> ?window:int ->
-  ?node_budget:int -> ?cycles:int -> unit -> t
+  ?node_budget:int -> ?cycles:int -> ?walk_neg:bool -> unit -> t
 (** SA global moves alternating with exact ILP re-optimization of
     [window]-island neighbourhoods ({!Matheuristic.Mh_placer}).
     @deprecated Prefer [of_spec (default_spec Matheuristic)] with a

@@ -64,7 +64,10 @@ let of_circuit (c : Netlist.Circuit.t) =
       M.set ahat i j (M.get a i j *. inv)
     done
   done;
-  let s_ref = sqrt (Netlist.Circuit.total_device_area c) in
+  (* the 1e-12 floor only engages for a degenerate all-zero-area
+     circuit; any real netlist leaves the value untouched (N2) *)
+  (* placer-lint: allow N2 total device area is a sum of nonnegative w*h terms *)
+  let s_ref = Float.max 1e-12 (sqrt (Netlist.Circuit.total_device_area c)) in
   let static = M.create n n_static in
   let crit = Array.make n 0.0 in
   Array.iter
@@ -77,7 +80,9 @@ let of_circuit (c : Netlist.Circuit.t) =
   for i = 0 to n - 1 do
     let d = Netlist.Circuit.device c i in
     M.set static i (Netlist.Device.kind_index d.Netlist.Device.kind) 1.0;
+    (* placer-lint: allow N2 s_ref is clamped >= 1e-12 at its binding above *)
     M.set static i Netlist.Device.n_kinds (d.Netlist.Device.w /. s_ref);
+    (* placer-lint: allow N2 s_ref is clamped >= 1e-12 at its binding above *)
     M.set static i (Netlist.Device.n_kinds + 1) (d.Netlist.Device.h /. s_ref);
     M.set static i (Netlist.Device.n_kinds + 2) crit.(i)
   done;
@@ -96,7 +101,9 @@ let sign v = if v > 0.0 then 1.0 else if v < 0.0 then -1.0 else 0.0
 let features t ~xs ~ys =
   let n = Array.length xs in
   let mx = Numerics.Vec.mean xs and my = Numerics.Vec.mean ys in
+  (* placer-lint: allow N2 t.s_ref is clamped >= 1e-12 in create *)
   let xc = Array.init n (fun i -> (xs.(i) -. mx) /. t.s_ref) in
+  (* placer-lint: allow N2 t.s_ref is clamped >= 1e-12 in create *)
   let yc = Array.init n (fun i -> (ys.(i) -. my) /. t.s_ref) in
   let x = M.create n n_features in
   for i = 0 to n - 1 do
@@ -168,6 +175,8 @@ let backprop_positions t ~dx ~ctx ~gx ~gy ~scale =
   (* centring: subtract the mean gradient *)
   let mu = Numerics.Vec.mean du and mv = Numerics.Vec.mean dv in
   for i = 0 to n - 1 do
+    (* placer-lint: allow N2 t.s_ref is clamped >= 1e-12 in create *)
     gx.(i) <- gx.(i) +. (scale *. (du.(i) -. mu) /. t.s_ref);
+    (* placer-lint: allow N2 t.s_ref is clamped >= 1e-12 in create *)
     gy.(i) <- gy.(i) +. (scale *. (dv.(i) -. mv) /. t.s_ref)
   done

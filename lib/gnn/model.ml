@@ -25,6 +25,7 @@ type t = {
 
 let create rng =
   let init rows cols =
+    if rows <= 0 then invalid_arg "Model.create: layer size";
     let s = sqrt (2.0 /. float_of_int rows) in
     M.init rows cols (fun _ _ -> s *. Numerics.Rng.gaussian rng)
   in
@@ -122,6 +123,8 @@ let forward t (enc : Graph_enc.t) ~xs ~ys =
   let ax, h1 = affine_graph enc.Graph_enc.ahat x t.w1 t.b1 in
   let ah1, h2 = affine_graph enc.Graph_enc.ahat h1 t.w2 t.b2 in
   let n = M.rows h2 in
+  (* an empty graph would mean-pool 0/0; fail loudly instead (N2) *)
+  if n <= 0 then invalid_arg "Model.forward: empty graph";
   let pool = Array.make h2_dim 0.0 in
   for j = 0 to h2_dim - 1 do
     let s = ref 0.0 in
@@ -160,6 +163,7 @@ type grads = {
    For using phi itself as an objective term, dz = phi (1 - phi). *)
 let backward t (cc : cache) ~dz =
   let n = M.rows cc.h2 in
+  if n <= 0 then invalid_arg "Model.backward: empty graph";
   (* head *)
   let g_w4 = Array.map (fun z -> z *. dz) cc.z3 in
   let g_b4 = dz in

@@ -29,6 +29,9 @@ let eval_chunk = 64
 let evaluate model samples =
   let arr = Array.of_list samples in
   let n = Array.length arr in
+  (* empty sample list: report (0, 0) rather than dividing 0/0 (N2) *)
+  if n = 0 then (0.0, 0.0)
+  else
   let n_chunks = (n + eval_chunk - 1) / eval_chunk in
   let parts =
     Pool.map (Pool.default ())
@@ -66,6 +69,9 @@ let train ?(epochs = 120) ?(batch = 16) ?(lr = 3e-3) ~rng model samples =
     let i = ref 0 in
     while !i < n do
       let bsz = min batch (n - !i) in
+      (* bsz >= 1 whenever batch >= 1 and !i < n; batch <= 0 would
+         otherwise spin forever with a 1/0 gradient scale (N2) *)
+      if bsz <= 0 then invalid_arg "Train.train: batch size";
       Array.fill grad_acc 0 Model.n_params 0.0;
       for k = 0 to bsz - 1 do
         let s = samples.(order.(!i + k)) in

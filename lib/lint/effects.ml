@@ -124,6 +124,12 @@ module Summaries = struct
     s_escaping_allocs : int;  (** mutable allocations that escape *)
     s_ambient : ambient list;  (** direct ambient-input reads (sorted) *)
     s_hot : bool;  (** carries the [[@@placer_lint.hot]] attribute *)
+    s_nonzero_args : int list;
+        (** 0-based indices of parameters the function divides by (or
+            takes [log] of) without its own guard — callers must pass a
+            provably nonzero value. Computed by the numeric pass
+            ([Numeric.check]) and patched into the summaries it
+            returns; always [[]] straight out of phase 1. *)
   }
 
   type t = summary SMap.t
@@ -171,6 +177,10 @@ module Summaries = struct
         ^ String.concat ","
             (List.sort_uniq String.compare
                (List.map (fun a -> a.am_token) s.s_ambient)));
+    if s.s_nonzero_args <> [] then
+      Buffer.add_string b
+        (" nonzero-args="
+        ^ String.concat "," (List.map string_of_int s.s_nonzero_args));
     if s.s_hot then Buffer.add_string b " hot";
     if s.s_assumed then Buffer.add_string b " (assumed)";
     Buffer.contents b
@@ -193,6 +203,7 @@ let summary_equal a b =
   && List.equal
        (fun x y -> ambient_compare x y = 0)
        a.s_ambient b.s_ambient
+  && List.equal Int.equal a.s_nonzero_args b.s_nonzero_args
 
 (* ----- name tables ----- *)
 
@@ -381,6 +392,7 @@ type fn = {
   f_file : string;
   f_expr : Typedtree.expression;
   f_hot : bool;  (* binding carries [@@placer_lint.hot] *)
+  f_numeric : bool;  (* binding carries [@@placer_lint.numeric] *)
 }
 
 type unit_ctx = {
@@ -896,6 +908,10 @@ type harvested = {
   h_unit : string;
   h_fns : fn list;
   h_scripts : Typedtree.expression list;
+  h_defs : Typedtree.expression SMap.t;
+      (* module-level non-function bindings, unique_name -> RHS; lets
+         the numeric pass rank references to constants like
+         [let eps = 1e-9]. *)
 }
 
 let rec peel_mod (me : Typedtree.module_expr) =
@@ -909,6 +925,7 @@ let harvest_unit (u : unit_info) =
   let aliases = ref SMap.empty in
   let fns = ref [] in
   let scripts = ref [] in
+  let defs = ref SMap.empty in
   let unit_disp = normalize u.eu_name in
   let rec str mods (s : Typedtree.structure) =
     List.iter (item mods) s.str_items
@@ -931,10 +948,10 @@ let harvest_unit (u : unit_info) =
         match v.vb_expr.exp_desc with
         | Typedtree.Texp_function _ ->
             let key = display id in
-            let hot =
+            let has_attr name =
               List.exists
                 (fun (a : Parsetree.attribute) ->
-                  String.equal a.attr_name.txt "placer_lint.hot")
+                  String.equal a.attr_name.txt name)
                 v.vb_attributes
             in
             fn_idents := SMap.add (Ident.unique_name id) key !fn_idents;
@@ -944,10 +961,13 @@ let harvest_unit (u : unit_info) =
                 f_unit = u.eu_name;
                 f_file = u.eu_file;
                 f_expr = v.vb_expr;
-                f_hot = hot;
+                f_hot = has_attr "placer_lint.hot";
+                f_numeric = has_attr "placer_lint.numeric";
               }
               :: !fns
-        | _ -> scripts := v.vb_expr :: !scripts)
+        | _ ->
+            defs := SMap.add (Ident.unique_name id) v.vb_expr !defs;
+            scripts := v.vb_expr :: !scripts)
     | _ ->
         List.iter register (Typedtree.pat_bound_idents v.vb_pat);
         scripts := v.vb_expr :: !scripts
@@ -976,6 +996,7 @@ let harvest_unit (u : unit_info) =
     h_unit = u.eu_name;
     h_fns = List.rev !fns;
     h_scripts = List.rev !scripts;
+    h_defs = !defs;
   }
 
 (* ----- phase 1: call graph, SCCs, fixpoint ----- *)
@@ -1059,6 +1080,7 @@ let assumed_summary fn =
     s_escaping_allocs = 0;
     s_ambient = [];
     s_hot = fn.f_hot;
+    s_nonzero_args = [];
   }
 
 let summary_of_acc fn ~nparams (acc : acc) =
@@ -1081,6 +1103,7 @@ let summary_of_acc fn ~nparams (acc : acc) =
     s_escaping_allocs = List.length escaping;
     s_ambient = List.sort_uniq ambient_compare acc.c_ambient;
     s_hot = fn.f_hot;
+    s_nonzero_args = [];
   }
 
 let eval_fn eng uc fn =

@@ -26,6 +26,10 @@ type rule =
   | D4
   | F1
   | H1
+  | N1
+  | N2
+  | N3
+  | N4
   | P1
   | P2
   | R1
@@ -41,6 +45,10 @@ let rule_name = function
   | D4 -> "D4"
   | F1 -> "F1"
   | H1 -> "H1"
+  | N1 -> "N1"
+  | N2 -> "N2"
+  | N3 -> "N3"
+  | N4 -> "N4"
   | P1 -> "P1"
   | P2 -> "P2"
   | R1 -> "R1"
@@ -56,6 +64,10 @@ let rule_of_string = function
   | "D4" -> Some D4
   | "F1" -> Some F1
   | "H1" -> Some H1
+  | "N1" -> Some N1
+  | "N2" -> Some N2
+  | "N3" -> Some N3
+  | "N4" -> Some N4
   | "P1" -> Some P1
   | "P2" -> Some P2
   | "R1" -> Some R1
@@ -65,7 +77,7 @@ let rule_of_string = function
   | _ -> None
 
 let all_rules =
-  [ D1; D2; D3; D4; F1; H1; P1; P2; R1; C1; C2; A1; Bad_suppress ]
+  [ D1; D2; D3; D4; F1; H1; N1; N2; N3; N4; P1; P2; R1; C1; C2; A1; Bad_suppress ]
 
 (* One-line rule documentation, shared by --help-style output and the
    SARIF rule table. *)
@@ -76,6 +88,10 @@ let rule_doc = function
   | D4 -> "module-level mutable state outside lib/pool"
   | F1 -> "polymorphic compare instantiated at a float-containing type"
   | H1 -> "Obj.magic or catch-all exception handler"
+  | N1 -> "exact float equality as a loop-exit or convergence test"
+  | N2 -> "unguarded /. , sqrt or log (operand not dominated by a zero/sign guard)"
+  | N3 -> "non-compensated float accumulation in a [@@placer_lint.numeric] function"
+  | N4 -> "float reduction over Pool results folded in hash (non-task) order"
   | P1 -> "Pool task writes shared (module-level) mutable state"
   | P2 -> "Pool task writes a mutable captured from the enclosing scope"
   | R1 -> "Pool task consumes an Rng.t shared across tasks (not pre-split)"
@@ -116,7 +132,8 @@ let allowed_by_path rule file =
          eviction probes); the lint fixtures must still fire *)
       String.starts_with ~prefix:"test/" file
       && not (String.starts_with ~prefix:"test/lint_fixtures/" file)
-  | D3 | F1 | H1 | P1 | P2 | R1 | A1 | Bad_suppress -> false
+  | D3 | F1 | H1 | N1 | N2 | N3 | N4 | P1 | P2 | R1 | A1 | Bad_suppress ->
+      false
 
 (* The sanctioned channel for cross-domain effects: per-domain
    telemetry collectors and the pool's own internals. Their functions
@@ -638,6 +655,15 @@ let read_file path =
   | s -> Some s
   | exception Sys_error _ -> None
 
+(* A validated suppression, kept for the --list-allows audit: every
+   reasoned exception to the rules is enumerable in one pass. *)
+type allow = {
+  al_file : string;
+  al_line : int;
+  al_rule : string;
+  al_reason : string;
+}
+
 let check_unit ~tbl ~root ~extra u =
   let raw = ref extra in
   let emit loc rule message =
@@ -679,7 +705,7 @@ let check_unit ~tbl ~root ~extra u =
             (if rule_of_string s.s_rule = None then
                Printf.sprintf
                  "suppression names unknown rule '%s' (expected D1-D4, F1, \
-                  H1, P1, P2, R1, C1, C2 or A1)"
+                  H1, N1-N4, P1, P2, R1, C1, C2 or A1)"
                  s.s_rule
              else
                Printf.sprintf
@@ -689,7 +715,18 @@ let check_unit ~tbl ~root ~extra u =
         })
       bad
   in
-  kept @ bad_findings
+  let allows =
+    List.map
+      (fun s ->
+        {
+          al_file = u.u_file;
+          al_line = s.s_line;
+          al_rule = s.s_rule;
+          al_reason = s.s_reason;
+        })
+      valid
+  in
+  (kept @ bad_findings, allows)
 
 module Summaries = Effects.Summaries
 
@@ -697,6 +734,7 @@ type report = {
   r_findings : finding list;
   r_units : int;
   r_summaries : Summaries.t;
+  r_allows : allow list;
 }
 
 let finding_of_effect (f : Effects.finding) =
@@ -713,6 +751,23 @@ let finding_of_effect (f : Effects.finding) =
     rule;
     message = f.Effects.e_message;
     trace = [];
+  }
+
+let finding_of_num (f : Numeric.finding) =
+  let rule =
+    match f.Numeric.n_rule with
+    | Numeric.N1 -> N1
+    | Numeric.N2 -> N2
+    | Numeric.N3 -> N3
+    | Numeric.N4 -> N4
+  in
+  {
+    file = f.Numeric.n_file;
+    line = f.Numeric.n_line;
+    col = f.Numeric.n_col;
+    rule;
+    message = f.Numeric.n_message;
+    trace = f.Numeric.n_trace;
   }
 
 let finding_of_dep (f : Deps.finding) =
@@ -757,7 +812,7 @@ let analyze ?(excludes = []) ~root paths =
   List.iter
     (fun u -> collect_decls_str tbl ~unit_name:u.u_name ~mods:[] u.u_str)
     units;
-  let eff_findings, summaries, program =
+  let eff_findings, _phase1_summaries, program =
     Effects.analyze ~sanctioned:sanctioned_unit
       (List.map
          (fun u ->
@@ -780,6 +835,22 @@ let analyze ?(excludes = []) ~root paths =
         not (allowed_by_path rule f.Deps.d_file))
       (Deps.check program)
   in
+  (* the numeric pass also patches nonzero-args preconditions into the
+     effect summaries, so the summary snapshot is taken after it *)
+  let num_findings =
+    List.filter
+      (fun (f : Numeric.finding) ->
+        let rule =
+          match f.Numeric.n_rule with
+          | Numeric.N1 -> N1
+          | Numeric.N2 -> N2
+          | Numeric.N3 -> N3
+          | Numeric.N4 -> N4
+        in
+        not (allowed_by_path rule f.Numeric.n_file))
+      (Numeric.check program)
+  in
+  let summaries = !(program.Effects.pr_eng.Effects.eg_sums) in
   let eff_by_file =
     List.fold_left
       (fun m lf ->
@@ -787,16 +858,20 @@ let analyze ?(excludes = []) ~root paths =
         SMap.add lf.file (lf :: prev) m)
       SMap.empty
       (List.map finding_of_effect eff_findings
-      @ List.map finding_of_dep dep_findings)
+      @ List.map finding_of_dep dep_findings
+      @ List.map finding_of_num num_findings)
   in
-  let findings =
-    List.concat_map
+  let per_unit =
+    List.map
       (fun u ->
         let extra =
           Option.value ~default:[] (SMap.find_opt u.u_file eff_by_file)
         in
         check_unit ~tbl:!tbl ~root ~extra u)
       units
+  in
+  let findings =
+    List.concat_map fst per_unit
     |> List.sort (fun a b ->
            match String.compare a.file b.file with
            | 0 -> (
@@ -808,10 +883,18 @@ let analyze ?(excludes = []) ~root paths =
                | c -> c)
            | c -> c)
   in
+  let allows =
+    List.concat_map snd per_unit
+    |> List.sort (fun a b ->
+           match String.compare a.al_file b.al_file with
+           | 0 -> Int.compare a.al_line b.al_line
+           | c -> c)
+  in
   {
     r_findings = findings;
     r_units = List.length units;
     r_summaries = summaries;
+    r_allows = allows;
   }
 
 let run ~root paths =

@@ -25,7 +25,21 @@
     the cached computation, C2 reports thunk inputs whose root is not
     reachable from the [~key] expression, and A1 reports heap
     allocation inside functions marked [[@@placer_lint.hot]] (the SA
-    propose/commit path, the matheuristic window re-pricing). *)
+    propose/commit path, the matheuristic window re-pricing).
+
+    A fourth, numeric-stability pass ({!Numeric}) re-walks the numeric
+    core ([lib/numerics], [lib/density], [lib/wirelength], [lib/gnn],
+    [lib/annealing], [lib/matheuristic], plus any function marked
+    [[@@placer_lint.numeric]]) carrying a small interval/sign lattice
+    per syntactic path: N1 exact float equality as a loop-exit or
+    recursive-termination test; N2 [/.], [sqrt], [log] whose operand
+    is not dominated by a zero/sign guard — divisors that are bare
+    parameters become nonzero-args preconditions on the effect
+    summaries and are re-checked at every call site (the N2 trace
+    prints the forwarding chain); N3 non-compensated float
+    accumulation inside [[@@placer_lint.numeric]] functions (the
+    blessed fix is [Vec.ksum]/[Vec.kdot]); N4 float reductions over
+    [Pool.map]/[map_list] results folded in hash order. *)
 
 type rule =
   | D1  (** wall-clock read outside [lib/telemetry] *)
@@ -35,6 +49,19 @@ type rule =
   | F1  (** polymorphic [=]/[<>]/[compare] instantiated at a
             float-containing type *)
   | H1  (** [Obj.magic] or a catch-all [try ... with _ ->] *)
+  | N1  (** exact float equality ([=], [compare], [Float.equal],
+            [Float.compare]) used as a while-loop exit or recursive
+            termination test on computed floats *)
+  | N2  (** [/.], [sqrt] or [log] whose operand is not dominated by a
+            zero/sign guard on the intraprocedural path; interprocedural
+            through the [nonzero-args] summary field — a bare-parameter
+            divisor obligates every call site *)
+  | N3  (** non-compensated float accumulation ([fold_left (+.)],
+            manual [r := !r +. e] loops) inside a
+            [[@@placer_lint.numeric]] function; use [Vec.ksum]/[Vec.kdot] *)
+  | N4  (** float reduction over [Pool.map]/[map_list] results folded
+            in hash (non-task) order: parallel runs would diverge from
+            serial *)
   | P1  (** a Pool task writes shared (module-level) mutable state,
             directly or via a callee whose summary is
             shared-mutation *)
@@ -66,8 +93,8 @@ val rule_name : rule -> string
 val rule_of_string : string -> rule option
 
 val all_rules : rule list
-(** Every rule, in report order (D1..D4, F1, H1, P1, P2, R1, C1, C2,
-    A1, SUPPRESS). *)
+(** Every rule, in report order (D1..D4, F1, H1, N1..N4, P1, P2, R1,
+    C1, C2, A1, SUPPRESS). *)
 
 val rule_doc : rule -> string
 (** One-line description, used by the SARIF rule table. *)
@@ -80,9 +107,11 @@ type finding = {
   rule : rule;
   message : string;
   trace : string list;
-      (** C1/C2 flow trace — the call path from the cache entry point
-          to the ambient read (or the key-root summary for C2) —
-          printed by [lint_cli --explain]; [[]] for other rules *)
+      (** flow trace printed by [lint_cli --explain]: for C1/C2 the
+          call path from the cache entry point to the ambient read,
+          for N2 the obligation-forwarding chain from the call site to
+          the unguarded primitive, for N4 the pool fan-out origin and
+          the hash-order fold site; [[]] where no flow is involved *)
 }
 
 val to_string : finding -> string
@@ -94,11 +123,24 @@ module Summaries : module type of Effects.Summaries
     name (e.g. ["Annealing.Sa_placer.anneal"]); see
     {!Effects.Summaries}. *)
 
+type allow = {
+  al_file : string;
+  al_line : int;
+  al_rule : string;
+  al_reason : string;
+}
+(** A validated [(* placer-lint: allow RULE reason *)] suppression;
+    [lint_cli --list-allows] prints the full audit. *)
+
 type report = {
   r_findings : finding list;  (** surviving findings, sorted by
                                   (file, line, col, rule) *)
   r_units : int;  (** compilation units analyzed *)
-  r_summaries : Summaries.t;  (** effect summaries from phase 1 *)
+  r_summaries : Summaries.t;
+      (** effect summaries from phase 1, with the [nonzero-args]
+          preconditions patched in by the numeric pass *)
+  r_allows : allow list;
+      (** every validated suppression, sorted by (file, line) *)
 }
 
 val analyze :

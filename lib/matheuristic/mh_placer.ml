@@ -17,6 +17,7 @@ type params = {
   cycles : int;
   window : int;
   node_budget : int;
+  walk_neg : bool;
 }
 
 let default_params =
@@ -28,6 +29,7 @@ let default_params =
     cycles = 4;
     window = 4;
     node_budget = 50;
+    walk_neg = false;
   }
 
 let moves_counter = Telemetry.Counter.make "sa.moves"
@@ -227,6 +229,7 @@ let build_inst eng sc (ws : int array) =
   let mean_w =
     match net_ids with
     | [] -> 1.0
+    (* placer-lint: allow N2 net_ids is non-empty in this arm, so its length is >= 1 *)
     | _ -> !weight_sum /. float_of_int (List.length net_ids)
   in
   let obj = Eval.objective eng in
@@ -310,6 +313,7 @@ let anneal ~(params : params) ~rng ~on_window (c : Netlist.Circuit.t) =
       done;
       let t0 =
         let avg = if !n_up = 0 then 0.05 else !uphill /. float_of_int !n_up in
+        (* placer-lint: allow N2 accept0 is a tuning constant in (0,1) (default 0.85), so log accept0 is negative and nonzero *)
         -.avg /. log sa.Sa_placer.accept0
       in
       temp := Float.max 1e-6 t0);
@@ -331,6 +335,7 @@ let anneal ~(params : params) ~rng ~on_window (c : Netlist.Circuit.t) =
             let dc = c' -. !current in
             if
               dc <= 0.0
+              (* placer-lint: allow N2 temp is seeded with Float.max 1e-6 t0 and only ever multiplied by the positive cooling factor *)
               || Numerics.Rng.float rng_sa < exp (-.dc /. !temp)
             then begin
               current := c';
@@ -351,48 +356,59 @@ let anneal ~(params : params) ~rng ~on_window (c : Netlist.Circuit.t) =
     let k = min params.window n in
     if k >= 2 then
       Telemetry.Span.with_ ~name:"dp" (fun () ->
-          (* sliding windows along Gamma+, one island of overlap,
-             rotated by a per-cycle phase from the window stream; the
-             phase stays below both the stride and the last legal
-             start, so every sweep solves at least one window *)
-          let stride = max 1 (k - 1) in
-          let offset =
-            Numerics.Rng.int rng_win (max 1 (min stride (n - k + 1)))
-          in
-          let s = ref offset in
-          while !s + k <= n do
-            (* re-sync the arena (the previous decision may have been
-               a revert, which leaves it stale until the next cost) *)
-            current := cost_of ();
-            let ws = Array.init k (fun i -> st.Eval.sp.Seqpair.pos.(!s + i)) in
-            mark sc st ws;
-            let inst = build_inst eng sc ws in
-            let sol =
-              Telemetry.Span.with_ ~name:"ilp" (fun () ->
-                  Window_ilp.solve ~node_budget:params.node_budget inst)
+          (* sliding windows along a sequence-pair order, one island of
+             overlap, rotated by a per-cycle phase from the window
+             stream; the phase stays below both the stride and the last
+             legal start, so every sweep solves at least one window.
+             [seq_of] is re-read per window because an accepted solve
+             rewrites the permutations in place. *)
+          let sweep seq_of =
+            let stride = max 1 (k - 1) in
+            let offset =
+              Numerics.Rng.int rng_win (max 1 (min stride (n - k + 1)))
             in
-            incr n_windows;
-            (match sol with
-            | None -> ()
-            | Some sol ->
-                apply_orders eng sc ws sol;
-                let before = !current in
-                let c' = cost_of () in
-                if c' <= before then begin
-                  Eval.commit eng;
-                  current := c';
-                  incr n_wacc;
-                  note_best c';
-                  on_window ~accepted:true ~before ~after:c'
-                end
-                else begin
-                  Eval.revert eng;
-                  incr n_wrej;
-                  on_window ~accepted:false ~before ~after:c'
-                end);
-            unmark sc st ws;
-            s := !s + stride
-          done)
+            let s = ref offset in
+            while !s + k <= n do
+              (* re-sync the arena (the previous decision may have been
+                 a revert, which leaves it stale until the next cost) *)
+              current := cost_of ();
+              let seq = seq_of () in
+              let ws = Array.init k (fun i -> seq.(!s + i)) in
+              mark sc st ws;
+              let inst = build_inst eng sc ws in
+              let sol =
+                Telemetry.Span.with_ ~name:"ilp" (fun () ->
+                    Window_ilp.solve ~node_budget:params.node_budget inst)
+              in
+              incr n_windows;
+              (match sol with
+              | None -> ()
+              | Some sol ->
+                  apply_orders eng sc ws sol;
+                  let before = !current in
+                  let c' = cost_of () in
+                  if c' <= before then begin
+                    Eval.commit eng;
+                    current := c';
+                    incr n_wacc;
+                    note_best c';
+                    on_window ~accepted:true ~before ~after:c'
+                  end
+                  else begin
+                    Eval.revert eng;
+                    incr n_wrej;
+                    on_window ~accepted:false ~before ~after:c'
+                  end);
+              unmark sc st ws;
+              s := !s + stride
+            done
+          in
+          (* Gamma+ walks horizontal neighbourhoods; Gamma- walks
+             vertical ones. The extra sweep (and its offset draw from
+             the window stream) happens only when [walk_neg] is set, so
+             default runs replay the exact historical random sequence. *)
+          sweep (fun () -> st.Eval.sp.Seqpair.pos);
+          if params.walk_neg then sweep (fun () -> st.Eval.sp.Seqpair.neg))
   in
   for _cycle = 1 to max 1 params.cycles do
     global_phase per_cycle;

@@ -29,12 +29,21 @@ type params = {
   cycles : int;  (** global-phase / ILP-phase alternations *)
   window : int;  (** islands per ILP window (>= 2 to do anything) *)
   node_budget : int;  (** branch & bound nodes per window solve *)
+  walk_neg : bool;
+      (** also sweep windows along the negative sequence [Gamma-]
+          each ILP phase. [Gamma+] adjacency groups horizontal
+          neighbours; [Gamma-] adjacency groups vertical ones, so the
+          extra sweep proposes re-orderings the positive walk never
+          sees. Off by default: enabling it draws one extra offset per
+          phase from the window stream, so it changes the random
+          sequence (runs remain deterministic per seed either way). *)
 }
 
 val default_params : params
 (** One restart, an eighth of the SA move budget split over 4 cycles,
     windows of 4 islands at 50 nodes each -- past ~50 nodes per window,
-    extra proof effort was measured to buy almost nothing. *)
+    extra proof effort was measured to buy almost nothing. [walk_neg]
+    is off so historical goldens replay bit-identically. *)
 
 val place :
   ?params:params ->

@@ -30,6 +30,8 @@ let step t ~params ~grads =
     let g = grads.(i) in
     t.m.(i) <- (t.beta1 *. t.m.(i)) +. ((1.0 -. t.beta1) *. g);
     t.v.(i) <- (t.beta2 *. t.v.(i)) +. ((1.0 -. t.beta2) *. g *. g);
+    (* placer-lint: allow N2 bias corrections 1 -. beta^k are strictly positive for 0 < beta < 1 and k >= 1 *)
     let mhat = t.m.(i) /. bc1 and vhat = t.v.(i) /. bc2 in
+    (* placer-lint: allow N2 v is an EMA of g*.g so vhat >= 0, and the divisor is >= eps > 0 *)
     params.(i) <- params.(i) -. (t.lr *. mhat /. (sqrt vhat +. t.eps))
   done

@@ -74,7 +74,10 @@ let inverse re im = transform ~inverse:true re im
    C(k) = Re(exp(-i pi k / 2N) * FFT(v)(k)). *)
 let dct_ii x =
   let n = Array.length x in
-  if not (is_pow2 n) then invalid_arg "Fft.dct_ii: length must be power of two";
+  (* n <= 0 is subsumed by is_pow2 but spelling it out makes the
+     twiddle divisor 2n provably positive (N2) *)
+  if n <= 0 || not (is_pow2 n) then
+    invalid_arg "Fft.dct_ii: length must be power of two";
   let re = Array.make n 0.0 and im = Array.make n 0.0 in
   let half = (n + 1) / 2 in
   for i = 0 to half - 1 do

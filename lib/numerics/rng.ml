@@ -41,6 +41,7 @@ let gaussian t =
         if x > 0.0 then x else u ()
       in
       let u1 = u () and u2 = float t in
+      (* placer-lint: allow N2 u1 > 0 by the rejection loop above, so log u1 is finite and -2 log u1 >= 0 *)
       let r = sqrt (-2.0 *. log u1) in
       let theta = 2.0 *. Float.pi *. u2 in
       t.cached_gauss <- Some (r *. sin theta);

@@ -114,6 +114,9 @@ let price tab c =
 let pivot tab ~row ~col =
   let pr = tab.t.(row) in
   let pv = pr.(col) in
+  (* the ratio test only selects pivots with |pv| > eps, so this never
+     fires; it turns a silent inf/nan tableau into a hard error (N2) *)
+  if abs_float pv <= 0.0 then invalid_arg "Simplex.pivot: zero pivot";
   let inv = 1.0 /. pv in
   for j = 0 to tab.ncols do
     pr.(j) <- pr.(j) *. inv

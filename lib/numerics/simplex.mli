@@ -27,6 +27,14 @@ type result =
   | Iter_limit  (** safety valve; treat as a solver failure *)
 
 val solve : ?max_iter:int -> problem -> result
-(** @raise Invalid_argument on malformed input (bad sizes or indices). *)
+(** The ratio test only admits pivot elements with [|pv| > eps], and
+    the pivot routine turns a zero pivot into a hard error rather than
+    a silent [inf]/[nan] tableau (placer-lint rule N2: division and
+    reciprocal scaling are guarded). Degenerate problems — tied ratio
+    tests, redundant constraints through one vertex, Beale-style
+    cycling examples — terminate via the [max_iter] safety valve
+    semantics and are pinned by tests.
+
+    @raise Invalid_argument on malformed input (bad sizes or indices). *)
 
 val pp_result : Format.formatter -> result -> unit

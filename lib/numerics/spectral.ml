@@ -24,6 +24,9 @@ type t = {
 let create ~nx ~ny =
   if nx <= 0 || ny <= 0 then invalid_arg "Spectral.create: size";
   let basis f n =
+    (* redundant with the create guard above, but keeps the divisor
+       provably positive inside this helper (N2) *)
+    if n <= 0 then invalid_arg "Spectral.create: size";
     Matrix.init n n (fun u i ->
         f (Float.pi *. float_of_int u *. (float_of_int i +. 0.5)
            /. float_of_int n))
@@ -47,6 +50,7 @@ let analyze t rho =
   let tmp = Matrix.matmul t.bx rho in
   (* tmp.(u).(j) = sum_i bx.(u).(i) rho.(i).(j) *)
   let a = Matrix.matmul tmp (Matrix.transpose t.by) in
+  (* placer-lint: allow N2 t.nx and t.ny are >= 1, enforced by create *)
   let cu u n = if u = 0 then 1.0 /. float_of_int n else 2.0 /. float_of_int n in
   for u = 0 to t.nx - 1 do
     for v = 0 to t.ny - 1 do
@@ -68,8 +72,11 @@ let solve_poisson t rho =
   let coef_ey = Matrix.create t.nx t.ny in
   for u = 0 to t.nx - 1 do
     for v = 0 to t.ny - 1 do
-      if u <> 0 || v <> 0 then begin
-        let w2 = (t.wx.(u) *. t.wx.(u)) +. (t.wy.(v) *. t.wy.(v)) in
+      let w2 = (t.wx.(u) *. t.wx.(u)) +. (t.wy.(v) *. t.wy.(v)) in
+      (* w2 = 0 exactly for the (0,0) DC mode, which the Neumann
+         solver drops; guarding on w2 itself (rather than u/v) makes
+         the divisor provably positive (N2) *)
+      if w2 > 0.0 then begin
         let auv = Matrix.get a u v in
         Matrix.set coef_psi u v (auv /. w2);
         Matrix.set coef_ex u v (auv *. t.wx.(u) /. w2);
@@ -87,15 +94,17 @@ let solve_poisson t rho =
 (* Direct (O(n^2)) reference DCT-II, matching Fft.dct_ii's convention. *)
 let dct_ii_direct x =
   let n = Array.length x in
-  Array.init n (fun k ->
-      let acc = ref 0.0 in
-      for i = 0 to n - 1 do
-        acc :=
-          !acc
-          +. x.(i)
-             *. cos
-                  (Float.pi *. float_of_int k
-                  *. ((2.0 *. float_of_int i) +. 1.0)
-                  /. (2.0 *. float_of_int n))
-      done;
-      !acc)
+  if n = 0 then [||]
+  else
+    Array.init n (fun k ->
+        let acc = ref 0.0 in
+        for i = 0 to n - 1 do
+          acc :=
+            !acc
+            +. x.(i)
+               *. cos
+                    (Float.pi *. float_of_int k
+                    *. ((2.0 *. float_of_int i) +. 1.0)
+                    /. (2.0 *. float_of_int n))
+        done;
+        !acc)

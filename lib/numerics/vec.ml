@@ -12,12 +12,46 @@ let dot a b =
   if Array.length a <> Array.length b then invalid_arg "Vec.dot: size";
   let acc = ref 0.0 in
   for i = 0 to Array.length a - 1 do
+    (* placer-lint: allow N3 plain left-to-right order is bit-pinned by the CG/Nesterov goldens; compensated callers use kdot *)
     acc := !acc +. (Array.unsafe_get a i *. Array.unsafe_get b i)
   done;
   !acc
+[@@placer_lint.numeric]
 
 let norm2 a = dot a a
+
+(* placer-lint: allow N2 norm2 is a sum of squares, nonnegative by construction *)
 let norm a = sqrt (norm2 a)
+
+(* Kahan (compensated) summation: the blessed accumulators for
+   [@@placer_lint.numeric] code. The compensation term c carries the
+   low-order bits lost by each naive addition, so the result is
+   correctly rounded to within 2 ulp independent of n — and, unlike
+   pairwise schemes, the evaluation order is a fixed left-to-right
+   sweep, so parallel callers that concatenate per-task arrays in task
+   order reproduce the serial bits. *)
+let ksum a =
+  let s = ref 0.0 and c = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let y = Array.unsafe_get a i -. !c in
+    let t = !s +. y in
+    c := t -. !s -. y;
+    s := t
+  done;
+  !s
+[@@placer_lint.numeric]
+
+let kdot a b =
+  if Array.length a <> Array.length b then invalid_arg "Vec.kdot: size";
+  let s = ref 0.0 and c = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let y = (Array.unsafe_get a i *. Array.unsafe_get b i) -. !c in
+    let t = !s +. y in
+    c := t -. !s -. y;
+    s := t
+  done;
+  !s
+[@@placer_lint.numeric]
 
 let axpy ~alpha x y =
   if Array.length x <> Array.length y then invalid_arg "Vec.axpy: size";
@@ -40,9 +74,11 @@ let dist a b =
   let acc = ref 0.0 in
   for i = 0 to Array.length a - 1 do
     let d = a.(i) -. b.(i) in
+    (* placer-lint: allow N3 plain order is bit-pinned by the convergence-test goldens; compensated callers use ksum *)
     acc := !acc +. (d *. d)
   done;
   sqrt !acc
+[@@placer_lint.numeric]
 
 let mean a =
   if Array.length a = 0 then 0.0

@@ -7,8 +7,23 @@ val copy : t -> t
 val fill : t -> float -> unit
 val blit : src:t -> dst:t -> unit
 val dot : t -> t -> float
+(** Plain left-to-right inner product. Bit-pinned: CG/Nesterov goldens
+    depend on this exact evaluation order — inside
+    [[@@placer_lint.numeric]] code prefer {!kdot}, the compensated
+    form placer-lint rule N3 blesses. *)
+
 val norm2 : t -> float
 val norm : t -> float
+
+val ksum : t -> float
+(** Kahan compensated sum — the accumulator placer-lint rule N3
+    points [[@@placer_lint.numeric]] functions at. Fixed left-to-right
+    sweep: deterministic across serial and pooled runs when per-task
+    slices are concatenated in task order (rule N4). *)
+
+val kdot : t -> t -> float
+(** Compensated inner product; see {!ksum} and rules N2/N3 in
+    DESIGN.md §7. *)
 
 val axpy : alpha:float -> t -> t -> unit
 (** [axpy ~alpha x y] performs [y <- y + alpha * x] in place. *)

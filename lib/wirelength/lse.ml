@@ -19,10 +19,14 @@ let span_grad ~gamma ~coords ~scale ~dcoef =
     sp := !sp +. exp ((coords.(t) -. !cmax) /. gamma);
     sq := !sq +. exp ((!cmin -. coords.(t)) /. gamma)
   done;
+  (* placer-lint: allow N2 sp >= 1: the max-shifted exponent at the argmax is exp 0 = 1 *)
   let lse_max = !cmax +. (gamma *. log !sp) in
+  (* placer-lint: allow N2 sq >= 1: the min-shifted exponent at the argmin is exp 0 = 1 *)
   let lse_min = !cmin -. (gamma *. log !sq) in
   for t = 0 to k - 1 do
+    (* placer-lint: allow N2 sp >= 1 by the max-shift argument above *)
     let p = exp ((coords.(t) -. !cmax) /. gamma) /. !sp in
+    (* placer-lint: allow N2 sq >= 1 by the max-shift argument above *)
     let q = exp ((!cmin -. coords.(t)) /. gamma) /. !sq in
     dcoef.(t) <- dcoef.(t) +. (scale *. (p -. q))
   done;

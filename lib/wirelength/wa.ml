@@ -31,9 +31,12 @@ let span_grad ~gamma ~coords ~scale ~dcoef =
     sq := !sq +. eq;
     sqx := !sqx +. (coords.(t) *. eq)
   done;
+  (* placer-lint: allow N2 sp and sq are >= 1: the shifted exponent at the extreme index is exp 0 = 1 *)
   let wa_max = !spx /. !sp and wa_min = !sqx /. !sq in
   for t = 0 to k - 1 do
+    (* placer-lint: allow N2 sp >= 1 by the max-shift argument above *)
     let p = exp ((coords.(t) -. !cmax) /. gamma) /. !sp in
+    (* placer-lint: allow N2 sq >= 1 by the max-shift argument above *)
     let q = exp ((!cmin -. coords.(t)) /. gamma) /. !sq in
     let dmax = p *. (1.0 +. ((coords.(t) -. wa_max) /. gamma)) in
     let dmin = q *. (1.0 -. ((coords.(t) -. wa_min) /. gamma)) in

@@ -1,0 +1,20 @@
+(* Intentional N1 violations: exact float equality as a termination
+   test. Both idioms "work" until a different rounding mode, FMA
+   contraction or summation order makes the iterates oscillate one ulp
+   apart forever. *)
+
+(* while-loop exit on bit-for-bit equality of computed floats *)
+let fixed_point () =
+  let x = ref 1.0 and prev = ref 0.0 in
+  while not (Float.equal !x !prev) do
+    prev := !x;
+    x := (0.5 *. !x) +. 0.25
+  done;
+  !x
+[@@placer_lint.numeric]
+
+(* recursive bisection terminating on an exact comparison *)
+let rec bisect lo hi =
+  let mid = 0.5 *. (lo +. hi) in
+  if Float.compare mid lo = 0 then mid else bisect mid hi
+[@@placer_lint.numeric]

@@ -1,0 +1,13 @@
+(* Intentional N2 violations: unguarded division, both direct and
+   through the interprocedural nonzero-args obligation. *)
+
+(* direct: the computed divisor a +. b is never guarded *)
+let softmax_weight a b = a /. (a +. b) [@@placer_lint.numeric]
+
+(* the bare-parameter divisor turns into a nonzero-args obligation on
+   scale_by rather than a finding here... *)
+let scale_by s x = x /. s [@@placer_lint.numeric]
+
+(* ...and the obligation fires at this call site, whose argument is
+   neither proven nonzero nor a forwardable parameter *)
+let use_it v = scale_by (float_of_string v) 1.0 [@@placer_lint.numeric]

@@ -1,0 +1,13 @@
+(* Intentional N3 violations: non-compensated float accumulation in
+   functions tagged [@@placer_lint.numeric]. The blessed fix is
+   Numerics.Vec.ksum / Numerics.Vec.kdot. *)
+
+(* manual running-sum ref *)
+let sum_ref a =
+  let s = ref 0.0 in
+  Array.iter (fun x -> s := !s +. x) a;
+  !s
+[@@placer_lint.numeric]
+
+(* naive fold with the float addition operator *)
+let sum_fold a = Array.fold_left ( +. ) 0.0 a [@@placer_lint.numeric]

@@ -1,0 +1,15 @@
+(* Intentional N4 violation: Pool.map results stored into a hash table
+   and reduced with Hashtbl.fold — the fold visits entries in hash
+   order, so the float accumulation diverges between serial and
+   parallel runs. (The same fold also trips D3, hash-order iteration.) *)
+
+let pool_hash_reduce () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      let sums =
+        Pool.map p (fun i -> float_of_int i *. 0.5) (Array.init 8 Fun.id)
+      in
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.add tbl 0 sums;
+      Hashtbl.fold
+        (fun _ v acc -> acc +. Array.fold_left ( +. ) 0.0 v)
+        tbl 0.0)

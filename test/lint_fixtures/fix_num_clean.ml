@@ -1,0 +1,48 @@
+(* Guarded and compensated numeric idioms: every N rule must stay
+   quiet on this file. *)
+
+(* guarded length + blessed compensated sum *)
+let safe_mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Numerics.Vec.ksum a /. float_of_int n
+[@@placer_lint.numeric]
+
+(* inline Kahan loop (s := t is not a naive accumulation) with a
+   sign-guarded sqrt and division *)
+let safe_rms a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let s = ref 0.0 and c = ref 0.0 in
+    for i = 0 to n - 1 do
+      let y = (a.(i) *. a.(i)) -. !c in
+      let t = !s +. y in
+      c := t -. !s -. y;
+      s := t
+    done;
+    if !s > 0.0 then sqrt !s /. float_of_int n else 0.0
+  end
+[@@placer_lint.numeric]
+
+(* epsilon-compare loop exit, not exact equality *)
+let relax x0 =
+  let x = ref x0 and dx = ref 1.0 in
+  while abs_float !dx > 1e-9 do
+    let x' = 0.5 *. (!x +. 1.0) in
+    dx := x' -. !x;
+    x := x'
+  done;
+  !x
+[@@placer_lint.numeric]
+
+(* a zero/sign guard dominating a bare-parameter divisor discharges
+   the nonzero-args obligation at the definition *)
+let safe_div num den = if abs_float den > 0.0 then num /. den else 0.0
+[@@placer_lint.numeric]
+
+(* folding Pool results directly in task (array index) order is the
+   sanctioned reduction shape *)
+let task_order_sum () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      let parts = Pool.map p (fun i -> float_of_int i) (Array.init 4 Fun.id) in
+      Array.fold_left ( +. ) 0.0 parts)

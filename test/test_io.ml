@@ -136,9 +136,83 @@ let svg_tests =
         Alcotest.(check bool) "nonempty" true (len > 100));
   ]
 
+(* ---- JSON float fidelity ----
+
+   The spec canonicalization (Experiments.Methods) and the service
+   job-cache both hash the printed JSON, so [Jsonio.to_string] must
+   re-parse to the bit-identical float: same shortest-decimal routine,
+   same value, every finite input. Compared via [Int64.bits_of_float]
+   so that -0. vs 0. and subnormal neighbours cannot alias. *)
+
+let float_fidelity_tests =
+  let roundtrip f =
+    let s = Jsonio.to_string (Jsonio.Num f) in
+    match Jsonio.parse s with
+    | Error e -> Alcotest.failf "printed %S does not re-parse: %s" s e
+    | Ok j -> (
+        match Jsonio.to_float j with
+        | None -> Alcotest.failf "printed %S re-parsed as a non-number" s
+        | Some f' ->
+            Alcotest.(check int64)
+              (Printf.sprintf "bits of %s" s)
+              (Int64.bits_of_float f) (Int64.bits_of_float f'))
+  in
+  [
+    Alcotest.test_case "edge floats round-trip bit-exactly" `Quick (fun () ->
+        List.iter roundtrip
+          [
+            0.0;
+            -0.0;
+            4.9e-324 (* smallest subnormal *);
+            -4.9e-324;
+            2.2250738585072009e-308 (* largest subnormal *);
+            2.2250738585072014e-308 (* smallest normal *);
+            0.1;
+            1.0 /. 3.0;
+            -1.5;
+            1e15 -. 1.0 (* last of the %.0f integral range *);
+            1e15 (* first integral printed in exponent form *);
+            1e15 +. 2.0;
+            9007199254740993.0 (* 2^53 + 1, rounds to 2^53 *);
+            max_float;
+            -.max_float;
+            min_float;
+            epsilon_float;
+          ]);
+    Alcotest.test_case "random floats round-trip bit-exactly" `Quick (fun () ->
+        (* uniform over bit patterns, skipping NaN/inf (printed as
+           null by design) *)
+        let rng = Numerics.Rng.create 2026 in
+        let b22 () = Int64.of_int (Numerics.Rng.int rng 0x400000) in
+        let n = ref 0 in
+        while !n < 1000 do
+          let bits =
+            Int64.logor
+              (Int64.shift_left (b22 ()) 44)
+              (Int64.logor (Int64.shift_left (b22 ()) 22) (b22 ()))
+          in
+          let f = Int64.float_of_bits bits in
+          if Float.is_finite f then begin
+            roundtrip f;
+            incr n
+          end
+        done);
+    Alcotest.test_case "integral values print without a fraction" `Quick
+      (fun () ->
+        Alcotest.(check string) "1" "1" (Jsonio.to_string (Jsonio.Num 1.0));
+        Alcotest.(check string) "-0" "-0" (Jsonio.to_string (Jsonio.Num (-0.0)));
+        Alcotest.(check string)
+          "999999999999999" "999999999999999"
+          (Jsonio.to_string (Jsonio.Num (1e15 -. 1.0)));
+        (* at 1e15 the printer switches to shortest-decimal form *)
+        Alcotest.(check string) "1e+15" "1e+15"
+          (Jsonio.to_string (Jsonio.Num 1e15)));
+  ]
+
 let suites =
   [
     ("io.roundtrip", roundtrip_tests);
     ("io.errors", error_tests);
     ("io.svg", svg_tests);
+    ("io.json_floats", float_fidelity_tests);
   ]

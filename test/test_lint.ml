@@ -386,6 +386,85 @@ let tests =
                   (List.length rs)
             | _ -> Alcotest.fail "missing \"results\" array")
         | _ -> Alcotest.fail "expected exactly one run");
+    Alcotest.test_case "N1 fires on exact-equality termination tests" `Quick
+      (fun () ->
+        (* the Float.equal while-exit and the Float.compare recursive
+           test; nothing else in the file *)
+        check_count "while + recursion" "fix_n1.ml" Lint.N1 2;
+        Alcotest.(check int) "nothing else in the file" 2
+          (List.length (List.filter (in_file "fix_n1.ml") (findings ()))));
+    Alcotest.test_case "N2 fires direct and through nonzero-args" `Quick
+      (fun () ->
+        check_count "computed divisor + call site" "fix_n2.ml" Lint.N2 2;
+        Alcotest.(check int) "nothing else in the file" 2
+          (List.length (List.filter (in_file "fix_n2.ml") (findings ()))));
+    Alcotest.test_case "N2 call-site finding carries the forwarding trace"
+      `Quick (fun () ->
+        match
+          List.find_opt
+            (fun f ->
+              in_file "fix_n2.ml" f
+              && f.Lint.rule = Lint.N2
+              && contains f.Lint.message "scale_by")
+            (findings ())
+        with
+        | None -> Alcotest.fail "no interprocedural N2 finding"
+        | Some f ->
+            Alcotest.(check bool) "trace has >= 2 steps" true
+              (List.length f.Lint.trace >= 2);
+            Alcotest.(check bool) "trace starts at the call site" true
+              (match f.Lint.trace with
+              | first :: _ -> contains first "scale_by"
+              | [] -> false);
+            Alcotest.(check bool) "trace ends at the unguarded division" true
+              (contains (List.nth f.Lint.trace (List.length f.Lint.trace - 1))
+                 "no dominating guard"));
+    Alcotest.test_case "N2 obligation lands on the effect summary" `Quick
+      (fun () ->
+        let sums = (Lazy.force fixture_scan).Lint.r_summaries in
+        match Lint.Summaries.find sums "Lint_fixtures.Fix_n2.scale_by" with
+        | None -> Alcotest.fail "no summary for scale_by"
+        | Some s ->
+            Alcotest.(check (list int)) "nonzero-args pins parameter 0" [ 0 ]
+              s.Lint.Summaries.s_nonzero_args);
+    Alcotest.test_case "N3 fires on non-compensated accumulation" `Quick
+      (fun () ->
+        check_count "ref sum + fold_left" "fix_n3.ml" Lint.N3 2;
+        Alcotest.(check int) "nothing else in the file" 2
+          (List.length (List.filter (in_file "fix_n3.ml") (findings ()))));
+    Alcotest.test_case "N4 fires on hash-order pool reduction" `Quick
+      (fun () ->
+        check_count "Hashtbl.fold over Pool results" "fix_n4.ml" Lint.N4 1;
+        check_count "the same fold also trips D3" "fix_n4.ml" Lint.D3 1;
+        (match
+           List.find_opt
+             (fun f -> in_file "fix_n4.ml" f && f.Lint.rule = Lint.N4)
+             (findings ())
+         with
+        | None -> Alcotest.fail "no N4 finding"
+        | Some f ->
+            Alcotest.(check bool) "trace names the Pool.map origin" true
+              (List.exists (fun s -> contains s "Pool.map") f.Lint.trace));
+        Alcotest.(check int) "nothing else in the file" 2
+          (List.length (List.filter (in_file "fix_n4.ml") (findings ()))));
+    Alcotest.test_case "guarded and compensated idioms stay quiet" `Quick
+      (fun () -> check_quiet "fix_num_clean.ml");
+    Alcotest.test_case "reasoned allows are enumerated on the report" `Quick
+      (fun () ->
+        let allows = (Lazy.force fixture_scan).Lint.r_allows in
+        let in_suppressed =
+          List.filter
+            (fun (a : Lint.allow) ->
+              Filename.basename a.Lint.al_file = "fix_suppressed.ml")
+            allows
+        in
+        Alcotest.(check bool) "fix_suppressed contributes allows" true
+          (List.length in_suppressed >= 2);
+        List.iter
+          (fun (a : Lint.allow) ->
+            Alcotest.(check bool) "every allow carries a reason" true
+              (String.length a.Lint.al_reason > 0))
+          allows);
     Alcotest.test_case "diagnostics print file:line:col [RULE]" `Quick
       (fun () ->
         match

@@ -100,6 +100,33 @@ let oracle_tests =
     Alcotest.test_case "ILP matches brute force, k=5" `Slow (fun () ->
         let rng = Rng.create 7 in
         check_instance (random_inst rng 5 ~with_fixed:true));
+    Alcotest.test_case "identical islands: ties broken deterministically"
+      `Quick (fun () ->
+        (* four identical squares sharing one centre-pin net: every
+           ordering prices identically, so the branch-and-bound and its
+           LP relaxations pivot through nothing but ties. The optimum
+           must still match the oracle, and the order returned for the
+           fully tied instance must be reproducible run to run. *)
+        let items = Array.init 4 (fun _ -> { W.iw = 2.0; ih = 2.0 }) in
+        let nets =
+          [
+            { W.n_weight = 1.0;
+              n_pins =
+                List.init 4 (fun it ->
+                    { W.p_item = Some it; p_x = 1.0; p_y = 1.0 }) };
+          ]
+        in
+        let inst =
+          { W.items; nets; frame_w = 16.0; frame_h = 16.0; area_lambda = 0.1 }
+        in
+        check_instance inst;
+        match (W.solve inst, W.solve inst) with
+        | Some a, Some b ->
+            Alcotest.(check (array int)) "tied pos order stable" a.W.sol_pos
+              b.W.sol_pos;
+            Alcotest.(check (array int)) "tied neg order stable" a.W.sol_neg
+              b.W.sol_neg
+        | _ -> Alcotest.fail "tied instance did not solve");
     Alcotest.test_case "solve is deterministic" `Quick (fun () ->
         let inst = random_inst (Rng.create 11) 4 ~with_fixed:true in
         match (W.solve inst, W.solve inst) with
@@ -193,6 +220,29 @@ let placer_tests =
         Alcotest.(check string) "same layout"
           (Netlist.Io.placement_to_string l1)
           (Netlist.Io.placement_to_string l2));
+    Alcotest.test_case "walk_neg runs are deterministic and legal" `Quick
+      (fun () ->
+        let c = Circuits.Testcases.get_exn "CC-OTA" in
+        let params = { mh_quick_params with Mh.walk_neg = true } in
+        let l1, c1 = Mh.place ~params c in
+        let l2, c2 = Mh.place ~params c in
+        Alcotest.(check (float 0.0)) "same cost" c1 c2;
+        Alcotest.(check string) "same layout"
+          (Netlist.Io.placement_to_string l1)
+          (Netlist.Io.placement_to_string l2);
+        (match Netlist.Checks.all l1 with
+        | [] -> ()
+        | viol ->
+            Alcotest.failf "%d violations with walk_neg" (List.length viol));
+        (* the extra sweep must double the windows solved per cycle on a
+           circuit large enough to fit one window per order *)
+        let count params =
+          let n = ref 0 in
+          let _ = Mh.place ~params ~on_window:(fun ~accepted:_ ~before:_ ~after:_ -> incr n) c in
+          !n
+        in
+        Alcotest.(check bool) "walk_neg solves more windows" true
+          (count params > count mh_quick_params));
     Alcotest.test_case "method runs via the spec and is legal" `Slow
       (fun () ->
         let c = Circuits.Testcases.get_exn "CC-OTA" in
@@ -201,7 +251,8 @@ let placer_tests =
             M.moves = 20_000;
             params =
               M.Mh_params
-                { M.mh_window = 3; mh_node_budget = 200; mh_cycles = 2 } }
+                { M.default_mh_params with
+                  M.mh_window = 3; mh_node_budget = 200; mh_cycles = 2 } }
         in
         match (M.of_spec spec).M.run c with
         | None -> Alcotest.fail "matheuristic returned no layout"
@@ -229,7 +280,8 @@ let spec_tests =
           { (M.default_spec M.Matheuristic) with
             M.params =
               M.Mh_params
-                { M.mh_window = 6; mh_node_budget = 123; mh_cycles = 9 } }
+                { M.default_mh_params with
+                  M.mh_window = 6; mh_node_budget = 123; mh_cycles = 9 } }
         in
         match M.spec_of_json (M.spec_to_json s) with
         | Ok s' ->
@@ -237,6 +289,43 @@ let spec_tests =
             Alcotest.(check string) "equal hashes" (M.spec_hash s)
               (M.spec_hash s')
         | Error e -> Alcotest.failf "round-trip failed: %s" e);
+    Alcotest.test_case "walk_neg serializes only when set" `Quick (fun () ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh
+            && (String.equal (String.sub hay i nn) needle || go (i + 1))
+          in
+          go 0
+        in
+        (* default spec: no "walk_neg" key, so pre-existing canonical
+           strings and result-cache hashes are untouched *)
+        let d = M.default_spec M.Matheuristic in
+        Alcotest.(check bool) "absent by default" false
+          (contains (M.spec_canonical d) "walk_neg");
+        let s =
+          { d with
+            M.params =
+              M.Mh_params { M.default_mh_params with M.mh_walk_neg = true } }
+        in
+        Alcotest.(check bool) "present when set" true
+          (contains (M.spec_canonical s) "\"walk_neg\":true");
+        (match M.spec_of_json (M.spec_to_json s) with
+        | Ok s' -> Alcotest.(check bool) "round-trips" true (s = s')
+        | Error e -> Alcotest.failf "walk_neg round-trip failed: %s" e);
+        (* an explicit false is legal input and canonicalizes to the
+           default spelling (and hash) *)
+        Alcotest.(check string) "explicit false is the default job"
+          (M.spec_hash d)
+          (hash_of_string
+             {|{"kind":"matheuristic","params":{"walk_neg":false}}|});
+        Alcotest.(check bool) "enabling the knob changes the hash" true
+          (not (String.equal (M.spec_hash d) (M.spec_hash s)));
+        match
+          M.spec_of_string {|{"kind":"matheuristic","params":{"walk_neg":3}}|}
+        with
+        | Ok _ -> Alcotest.fail "non-boolean walk_neg should be rejected"
+        | Error _ -> ());
     Alcotest.test_case "one canonical hash per equivalent job" `Quick
       (fun () ->
         let default_hash = M.spec_hash (M.default_spec M.Matheuristic) in

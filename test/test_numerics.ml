@@ -425,6 +425,34 @@ let simplex_tests =
         match Sx.solve p with
         | Sx.Optimal s -> checkf "obj" (-2.0) s.Sx.objective_value
         | r -> Alcotest.failf "unexpected %a" Sx.pp_result r);
+    Alcotest.test_case "Beale cycling example terminates" `Quick (fun () ->
+        (* Beale's classic degenerate LP: under Dantzig's entering rule
+           with naive ratio tie-breaking, the textbook simplex cycles
+           through six bases forever at the origin. The solver must
+           still terminate and reach the optimum -0.05 at
+           (0.04, 0, 1, 0). *)
+        let p =
+          {
+            Sx.n_vars = 4;
+            objective = [| -0.75; 150.0; -0.02; 6.0 |];
+            constraints =
+              [
+                { Sx.coeffs = [ (0, 0.25); (1, -60.0); (2, -0.04); (3, 9.0) ];
+                  op = Sx.Le; rhs = 0.0 };
+                { Sx.coeffs = [ (0, 0.5); (1, -90.0); (2, -0.02); (3, 3.0) ];
+                  op = Sx.Le; rhs = 0.0 };
+                { Sx.coeffs = [ (2, 1.0) ]; op = Sx.Le; rhs = 1.0 };
+              ];
+          }
+        in
+        match Sx.solve ~max_iter:10_000 p with
+        | Sx.Optimal s ->
+            checkf "obj" (-0.05) s.Sx.objective_value;
+            checkf "x1" 0.04 s.Sx.x.(0);
+            checkf "x2" 0.0 s.Sx.x.(1);
+            checkf "x3" 1.0 s.Sx.x.(2);
+            checkf "x4" 0.0 s.Sx.x.(3)
+        | r -> Alcotest.failf "unexpected %a" Sx.pp_result r);
   ]
 
 let ilp_tests =
